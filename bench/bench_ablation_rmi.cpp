@@ -1,0 +1,101 @@
+// Sections 3.1-3.2 quantified: why the classic RMI cannot index packet
+// classification rules directly.
+//
+//   1. Range enumeration blow-up: the key-index pairs an exact-match RMI
+//      must materialize per rule-set and field (including the paper's
+//      46,592-pair single-rule example).
+//   2. Where enumeration IS feasible (narrow port ranges), RMI-over-
+//      enumerated-keys vs RQ-RMI-over-intervals: build input size, training
+//      time, model size, and certified error.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "rmi/rmi.hpp"
+
+using namespace nuevomatch;
+using namespace nuevomatch::bench;
+
+int main() {
+  const Scale s = bench_scale();
+  print_header("Ablation: classic RMI vs RQ-RMI (Sec 3.1-3.2)",
+               "paper Sec 3.2 (exponential enumeration; RQ-RMI avoids it)");
+
+  // --- the paper's single-rule example --------------------------------------
+  {
+    Rule r;
+    r.field[kDstIp] = Range{0, 255};      // 0.0.0.*
+    r.field[kDstPort] = Range{10, 100};   // 91 ports
+    r.field[kProto] = Range{6, 7};        // TCP/UDP
+    const int fields[] = {kDstIp, kDstPort, kProto};
+    std::printf("paper example rule (dst 0.0.0.*, port 10-100, proto TCP/UDP):\n"
+                "  multi-field key-index pairs required: %llu (paper: 46,592)\n\n",
+                static_cast<unsigned long long>(rmi::enumeration_cost(r, fields)));
+  }
+
+  // --- per-field enumeration cost on ClassBench rule-sets --------------------
+  const size_t n = s.full ? 100'000 : 10'000;
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, n, 3);
+  std::printf("%-10s | %16s %18s\n", "field", "pairs to learn", "vs #rules");
+  const char* names[] = {"srcIP", "dstIP", "srcPort", "dstPort", "proto"};
+  for (int f = 0; f < kNumFields; ++f) {
+    const uint64_t cost = rmi::enumeration_cost(rules, f);
+    std::printf("%-10s | %16llu %17.1fx\n", names[f],
+                static_cast<unsigned long long>(cost),
+                static_cast<double>(cost) / static_cast<double>(rules.size()));
+  }
+
+  // --- feasible case: narrow disjoint port ranges ----------------------------
+  Rng rng{11};
+  RuleSet port_rules;
+  uint32_t at = 0;
+  while (port_rules.size() < 400 && at < 60'000) {
+    Rule r;
+    const uint32_t len = 1 + static_cast<uint32_t>(rng.below(120));
+    r.field[kDstPort] = Range{at, std::min(at + len - 1, 65'535u)};
+    at += len + 1 + static_cast<uint32_t>(rng.below(40));
+    port_rules.push_back(r);
+  }
+  canonicalize(port_rules);
+
+  const uint64_t pairs_needed = rmi::enumeration_cost(port_rules, kDstPort);
+  const auto pairs = rmi::enumerate_range_keys(port_rules, kDstPort, 1u << 22);
+
+  uint64_t t0 = now_ns();
+  rmi::Rmi rmi_model;
+  rmi::RmiConfig rcfg;
+  rcfg.stage_widths = {1, 8};
+  rmi_model.build(pairs, rcfg);
+  const double rmi_ms = static_cast<double>(now_ns() - t0) / 1e6;
+
+  std::vector<rqrmi::KeyInterval> ivs;
+  const uint64_t domain = kFieldDomain[kDstPort];
+  for (const Rule& r : port_rules) {
+    ivs.push_back(rqrmi::KeyInterval{
+        rqrmi::normalize_key_exact(r.field[kDstPort].lo, domain),
+        rqrmi::normalize_key_exact(static_cast<uint64_t>(r.field[kDstPort].hi) + 1, domain),
+        r.id});
+  }
+  t0 = now_ns();
+  rqrmi::RqRmi rq_model;
+  rqrmi::RqRmiConfig qcfg;
+  qcfg.stage_widths = {1, 8};
+  rq_model.build(std::move(ivs), qcfg);
+  const double rq_ms = static_cast<double>(now_ns() - t0) / 1e6;
+
+  std::printf("\nfeasible single-field case (%zu disjoint port ranges):\n",
+              port_rules.size());
+  std::printf("%-22s | %12s %12s %12s %10s\n", "model", "train input", "train ms",
+              "model B", "max err");
+  std::printf("%-22s | %12llu %12.1f %12zu %10u\n", "RMI (enumerated keys)",
+              static_cast<unsigned long long>(pairs_needed), rmi_ms,
+              rmi_model.memory_bytes(), rmi_model.max_search_error());
+  std::printf("%-22s | %12zu %12.1f %12zu %10u\n", "RQ-RMI (intervals)",
+              port_rules.size(), rq_ms, rq_model.memory_bytes(),
+              rq_model.max_search_error());
+  std::printf("\nRQ-RMI consumed %.0fx less training input for the same index;\n"
+              "for wildcard IP fields enumeration is outright infeasible (rows above)\n",
+              static_cast<double>(pairs_needed) / static_cast<double>(port_rules.size()));
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation bench (beyond the paper, motivated by DESIGN.md): which RQ-RMI
+// design choices buy what? Sweeps stage widths (Table 4's knob), sampling
+// density, and Adam refinement on/off against achieved error bound,
+// training time and model size — on the same iSet workload.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "isets/iset_index.hpp"
+#include "isets/partition.hpp"
+
+using namespace nuevomatch;
+using namespace nuevomatch::bench;
+
+namespace {
+
+void run_case(const char* label, const IsetPartition::Iset& iset,
+              rqrmi::RqRmiConfig cfg, std::span<const Packet> trace, int reps) {
+  IsetIndex idx;
+  const uint64_t t0 = now_ns();
+  idx.build(iset.field, iset.rules, cfg);
+  const double train_ms = static_cast<double>(now_ns() - t0) / 1e6;
+  const double lookup_ns = measure_ns_per_packet_fn(
+      [&](const Packet& p) { return idx.lookup(p).rule_id; }, trace, reps);
+  std::printf("%-26s | %10.1f %10u %12.1f %10.1f\n", label, train_ms,
+              idx.max_search_error(), lookup_ns,
+              static_cast<double>(idx.model_bytes()) / 1024.0);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  const Scale s = bench_scale();
+  print_header("Ablation: RQ-RMI design choices",
+               "extension of paper Sec 5.3 (stage widths, sampling, optimizer)");
+
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, s.large_n, 1);
+  IsetPartitionConfig pc;
+  pc.max_isets = 1;
+  pc.min_coverage_fraction = 0.01;
+  const IsetPartition part = partition_rules(rules, pc);
+  if (part.isets.empty()) {
+    std::printf("no iSet extracted; nothing to ablate\n");
+    return 0;
+  }
+  const auto& iset = part.isets[0];
+  const auto trace = uniform_trace(rules, s, 41);
+  std::printf("iSet: field=%d rules=%zu\n\n", iset.field, iset.rules.size());
+  std::printf("%-26s | %10s %10s %12s %10s\n", "variant", "train ms", "bound",
+              "lookup ns", "model KB");
+
+  const auto base = rqrmi::default_config(iset.rules.size());
+
+  // Stage width sweep (Table 4's axis).
+  for (const auto& widths :
+       std::vector<std::vector<uint32_t>>{{1, 4}, {1, 4, 16}, {1, 4, 128}, {1, 8, 256},
+                                          {1, 8, 512}}) {
+    auto cfg = base;
+    cfg.stage_widths = widths;
+    std::string label = "widths={";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      if (i > 0) label += ',';
+      label += std::to_string(widths[i]);
+    }
+    label += "}";
+    run_case(label.c_str(), iset, cfg, trace, s.reps);
+  }
+
+  // Sampling density sweep.
+  for (int samples : {64, 256, 1024, 4096}) {
+    auto cfg = base;
+    cfg.initial_samples = samples;
+    run_case(("samples=" + std::to_string(samples)).c_str(), iset, cfg, trace, s.reps);
+  }
+
+  // Optimizer: least-squares only vs +Adam refinement.
+  {
+    auto cfg = base;
+    cfg.adam_epochs = 0;
+    run_case("least-squares only", iset, cfg, trace, s.reps);
+    cfg.adam_epochs = 100;
+    run_case("LS + Adam(100)", iset, cfg, trace, s.reps);
+    cfg.adam_epochs = 400;
+    run_case("LS + Adam(400)", iset, cfg, trace, s.reps);
+  }
+  return 0;
+}

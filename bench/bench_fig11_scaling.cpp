@@ -1,0 +1,44 @@
+// Figure 11: throughput vs number of rules for TupleMerge with and without
+// NuevoMatch acceleration, annotated with coverage and index memory
+// (remainder : total). Paper: tm throughput collapses as its tables spill
+// out of L1/L2; nm keeps the remainder cache-resident and stays flat.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace nuevomatch;
+using namespace nuevomatch::bench;
+
+int main() {
+  const Scale s = bench_scale();
+  print_header("Figure 11: throughput vs rule count, tm vs nm(tm)",
+               "paper Fig. 11 (ACL1; tm degrades, nm stays near-flat)");
+
+  std::vector<size_t> sizes{1'000, 10'000, 100'000};
+  if (s.full) sizes.push_back(500'000);
+
+  std::printf("%-9s | %9s %12s | %9s %12s %12s %9s\n", "rules", "tm Mpps", "tm index",
+              "nm Mpps", "nm remainder", "nm total", "coverage");
+  for (size_t n : sizes) {
+    const RuleSet rules = generate_classbench(AppClass::kAcl, 1, n, 1);
+    const auto trace = uniform_trace(rules, s);
+
+    TupleMerge tm;
+    tm.build(rules);
+    const double t_tm = measure_ns_per_packet(tm, trace, s.reps);
+
+    auto nm = make_nm("tuplemerge", s);
+    nm->build(rules);
+    const double t_nm = measure_ns_per_packet(*nm, trace, s.reps);
+
+    const size_t rem_bytes = nm->remainder().memory_bytes();
+    std::printf("%-9zu | %9.2f %12s | %9.2f %12s %12s %8.1f%%\n", n, mpps(t_tm),
+                human_bytes(tm.memory_bytes()).c_str(), mpps(t_nm),
+                human_bytes(rem_bytes).c_str(), human_bytes(nm->memory_bytes()).c_str(),
+                nm->coverage() * 100.0);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper annotations @500K: tm 10MB -> remainder 7.9KB at 99%% coverage\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 13: index memory footprint of CutSplit / NeuroCuts / TupleMerge vs
+// NuevoMatch (remainder index + RQ-RMI models), per rule-set size; each cell
+// averages the suite (geometric mean, matching the paper's bars).
+// Paper @500K: nm compresses cs/nc/tm by 4.9x / 8x / 82x on average.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace nuevomatch;
+using namespace nuevomatch::bench;
+
+int main() {
+  const Scale s = bench_scale();
+  print_header("Figure 13: index memory footprint",
+               "paper Fig. 13 (@500K compression GM: 4.9x cs, 8x nc, 82x tm)");
+
+  std::vector<size_t> sizes{1'000, 10'000, 100'000};
+  if (s.full) sizes.push_back(500'000);
+  const std::vector<std::string> baselines{"cutsplit", "neurocuts", "tuplemerge"};
+
+  std::printf("%-8s %-10s | %12s | %12s %12s %12s | %8s\n", "rules", "baseline",
+              "base index", "nm remainder", "nm iSets", "nm total", "factor");
+  for (size_t n : sizes) {
+    for (const auto& bname : baselines) {
+      std::vector<double> base_bytes, nm_bytes, rem_bytes, iset_bytes;
+      for (const auto& [app, variant] : s.suite) {
+        const RuleSet rules = generate_classbench(app, variant, n, 1);
+        auto base = make_baseline(bname, s);
+        base->build(rules);
+        auto nm = make_nm(bname, s);
+        nm->build(rules);
+        size_t models = 0;
+        for (const auto& is : nm->isets()) models += is.model_bytes();
+        base_bytes.push_back(static_cast<double>(base->memory_bytes()));
+        rem_bytes.push_back(static_cast<double>(nm->remainder().memory_bytes()));
+        iset_bytes.push_back(static_cast<double>(models));
+        nm_bytes.push_back(static_cast<double>(nm->memory_bytes()));
+      }
+      const double gb = geometric_mean(base_bytes);
+      const double gn = geometric_mean(nm_bytes);
+      std::printf("%-8zu %-10s | %12s | %12s %12s %12s | %7.1fx\n", n, bname.c_str(),
+                  human_bytes(static_cast<size_t>(gb)).c_str(),
+                  human_bytes(static_cast<size_t>(geometric_mean(rem_bytes))).c_str(),
+                  human_bytes(static_cast<size_t>(geometric_mean(iset_bytes))).c_str(),
+                  human_bytes(static_cast<size_t>(gn)).c_str(), gb / gn);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\ncache reference: L1 32KB, L2 1MB (paper's Xeon Silver 4116)\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 15 + §5.3.4: RQ-RMI training time vs the maximum search-distance
+// bound, per rule-set size — and the companion measurement that larger
+// bounds barely hurt lookups (secondary search is a binary search).
+// Paper: training with bound 64 is expensive (up to ~30min under TF);
+// bounds >=128 train much faster with minor lookup impact.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "isets/iset_index.hpp"
+#include "isets/partition.hpp"
+
+using namespace nuevomatch;
+using namespace nuevomatch::bench;
+
+int main() {
+  const Scale s = bench_scale();
+  print_header("Figure 15: training time vs search-distance bound",
+               "paper Fig. 15 (+ search-cost-vs-bound analysis of Sec 5.3.4)");
+
+  std::vector<size_t> sizes{10'000, 100'000};
+  if (s.full) sizes.push_back(500'000);
+  // The paper sweeps 64..1024 because TensorFlow training rarely achieves
+  // tight bounds on the first attempt. Our trainer reaches ~10-20 on its
+  // first fit, so the retraining regime — the left, expensive side of the
+  // paper's curve — lives at tighter bounds; sweep those too.
+  const std::vector<uint32_t> bounds{2, 4, 8, 16, 64, 256, 1024};
+
+  std::printf("%-9s %-7s | %12s %12s %14s %12s\n", "rules", "bound", "train ms",
+              "achieved", "lookup ns/pkt", "model KB");
+  for (size_t n : sizes) {
+    const RuleSet rules = generate_classbench(AppClass::kAcl, 1, n, 1);
+    // Train on the largest iSet — the structure the bound actually governs.
+    IsetPartitionConfig pc;
+    pc.max_isets = 1;
+    pc.min_coverage_fraction = 0.01;
+    IsetPartition part = partition_rules(rules, pc);
+    if (part.isets.empty()) continue;
+    const auto& iset = part.isets[0];
+    const auto trace = uniform_trace(rules, s, 5);
+
+    for (uint32_t bound : bounds) {
+      auto cfg = rqrmi::default_config(iset.rules.size());
+      cfg.error_threshold = bound;
+      IsetIndex idx;
+      const uint64_t t0 = now_ns();
+      idx.build(iset.field, iset.rules, cfg);
+      const double train_ms = static_cast<double>(now_ns() - t0) / 1e6;
+
+      const double lookup_ns = measure_ns_per_packet_fn(
+          [&](const Packet& p) { return idx.lookup(p).rule_id; }, trace, s.reps);
+      std::printf("%-9zu %-7u | %12.1f %12u %14.1f %12.1f\n", n, bound, train_ms,
+                  idx.max_search_error(), lookup_ns,
+                  static_cast<double>(idx.model_bytes()) / 1024.0);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nnote: C++ trainer replaces the paper's TensorFlow (minutes -> ms);\n"
+              "the tradeoff SHAPE (tighter bound = more retraining) is preserved\n");
+  return 0;
+}

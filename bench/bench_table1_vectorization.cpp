@@ -1,0 +1,75 @@
+// Table 1: submodel inference time per lookup with serial / SSE / AVX
+// kernels ("Submodel acceleration via vectorization", paper §4).
+// Paper reports 126 / 62 / 49 ns per full RQ-RMI lookup on Xeon Silver 4116.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "rqrmi/model.hpp"
+
+namespace {
+
+using namespace nuevomatch;
+using namespace nuevomatch::rqrmi;
+
+/// A trained [1,8,256] model over 100K synthetic intervals (the paper's
+/// large-rule-set configuration).
+const RqRmi& shared_model() {
+  static const RqRmi model = [] {
+    Rng rng{1};
+    std::vector<KeyInterval> ivs;
+    const size_t n = 100'000;
+    double x = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double w = (0.5 + rng.next_double()) / static_cast<double>(n);
+      ivs.push_back(KeyInterval{x, x + w * 0.8, static_cast<uint32_t>(i)});
+      x += w;
+    }
+    for (auto& iv : ivs) {  // normalize to [0,1)
+      iv.lo /= x;
+      iv.hi /= x;
+    }
+    RqRmiConfig cfg;
+    cfg.stage_widths = {1, 8, 256};
+    RqRmi m;
+    m.build(std::move(ivs), cfg);
+    return m;
+  }();
+  return model;
+}
+
+void bench_lookup(benchmark::State& state, SimdLevel level) {
+  if (!simd_level_available(level)) {
+    state.SkipWithError("SIMD level not available on this CPU/build");
+    return;
+  }
+  const RqRmi& model = shared_model();
+  Rng rng{7};
+  std::vector<float> keys(4096);
+  for (float& k : keys) k = static_cast<float>(rng.next_double());
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto pred = model.lookup(keys[i], level);
+    benchmark::DoNotOptimize(pred);
+    i = (i + 1) & 4095;
+  }
+  state.SetLabel("full 3-stage RQ-RMI lookup");
+}
+
+void BM_Inference_Serial(benchmark::State& s) { bench_lookup(s, SimdLevel::kSerial); }
+void BM_Inference_SSE(benchmark::State& s) { bench_lookup(s, SimdLevel::kSse); }
+void BM_Inference_AVX(benchmark::State& s) { bench_lookup(s, SimdLevel::kAvx); }
+
+BENCHMARK(BM_Inference_Serial);
+BENCHMARK(BM_Inference_SSE);
+BENCHMARK(BM_Inference_AVX);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nuevomatch::bench::print_header("Table 1: submodel vectorization",
+                                  "paper Table 1 (126/62/49 ns serial/SSE/AVX)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// IPv6 forwarding with 128-bit destination addresses (paper Section 4,
+// "Handling long fields"): builds the same route table under both long-field
+// encodings — SPLIT into 32-bit sub-fields vs a single lossy FLOAT key — and
+// shows why split is the right default for IPv6.
+//
+//   $ ./ipv6_forwarding [n_routes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "wide/wide.hpp"
+#include "wide/wide_index.hpp"
+
+using namespace nuevomatch;
+using namespace nuevomatch::wide;
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 20'000;
+  const WideRuleSet routes = generate_ipv6_rules(n, 2026);
+  std::printf("IPv6 route table: %zu routes under 2001:db8::/32\n", routes.size());
+  std::printf("example route: %s .. %s -> port %d\n\n",
+              to_string(routes[0].field[0].lo).c_str(),
+              to_string(routes[0].field[0].hi).c_str(), routes[0].action);
+
+  WideLinearSearch oracle;
+  oracle.build(routes);
+  const auto traffic = generate_wide_trace(routes, 20'000, 5);
+
+  for (const Encoding enc : {Encoding::kSplit, Encoding::kFloat}) {
+    WideClassifier::Config cfg;
+    cfg.encoding = enc;
+    WideClassifier fib;
+    fib.build(routes, cfg);
+
+    size_t mismatches = 0;
+    for (const WidePacket& p : traffic) {
+      if (fib.match(p).rule_id != oracle.match(p).rule_id) ++mismatches;
+    }
+    std::printf("encoding %-8s: coverage %5.1f%%  iSets %zu  remainder %zu"
+                "  model %.1f KB  mismatches %zu\n",
+                to_string(enc).c_str(), fib.coverage() * 100.0, fib.isets().size(),
+                fib.remainder_size(),
+                static_cast<double>(fib.model_bytes()) / 1024.0, mismatches);
+  }
+
+  std::printf("\nboth encodings classify correctly (validation runs on the\n"
+              "original 128-bit fields); only SPLIT keeps enough key precision\n"
+              "for the partitioner to move routes out of the linear remainder\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Open vSwitch cache-miss path scenario (paper §5.2, "Open vSwitch applies
+// caching for most frequently used rules. It invokes Tuple Space Search upon
+// cache misses. If NuevoMatch is applied at this stage, we expect gains
+// equivalent to those reported for unskewed workloads.").
+//
+// We simulate exactly that: a small exact-match flow cache (the EMC) in
+// front of either TSS or NuevoMatch. Skewed traffic mostly hits the cache;
+// the misses — a near-uniform residue — go to the slow path, where
+// NuevoMatch shines.
+//
+//   $ ./ovs_cache_accel [n_rules]       (default 50000)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <unordered_map>
+
+#include "classbench/generator.hpp"
+#include "nuevomatch/nuevomatch.hpp"
+#include "trace/trace.hpp"
+#include "tuplemerge/tuplemerge.hpp"
+
+using namespace nuevomatch;
+
+namespace {
+
+/// Minimal exact-match flow cache keyed by the full 5-tuple.
+class FlowCache {
+ public:
+  explicit FlowCache(size_t capacity) : capacity_(capacity) {}
+
+  std::pair<bool, int32_t> lookup(const Packet& p) const {
+    const auto it = map_.find(key(p));
+    return it == map_.end() ? std::pair{false, int32_t{-1}} : std::pair{true, it->second};
+  }
+  void insert(const Packet& p, int32_t rule) {
+    if (map_.size() >= capacity_) map_.erase(map_.begin());  // crude eviction
+    map_[key(p)] = rule;
+  }
+
+ private:
+  static uint64_t key(const Packet& p) {
+    uint64_t h = 14695981039346656037ull;
+    for (uint32_t v : p.field) {
+      h ^= v;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+  size_t capacity_;
+  std::unordered_map<uint64_t, int32_t> map_;
+};
+
+struct SlowPathStats {
+  double mpps = 0.0;
+  double hit_rate = 0.0;
+};
+
+SlowPathStats run(Classifier& slow_path, const std::vector<Packet>& trace) {
+  FlowCache cache{4096};
+  size_t hits = 0;
+  int64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Packet& p : trace) {
+    const auto [hit, rule] = cache.lookup(p);
+    if (hit) {
+      ++hits;
+      sink += rule;
+      continue;
+    }
+    const MatchResult r = slow_path.match(p);  // the TSS / nm stage
+    cache.insert(p, r.rule_id);
+    sink += r.rule_id;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  static volatile int64_t g_sink; g_sink = sink; (void)g_sink;
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  return {static_cast<double>(trace.size()) * 1e3 / ns,
+          static_cast<double>(hits) / static_cast<double>(trace.size())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 50'000;
+  std::printf("OVS-style pipeline: exact-match cache -> slow-path classifier\n");
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 2, n, 3);
+
+  TraceConfig tc;
+  tc.kind = TraceConfig::Kind::kZipf;  // realistic skewed tenant traffic
+  tc.zipf_alpha = 1.1;
+  tc.n_packets = 300'000;
+  const auto trace = generate_trace(rules, tc);
+
+  TupleSpaceSearch tss;  // OVS's slow path
+  tss.build(rules);
+  NuevoMatchConfig cfg;
+  cfg.remainder_factory = [] { return std::make_unique<TupleSpaceSearch>(); };
+  cfg.min_iset_coverage = 0.05;
+  NuevoMatch nm{cfg};
+  nm.build(rules);
+
+  const SlowPathStats a = run(tss, trace);
+  const SlowPathStats b = run(nm, trace);
+  std::printf("\n%-28s %10s %12s\n", "slow path", "Mpps", "cache hits");
+  std::printf("%-28s %10.2f %11.1f%%\n", "tuple space search", a.mpps, a.hit_rate * 100);
+  std::printf("%-28s %10.2f %11.1f%%\n", nm.name().c_str(), b.mpps, b.hit_rate * 100);
+  std::printf("\nend-to-end speedup from accelerating only the miss path: %.2fx\n",
+              b.mpps / a.mpps);
+  std::printf("(cache absorbs the skew; the slow path sees near-uniform misses,\n"
+              " which is precisely where the paper reports full nm gains)\n");
+  return 0;
+}

@@ -1,0 +1,350 @@
+#include "classbench/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prefix.hpp"
+#include "common/rng.hpp"
+
+namespace nuevomatch {
+
+namespace {
+
+// The generator is calibrated against paper Table 2: the fraction of rules
+// one interval-scheduling pass can cover must grow with rule-set size
+// (1K -> ~20%, 10K -> ~45%, 100K -> ~80%, 500K -> ~84% for one iSet). To get
+// that shape we compose each rule-set from three families:
+//
+//   1. dst-diverse rules   — unique destination blocks; all land in iSet #1.
+//   2. src-diverse rules   — destinations drawn from a small shared pool
+//                            (overlapping), unique sources; land in iSet #2.
+//   3. hard core           — a saturating number of rules stamped from a few
+//                            low-diversity patterns; each pattern yields at
+//                            most ~one rule per iSet, so the core is what the
+//                            remainder classifier ends up holding.
+//
+// The hard core has a saturating absolute size A*n/(n+B): it dominates small
+// rule-sets (poor coverage, matching Table 2's 1K row) and becomes a
+// vanishing fraction of large ones (matching the 500K row).
+
+/// Mixture knobs per application class; `variant` perturbs them like
+/// different ClassBench seeds do.
+struct Profile {
+  // Saturating hard-core size: n_hard = min(cap*n, A*n/(n+B)).
+  double core_a = 4200.0;
+  double core_b = 2600.0;
+  double core_cap = 0.72;
+  size_t core_patterns = 48;  // distinct overlapping patterns in the core
+  /// Probability that a hard-core rule gets a diverse destination port
+  /// instead of its pattern's (gives iSets 2..4 a small foothold).
+  double core_port_diversity = 0.12;
+  /// Probability that a hard-core rule takes an overlapping port slice
+  /// instead of the pattern's port range (keeps the remainder tree-separable;
+  /// firewalls keep more "any" ports than ACLs do).
+  double core_port_slice = 0.55;
+  // dst-diverse family mixture (renormalized over the three options).
+  double dst_exact = 0.25;  // /32 host inside a unique block
+  double dst_p24 = 0.60;    // whole unique /24 block
+  double dst_p28 = 0.15;    // /28 inside a unique block
+  // Fraction of the non-core rules that go to the src-diverse family.
+  double src_family = 0.18;
+  double dport_exact_wellknown = 0.45;
+  double dport_exact_ephemeral = 0.15;
+  double dport_high_range = 0.15;  // [1024, 65535]
+  double dport_subrange = 0.10;
+  // remaining mass: wildcard dport
+  double sport_wildcard = 0.70;
+  double proto_tcp = 0.70;
+  double proto_udp = 0.20;
+  double proto_any = 0.07;
+  // remaining mass: ICMP
+};
+
+Profile profile_for(AppClass app, int variant) {
+  Profile p;
+  switch (app) {
+    case AppClass::kAcl:
+      break;  // defaults above model ACL
+    case AppClass::kFw:
+      // Firewalls carry a heavier overlapping core (many "any -> service"
+      // rules) and more ranges on ports.
+      p.core_a = 8300.0;
+      p.core_cap = 0.85;
+      p.core_patterns = 32;
+      p.dst_exact = 0.15;
+      p.dst_p24 = 0.70;
+      p.dst_p28 = 0.15;
+      p.src_family = 0.22;
+      p.core_port_slice = 0.25;
+      p.dport_exact_wellknown = 0.25;
+      p.dport_exact_ephemeral = 0.05;
+      p.dport_high_range = 0.30;
+      p.dport_subrange = 0.20;
+      p.sport_wildcard = 0.65;
+      p.proto_tcp = 0.55;
+      p.proto_any = 0.20;
+      break;
+    case AppClass::kIpc:
+      p.core_a = 6400.0;
+      p.core_cap = 0.78;
+      p.core_patterns = 40;
+      p.dst_exact = 0.25;
+      p.dst_p24 = 0.55;
+      p.dst_p28 = 0.20;
+      p.src_family = 0.20;
+      p.core_port_slice = 0.40;
+      p.dport_exact_wellknown = 0.35;
+      p.dport_high_range = 0.20;
+      break;
+  }
+  // Seed-like perturbation: deterministic in `variant`, ±25% on the core
+  // size, ±20% relative shuffling of the dst mixture. This is what makes
+  // ACL1..ACL5 behave like different ClassBench seed files.
+  Rng vr{0xC1A55B33ull * static_cast<uint64_t>(variant + 17)};
+  p.core_a *= 0.75 + 0.5 * vr.next_double();
+  p.core_patterns =
+      std::max<size_t>(12, static_cast<size_t>(p.core_patterns * (0.8 + 0.4 * vr.next_double())));
+  const double shift = 0.8 + 0.4 * vr.next_double();
+  p.dst_exact *= shift;
+  p.dst_p24 *= 2.0 - shift;
+  return p;
+}
+
+constexpr uint16_t kWellKnownPorts[] = {80,  443, 53,  22,  25,   110,  143,
+                                        993, 995, 123, 389, 3306, 5432, 8080};
+
+/// Distinct-block allocator: bijective-ish hash of a counter into /24 space.
+uint32_t distinct_block24(uint64_t counter) {
+  uint64_t z = counter * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return static_cast<uint32_t>(z >> 40) << 8;  // 24 significant bits, /24 base
+}
+
+Range make_dport(const Profile& p, Rng& rng) {
+  const double u = rng.next_double();
+  double acc = p.dport_exact_wellknown;
+  if (u < acc) {
+    const uint16_t port = kWellKnownPorts[rng.below(std::size(kWellKnownPorts))];
+    return Range{port, port};
+  }
+  acc += p.dport_exact_ephemeral;
+  if (u < acc) {
+    const auto port = static_cast<uint32_t>(rng.between(1024, 65535));
+    return Range{port, port};
+  }
+  acc += p.dport_high_range;
+  if (u < acc) return Range{1024, 65535};
+  acc += p.dport_subrange;
+  if (u < acc) {
+    const auto lo = static_cast<uint32_t>(rng.between(0, 60000));
+    const auto hi = static_cast<uint32_t>(std::min<uint64_t>(65535, lo + rng.between(1, 4096)));
+    return Range{lo, hi};
+  }
+  return full_range(kDstPort);
+}
+
+Range make_sport(const Profile& p, Rng& rng) {
+  if (rng.chance(p.sport_wildcard)) return full_range(kSrcPort);
+  if (rng.chance(0.6)) return Range{1024, 65535};
+  const auto port = static_cast<uint32_t>(rng.between(0, 65535));
+  return Range{port, port};
+}
+
+Range make_proto(const Profile& p, Rng& rng) {
+  const double u = rng.next_double();
+  if (u < p.proto_tcp) return Range{6, 6};
+  if (u < p.proto_tcp + p.proto_udp) return Range{17, 17};
+  if (u < p.proto_tcp + p.proto_udp + p.proto_any) return full_range(kProto);
+  return Range{1, 1};  // ICMP
+}
+
+/// Unique destination block from the profile's exact//24//28 mixture.
+Range make_diverse_dst(const Profile& p, Rng& rng, uint64_t& counter) {
+  const uint32_t block = distinct_block24(counter++);
+  const double total = p.dst_exact + p.dst_p24 + p.dst_p28;
+  const double u = rng.next_double() * total;
+  if (u < p.dst_exact) {
+    const uint32_t host = block | static_cast<uint32_t>(rng.below(256));
+    return Range{host, host};
+  }
+  if (u < p.dst_exact + p.dst_p24) return prefix_to_range(block, 24);
+  return prefix_to_range(block | static_cast<uint32_t>(rng.below(256)), 28);
+}
+
+}  // namespace
+
+RuleSet generate_classbench(AppClass app, int variant, size_t n, uint64_t seed) {
+  const Profile p = profile_for(app, variant);
+  Rng rng{seed ^ (0xABCDEF12345ull * static_cast<uint64_t>(variant + 1)) ^
+          static_cast<uint64_t>(app)};
+  RuleSet rules;
+  rules.reserve(n);
+
+  const double nd = static_cast<double>(n);
+  const auto n_hard = std::min<size_t>(
+      static_cast<size_t>(p.core_cap * nd), static_cast<size_t>(p.core_a * nd / (nd + p.core_b)));
+  const size_t n_src_family =
+      static_cast<size_t>(p.src_family * static_cast<double>(n - n_hard));
+  const size_t n_dst_family = n - n_hard - n_src_family;
+
+  // --- hard core: overlapping patterns, low per-field diversity -----------
+  // These rules heavily overlap in every single field, so interval scheduling
+  // can pick only ~one of them per pattern per iSet — but they remain
+  // separable by multi-dimensional cuts (real firewall cores are: rules share
+  // address scopes yet differ in port ranges), so the remainder classifier
+  // stays a functioning decision tree rather than one giant leaf.
+  struct Pattern {
+    Range src, dst, dport;
+    Range proto;
+  };
+  const size_t n_patterns = std::max(p.core_patterns, n_hard / 12);
+  std::vector<Pattern> patterns;
+  patterns.reserve(n_patterns);
+  for (size_t i = 0; i < n_patterns; ++i) {
+    Pattern pat;
+    const int dst_len = static_cast<int>(rng.between(8, 16));
+    pat.dst = prefix_to_range(rng.next_u32(), dst_len);
+    pat.src = rng.chance(0.6) ? full_range(kSrcIp)
+                              : prefix_to_range(rng.next_u32(), static_cast<int>(rng.between(8, 24)));
+    pat.dport = rng.chance(0.5) ? full_range(kDstPort) : Range{0, 1023};
+    pat.proto = rng.chance(0.5) ? full_range(kProto) : Range{6, 6};
+    patterns.push_back(pat);
+  }
+  // Overlapping-but-distinct port slices: mutually overlapping (stride is
+  // half the width) so iSets cannot absorb them, yet with distinct endpoints
+  // a split node can tell them apart.
+  const auto core_dport_slice = [&rng]() {
+    const uint32_t width = 256u << rng.below(3);  // 256/512/1024
+    const uint32_t lo = static_cast<uint32_t>(rng.below(120)) * (width / 2);
+    return Range{lo, std::min<uint32_t>(65535, lo + width - 1)};
+  };
+  // The core is generated first (so rule-set composition is stable in n) but
+  // emitted LAST: real ACLs place specific rules above broad catch-all rules,
+  // so the wildcard-heavy core carries the numerically largest priorities.
+  std::vector<Rule> core;
+  core.reserve(n_hard);
+  for (size_t i = 0; i < n_hard; ++i) {
+    const Pattern& pat = patterns[rng.below(patterns.size())];
+    Rule r;
+    r.field[kSrcIp] = pat.src;
+    r.field[kDstIp] = pat.dst;
+    r.field[kSrcPort] = make_sport(p, rng);
+    r.field[kDstPort] = rng.chance(p.core_port_diversity)  ? make_dport(p, rng)
+                        : rng.chance(p.core_port_slice)    ? core_dport_slice()
+                                                           : pat.dport;
+    r.field[kProto] = pat.proto;
+    r.action = static_cast<int32_t>(rng.below(4));
+    core.push_back(r);
+  }
+
+  // --- src-diverse family: overlapping destinations, unique sources -------
+  // Models "from host X to any/service" rules. A second iSet over the source
+  // field picks all of them up.
+  std::vector<Range> shared_dsts;  // small pool -> heavy dst overlap
+  const size_t n_shared = std::max<size_t>(8, p.core_patterns / 2);
+  for (size_t i = 0; i < n_shared; ++i) {
+    shared_dsts.push_back(rng.chance(0.3)
+                              ? full_range(kDstIp)
+                              : prefix_to_range(rng.next_u32(),
+                                                static_cast<int>(rng.between(8, 16))));
+  }
+  uint64_t block_counter = seed * 1315423911ull + 0x51ull;
+  for (size_t i = 0; i < n_src_family; ++i) {
+    Rule r;
+    // Unique source prefix (ClassBench address fields are always prefixes):
+    // half whole /24 blocks, half /28 or /32 hosts inside a fresh block.
+    const uint32_t sblock = distinct_block24(block_counter++) | 0x80000000u;
+    if (rng.chance(0.5)) {
+      r.field[kSrcIp] = prefix_to_range(sblock, 24);
+    } else {
+      const uint32_t host = sblock | static_cast<uint32_t>(rng.below(256));
+      r.field[kSrcIp] = rng.chance(0.5) ? Range{host, host} : prefix_to_range(host, 28);
+    }
+    r.field[kDstIp] = shared_dsts[rng.below(shared_dsts.size())];
+    r.field[kSrcPort] = make_sport(p, rng);
+    r.field[kDstPort] = make_dport(p, rng);
+    r.field[kProto] = make_proto(p, rng);
+    r.action = static_cast<int32_t>(rng.below(4));
+    rules.push_back(r);
+  }
+
+  // --- dst-diverse family: unique destination blocks ----------------------
+  for (size_t i = 0; i < n_dst_family; ++i) {
+    Rule r;
+    r.field[kDstIp] = make_diverse_dst(p, rng, block_counter);
+    r.field[kSrcIp] = rng.chance(0.65)
+                          ? full_range(kSrcIp)
+                          : prefix_to_range(rng.next_u32(),
+                                            static_cast<int>(rng.between(12, 20)));
+    r.field[kSrcPort] = make_sport(p, rng);
+    r.field[kDstPort] = make_dport(p, rng);
+    r.field[kProto] = make_proto(p, rng);
+    r.action = static_cast<int32_t>(rng.below(4));
+    rules.push_back(r);
+  }
+
+  // Specific families first (higher priority), catch-all core last — then
+  // canonical numbering.
+  rules.insert(rules.end(), core.begin(), core.end());
+  canonicalize(rules);
+  return rules;
+}
+
+std::vector<std::pair<AppClass, int>> paper_suite() {
+  std::vector<std::pair<AppClass, int>> suite;
+  for (int v = 1; v <= 5; ++v) suite.emplace_back(AppClass::kAcl, v);
+  for (int v = 1; v <= 5; ++v) suite.emplace_back(AppClass::kFw, v);
+  for (int v = 1; v <= 2; ++v) suite.emplace_back(AppClass::kIpc, v);
+  return suite;
+}
+
+std::string ruleset_name(AppClass app, int variant) {
+  const char* base = app == AppClass::kAcl ? "ACL" : app == AppClass::kFw ? "FW" : "IPC";
+  return base + std::to_string(variant);
+}
+
+RuleSet generate_low_diversity(size_t n, int values_per_field, uint64_t seed) {
+  Rng rng{seed};
+  std::array<std::vector<uint32_t>, kNumFields> pools;
+  for (int f = 0; f < kNumFields; ++f) {
+    for (int v = 0; v < values_per_field; ++v)
+      pools[static_cast<size_t>(f)].push_back(
+          static_cast<uint32_t>(rng.below(kFieldDomain[static_cast<size_t>(f)] + 1)));
+  }
+  RuleSet rules;
+  rules.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Rule r;
+    for (int f = 0; f < kNumFields; ++f) {
+      const uint32_t v =
+          pools[static_cast<size_t>(f)][rng.below(pools[static_cast<size_t>(f)].size())];
+      r.field[static_cast<size_t>(f)] = Range{v, v};  // exact match, no ranges (§5.3.3)
+    }
+    rules.push_back(r);
+  }
+  canonicalize(rules);
+  return rules;
+}
+
+RuleSet blend_low_diversity(const RuleSet& base, double fraction, uint64_t seed) {
+  Rng rng{seed};
+  const auto n_replace = static_cast<size_t>(fraction * static_cast<double>(base.size()));
+  RuleSet low = generate_low_diversity(n_replace, 8, seed ^ 0xBEEF);
+  RuleSet out = base;
+  // Replace randomly selected positions, keeping the total size (§5.3.3).
+  std::vector<uint32_t> idx(base.size());
+  for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  for (size_t i = 0; i < n_replace && i + 1 < idx.size(); ++i) {
+    const size_t j = i + rng.below(idx.size() - i);
+    std::swap(idx[i], idx[j]);
+  }
+  for (size_t i = 0; i < n_replace; ++i) {
+    Rule r = low[i];
+    out[idx[i]] = r;
+  }
+  canonicalize(out);
+  return out;
+}
+
+}  // namespace nuevomatch

@@ -1,0 +1,53 @@
+// ClassBench-style rule-set generation (paper Section 5.1.1).
+//
+// ClassBench [Taylor & Turner '07] produces rule-sets whose statistical
+// structure follows one of three application classes: Access Control Lists
+// (ACL), Firewalls (FW) and IP Chains (IPC). The published seeds are not
+// shipped here; this generator reproduces the *structural* properties the
+// evaluation depends on (see DESIGN.md "Substitutions"):
+//
+//   * a small "core" of heavily-overlapping wildcard-ish patterns whose
+//     absolute size saturates as the rule-set grows — which is why iSet
+//     coverage improves with rule-set size (paper Table 2);
+//   * a large body of distinct, specific rules (unique destination prefixes,
+//     exact or narrow ports) providing the high value-diversity that RQ-RMI
+//     exploits (paper §3.7);
+//   * per-application mixtures of prefix lengths, port classes and protocols
+//     (FW = more wildcards/ranges, ACL = more exact matches, IPC = between).
+//
+// Rule-sets produced by the real ClassBench tool can be loaded through
+// parser.hpp instead — the two sources are interchangeable downstream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nuevomatch {
+
+enum class AppClass { kAcl, kFw, kIpc };
+
+/// Generate `n` rules of the given application class. `variant` (1-based)
+/// perturbs the seed mixtures the way different ClassBench seeds do.
+/// Output is canonical: id = index = priority.
+[[nodiscard]] RuleSet generate_classbench(AppClass app, int variant, size_t n,
+                                          uint64_t seed = 1);
+
+/// The paper's 12-set suite: ACL1-5, FW1-5, IPC1-2 (appendix naming).
+[[nodiscard]] std::vector<std::pair<AppClass, int>> paper_suite();
+[[nodiscard]] std::string ruleset_name(AppClass app, int variant);
+
+/// Low-diversity rule-set built as a Cartesian product of a few values per
+/// field (paper Table 3 / §5.3.3) — the adversarial input for iSets.
+[[nodiscard]] RuleSet generate_low_diversity(size_t n, int values_per_field,
+                                             uint64_t seed = 1);
+
+/// Replace a random `fraction` of `base` with low-diversity rules, keeping
+/// the total size (the paper's Table 3 blending experiment).
+[[nodiscard]] RuleSet blend_low_diversity(const RuleSet& base, double fraction,
+                                          uint64_t seed = 1);
+
+}  // namespace nuevomatch

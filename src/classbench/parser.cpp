@@ -1,0 +1,129 @@
+#include "classbench/parser.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/prefix.hpp"
+
+namespace nuevomatch {
+
+namespace {
+
+void skip_ws(std::string_view& s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+}
+
+bool take_number(std::string_view& s, uint32_t& out) {
+  skip_ws(s);
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc{}) return false;
+  s.remove_prefix(static_cast<size_t>(ptr - s.data()));
+  return true;
+}
+
+bool take_literal(std::string_view& s, char c) {
+  skip_ws(s);
+  if (s.empty() || s.front() != c) return false;
+  s.remove_prefix(1);
+  return true;
+}
+
+bool take_prefix(std::string_view& s, Range& out) {
+  skip_ws(s);
+  size_t i = 0;
+  while (i < s.size() && s[i] != '/' && s[i] != ' ' && s[i] != '\t') ++i;
+  const auto addr = parse_ipv4(s.substr(0, i));
+  if (!addr) return false;
+  s.remove_prefix(i);
+  if (!take_literal(s, '/')) return false;
+  uint32_t len = 0;
+  if (!take_number(s, len) || len > 32) return false;
+  out = prefix_to_range(*addr, static_cast<int>(len));
+  return true;
+}
+
+bool take_port_range(std::string_view& s, Range& out) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  if (!take_number(s, lo)) return false;
+  if (!take_literal(s, ':')) return false;
+  if (!take_number(s, hi)) return false;
+  if (lo > hi || hi > 0xFFFF) return false;
+  out = Range{lo, hi};
+  return true;
+}
+
+}  // namespace
+
+std::optional<Rule> parse_classbench_line(std::string_view line) {
+  skip_ws(line);
+  if (line.empty() || line.front() != '@') return std::nullopt;
+  line.remove_prefix(1);
+
+  Rule r;
+  if (!take_prefix(line, r.field[kSrcIp])) return std::nullopt;
+  if (!take_prefix(line, r.field[kDstIp])) return std::nullopt;
+  if (!take_port_range(line, r.field[kSrcPort])) return std::nullopt;
+  if (!take_port_range(line, r.field[kDstPort])) return std::nullopt;
+
+  uint32_t proto = 0;
+  uint32_t mask = 0;
+  if (!take_number(line, proto)) return std::nullopt;
+  if (!take_literal(line, '/')) return std::nullopt;
+  // Protocol masks are written in hex (0xFF / 0x00) by ClassBench.
+  skip_ws(line);
+  if (line.size() >= 2 && line[0] == '0' && (line[1] == 'x' || line[1] == 'X')) {
+    line.remove_prefix(2);
+    const auto [ptr, ec] =
+        std::from_chars(line.data(), line.data() + line.size(), mask, 16);
+    if (ec != std::errc{}) return std::nullopt;
+    line.remove_prefix(static_cast<size_t>(ptr - line.data()));
+  } else if (!take_number(line, mask)) {
+    return std::nullopt;
+  }
+  r.field[kProto] = (mask & 0xFF) == 0xFF ? Range{proto & 0xFF, proto & 0xFF}
+                                          : full_range(kProto);
+  return r;  // trailing columns (flags) intentionally ignored
+}
+
+RuleSet parse_classbench(std::istream& in, size_t* skipped) {
+  RuleSet rules;
+  size_t bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto r = parse_classbench_line(line)) {
+      rules.push_back(*r);
+    } else {
+      ++bad;
+    }
+  }
+  if (skipped) *skipped = bad;
+  canonicalize(rules);
+  return rules;
+}
+
+std::string format_classbench_rule(const Rule& r) {
+  std::ostringstream os;
+  const auto emit_prefix = [&](const Range& rg) {
+    const auto len = range_to_prefix_len(rg);
+    os << format_ipv4(rg.lo) << '/' << (len ? *len : 0);
+  };
+  os << '@';
+  emit_prefix(r.field[kSrcIp]);
+  os << '\t';
+  emit_prefix(r.field[kDstIp]);
+  os << '\t' << r.field[kSrcPort].lo << " : " << r.field[kSrcPort].hi;
+  os << '\t' << r.field[kDstPort].lo << " : " << r.field[kDstPort].hi;
+  const bool exact = r.field[kProto].is_exact();
+  os << '\t' << (exact ? r.field[kProto].lo : 0u) << "/0x" << (exact ? "FF" : "00");
+  return os.str();
+}
+
+void write_classbench(std::ostream& out, std::span<const Rule> rules) {
+  for (const Rule& r : rules) out << format_classbench_rule(r) << '\n';
+}
+
+}  // namespace nuevomatch

@@ -1,0 +1,28 @@
+// Reader/writer for the standard ClassBench filter format, so genuine
+// ClassBench output (the benchmark the paper evaluates on) can be loaded
+// directly in place of the synthetic generator:
+//
+//   @<sip>/<len>  <dip>/<len>  <slo> : <shi>  <dlo> : <dhi>  <proto>/<mask> ...
+//
+// Trailing columns (e.g. flags) are ignored; lines not starting with '@' are
+// skipped. The writer emits files the reference tools accept.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace nuevomatch {
+
+[[nodiscard]] std::optional<Rule> parse_classbench_line(std::string_view line);
+
+/// Parse a whole stream; invalid lines are counted in `skipped` (if given).
+[[nodiscard]] RuleSet parse_classbench(std::istream& in, size_t* skipped = nullptr);
+
+[[nodiscard]] std::string format_classbench_rule(const Rule& r);
+void write_classbench(std::ostream& out, std::span<const Rule> rules);
+
+}  // namespace nuevomatch

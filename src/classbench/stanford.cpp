@@ -1,0 +1,150 @@
+#include "classbench/stanford.hpp"
+
+#include <algorithm>
+
+#include "common/prefix.hpp"
+#include "common/rng.hpp"
+
+namespace nuevomatch {
+
+namespace {
+
+// The real Stanford backbone tables are hierarchical: host routes nested in
+// subnets nested in campus aggregates, plus duplicate prefixes (ECMP/backup
+// next hops). Interval scheduling peels such a laminar forest one "leaf
+// layer" per iSet, so the per-iSet coverage profile is controlled entirely by
+// the depth mix of the prefix families. The mixture below is calibrated to
+// the paper's Table 2 last row (57.8 / 91.6 / 96.5 / 98.2 for 1-4 iSets):
+//
+//   family           rule-mass   iSet it lands in
+//   standalone /24     23%       1
+//   2-chains           56%       child 1, parent 2
+//   3-chains           12%       1 / 2 / 3
+//   4-chains            2%       1 / 2 / 3 / 4
+//   stars (1+4)         3%       children 1, hub 2
+//   dup groups (x8)     4%       one per iSet -> permanent remainder
+//
+// Every family lives in its own /20 region, allocated bijectively by
+// bit-reversing a counter, so families never collide with each other.
+
+/// Bijective 20-bit reversal: distinct /20 block base per family counter.
+uint32_t family_region(uint32_t counter) {
+  uint32_t rev = 0;
+  for (int b = 0; b < 20; ++b) {
+    rev = (rev << 1) | ((counter >> b) & 1u);
+  }
+  return rev << 12;  // /20 base address
+}
+
+enum class Family : int { kStandalone, kChain2, kChain3, kChain4, kStar, kDupGroup };
+
+/// Family weights = rule-mass fraction / rules-per-family, so that the
+/// emitted rule mass matches the table above.
+constexpr double kWeights[] = {
+    0.23 / 1,  // standalone
+    0.56 / 2,  // 2-chain
+    0.12 / 3,  // 3-chain
+    0.02 / 4,  // 4-chain
+    0.03 / 5,  // star: hub + 4 spokes
+    0.04 / 8,  // duplicate group of 8
+};
+
+Family pick_family(Rng& rng) {
+  double total = 0;
+  for (double w : kWeights) total += w;
+  double u = rng.next_double() * total;
+  for (int i = 0; i < static_cast<int>(std::size(kWeights)); ++i) {
+    if (u < kWeights[static_cast<size_t>(i)]) return static_cast<Family>(i);
+    u -= kWeights[static_cast<size_t>(i)];
+  }
+  return Family::kStandalone;
+}
+
+}  // namespace
+
+RuleSet generate_stanford_like(int router, size_t n, uint64_t seed) {
+  Rng rng{seed ^ (0x57A4F04Dull * static_cast<uint64_t>(router + 1))};
+  // Per-router salt keeps the /20 allocation bijective but router-specific.
+  const auto salt = static_cast<uint32_t>(rng.next_u32() & 0xFFFFFu);
+  RuleSet rules;
+  rules.reserve(n);
+  uint32_t counter = 0;
+
+  auto emit = [&](Range dst) {
+    if (rules.size() >= n) return;
+    Rule r;
+    r.field[kDstIp] = dst;
+    for (int f : {kSrcIp, kSrcPort, kDstPort, kProto})
+      r.field[static_cast<size_t>(f)] = full_range(f);
+    r.action = static_cast<int32_t>(rng.below(64));  // egress port
+    rules.push_back(r);
+  };
+
+  while (rules.size() < n) {
+    const uint32_t region = family_region((counter++ ^ salt) & 0xFFFFFu);
+    const auto sub24 = [&] { return region | (static_cast<uint32_t>(rng.below(16)) << 8); };
+    switch (pick_family(rng)) {
+      case Family::kStandalone: {
+        // Single route; half /24 subnets, half /32 host routes.
+        if (rng.chance(0.5)) {
+          emit(prefix_to_range(sub24(), 24));
+        } else {
+          const uint32_t host = region | static_cast<uint32_t>(rng.below(4096));
+          emit(Range{host, host});
+        }
+        break;
+      }
+      case Family::kChain2: {
+        // Aggregate + one more-specific route inside it.
+        if (rng.chance(0.75)) {
+          const uint32_t s = sub24();
+          const uint32_t host = s | static_cast<uint32_t>(rng.below(256));
+          emit(Range{host, host});          // leaf: iSet 1
+          emit(prefix_to_range(s, 24));     // parent: iSet 2
+        } else {
+          emit(prefix_to_range(sub24(), 24));
+          emit(prefix_to_range(region, 20));
+        }
+        break;
+      }
+      case Family::kChain3: {
+        const uint32_t s = sub24();
+        const uint32_t host = s | static_cast<uint32_t>(rng.below(256));
+        emit(Range{host, host});
+        emit(prefix_to_range(s, 24));
+        emit(prefix_to_range(region, 20));
+        break;
+      }
+      case Family::kChain4: {
+        const uint32_t s = sub24();
+        const uint32_t s28 = s | (static_cast<uint32_t>(rng.below(16)) << 4);
+        const uint32_t host = s28 | static_cast<uint32_t>(rng.below(16));
+        emit(Range{host, host});
+        emit(prefix_to_range(s28, 28));
+        emit(prefix_to_range(s, 24));
+        emit(prefix_to_range(region, 20));
+        break;
+      }
+      case Family::kStar: {
+        // Hub aggregate with several disjoint subnets under it. The spokes
+        // all fit in iSet 1; the hub is deferred to iSet 2.
+        uint32_t subs[4];
+        for (int i = 0; i < 4; ++i) subs[i] = region | (static_cast<uint32_t>(i * 4) << 8);
+        for (uint32_t s : subs) emit(prefix_to_range(s, 24));
+        emit(prefix_to_range(region, 20));
+        break;
+      }
+      case Family::kDupGroup: {
+        // ECMP/backup duplicates: the same prefix with different next hops.
+        // Pairwise overlapping, so each iSet absorbs exactly one.
+        const Range dup = prefix_to_range(sub24(), 24);
+        for (int i = 0; i < 8; ++i) emit(dup);
+        break;
+      }
+    }
+  }
+  canonicalize(rules);
+  return rules;
+}
+
+}  // namespace nuevomatch

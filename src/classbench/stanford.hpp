@@ -1,0 +1,22 @@
+// Stanford-backbone-style forwarding rule-sets (paper §5.1.1 "Real-world
+// rules"): ~180K single-field rules (destination IP prefixes) per router,
+// with the nested prefix structure of a real enterprise backbone. Used by
+// the Figure 10 / Table 2 experiments. See DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace nuevomatch {
+
+/// The dataset's published scale (183,376 rules per router, §5.3.1).
+inline constexpr size_t kStanfordRules = 183'376;
+
+/// Generate one router's forwarding table: dst-IP prefixes drawn from a
+/// backbone-like prefix-length histogram with parent/child nesting; all
+/// other fields wildcard. `router` selects one of the four tables.
+[[nodiscard]] RuleSet generate_stanford_like(int router, size_t n = kStanfordRules,
+                                             uint64_t seed = 2020);
+
+}  // namespace nuevomatch

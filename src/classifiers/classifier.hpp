@@ -1,0 +1,57 @@
+// Uniform classifier interface implemented by every engine in the repo
+// (LinearSearch, TupleMerge, TupleSpaceSearch, CutSplit, NeuroCutsLike,
+// NuevoMatch). Benchmarks and NuevoMatch's remainder path treat engines
+// interchangeably through this API.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace nuevomatch {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Build the index from scratch. Rules must pass validate_ruleset().
+  virtual void build(std::span<const Rule> rules) = 0;
+
+  /// Highest-priority matching rule, or MatchResult::kNoMatch.
+  [[nodiscard]] virtual MatchResult match(const Packet& p) const = 0;
+
+  /// Early-termination variant (paper Section 4): return the best match
+  /// strictly better than `priority_floor` (numerically smaller), or a miss.
+  /// Engines that cannot prune simply delegate to match() and let the caller
+  /// filter; the default does exactly that.
+  [[nodiscard]] virtual MatchResult match_with_floor(const Packet& p,
+                                                     int32_t priority_floor) const {
+    MatchResult r = match(p);
+    if (r.hit() && r.priority >= priority_floor) return MatchResult{};
+    return r;
+  }
+
+  /// --- Incremental updates (paper Section 3.9) -------------------------
+  [[nodiscard]] virtual bool supports_updates() const { return false; }
+  virtual bool insert(const Rule&) { return false; }
+  virtual bool erase(uint32_t /*rule_id*/) { return false; }
+
+  /// Index memory in bytes, excluding the rule bodies themselves (the
+  /// paper's Figure 13 convention: "only the index data structures but not
+  /// the rules").
+  [[nodiscard]] virtual size_t memory_bytes() const = 0;
+
+  /// Number of rules currently indexed.
+  [[nodiscard]] virtual size_t size() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Factory used by NuevoMatch to construct its remainder backend.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+}  // namespace nuevomatch

@@ -1,0 +1,67 @@
+#include "common/prefix.hpp"
+
+#include <bit>
+#include <charconv>
+#include <sstream>
+
+namespace nuevomatch {
+
+Range prefix_to_range(uint32_t addr, int len) noexcept {
+  if (len <= 0) return Range{0, 0xFFFF'FFFFu};
+  if (len >= 32) return Range{addr, addr};
+  const uint32_t mask = ~0u << (32 - len);
+  return Range{addr & mask, (addr & mask) | ~mask};
+}
+
+std::optional<int> range_to_prefix_len(const Range& r) noexcept {
+  const uint64_t n = r.span();
+  if (!std::has_single_bit(n)) return std::nullopt;
+  const int zero_bits = std::countr_zero(n);
+  if (zero_bits > 32) return std::nullopt;
+  const int len = 32 - zero_bits;
+  // lo must be aligned to the block size.
+  if (len < 32 && (r.lo & ((1u << (32 - len)) - 1)) != 0) return std::nullopt;
+  return len;
+}
+
+int covering_prefix_len(const Range& r) noexcept {
+  if (r.lo == r.hi) return 32;
+  const int shared = common_prefix_bits(r.lo, r.hi);
+  // The /shared block containing lo also contains hi by construction; check
+  // whether r occupies the whole block (then the range *is* that prefix) or
+  // only part of it (the covering prefix is still /shared).
+  return shared;
+}
+
+std::optional<uint32_t> parse_ipv4(std::string_view s) {
+  uint32_t out = 0;
+  const char* p = s.data();
+  const char* end = s.data() + s.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [ptr, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || octet > 255) return std::nullopt;
+    out = (out << 8) | octet;
+    p = ptr;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return out;
+}
+
+std::string format_ipv4(uint32_t addr) {
+  std::ostringstream os;
+  os << ((addr >> 24) & 0xFF) << '.' << ((addr >> 16) & 0xFF) << '.'
+     << ((addr >> 8) & 0xFF) << '.' << (addr & 0xFF);
+  return os.str();
+}
+
+int common_prefix_bits(uint32_t a, uint32_t b) noexcept {
+  const uint32_t diff = a ^ b;
+  return diff == 0 ? 32 : std::countl_zero(diff);
+}
+
+}  // namespace nuevomatch

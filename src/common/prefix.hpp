@@ -1,0 +1,37 @@
+// Prefix <-> range conversions and textual IPv4 helpers.
+//
+// ClassBench expresses IP fields as prefixes (addr/len); internally every
+// classifier works on inclusive integer ranges. These helpers are the single
+// point of truth for that conversion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace nuevomatch {
+
+/// [addr masked to len, broadcast] for a /len prefix over a 32-bit field.
+[[nodiscard]] Range prefix_to_range(uint32_t addr, int len) noexcept;
+
+/// If `r` is exactly a prefix block, return its length; otherwise nullopt.
+[[nodiscard]] std::optional<int> range_to_prefix_len(const Range& r) noexcept;
+
+/// Longest prefix length L such that the /L block containing r.lo covers r.
+/// Always defined (worst case 0 = wildcard). Used by hash-based classifiers
+/// to place arbitrary ranges into tuple tables.
+[[nodiscard]] int covering_prefix_len(const Range& r) noexcept;
+
+/// Parse dotted-quad "a.b.c.d" into a host-order u32.
+[[nodiscard]] std::optional<uint32_t> parse_ipv4(std::string_view s);
+
+/// Render a host-order u32 as dotted-quad.
+[[nodiscard]] std::string format_ipv4(uint32_t addr);
+
+/// Number of leading bits shared by the two values (0..32).
+[[nodiscard]] int common_prefix_bits(uint32_t a, uint32_t b) noexcept;
+
+}  // namespace nuevomatch

@@ -1,0 +1,69 @@
+// Deterministic, seedable RNG used everywhere instead of std::mt19937 so
+// that rule-sets, traces, and trained models are reproducible bit-for-bit
+// across runs and platforms.
+//
+// xoshiro256** (Blackman/Vigna, public domain algorithm) seeded via
+// splitmix64, per the authors' recommendation.
+#pragma once
+
+#include <cstdint>
+
+namespace nuevomatch {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept { reseed(seed); }
+
+  void reseed(uint64_t seed) noexcept {
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      // splitmix64 step
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next_u64() noexcept {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  uint32_t next_u32() noexcept { return static_cast<uint32_t>(next_u64() >> 32); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t below(uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection-free-enough reduction; the tiny bias
+    // (< 2^-64 * n) is irrelevant for workload generation.
+    const unsigned __int128 m = static_cast<unsigned __int128>(next_u64()) * n;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t between(uint64_t lo, uint64_t hi) noexcept { return lo + below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept { return next_double() < p; }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4]{};
+};
+
+}  // namespace nuevomatch

@@ -1,0 +1,15 @@
+// Small numeric helpers used by the benchmark harness to print the paper's
+// tables (geometric means of speedups, mean +- stddev coverage, ...).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace nuevomatch {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);          // population
+[[nodiscard]] double geometric_mean(std::span<const double> xs);  // xs > 0
+[[nodiscard]] double percentile(std::span<const double> xs, double p);  // p in [0,100]
+
+}  // namespace nuevomatch

@@ -1,0 +1,41 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nuevomatch {
+
+ZipfSampler::ZipfSampler(size_t n, double alpha) {
+  if (n == 0) throw std::invalid_argument{"ZipfSampler: n must be positive"};
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf_[k] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against rounding at the tail
+}
+
+size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::top_share(size_t top) const {
+  if (top == 0) return 0.0;
+  if (top >= cdf_.size()) return 1.0;
+  return cdf_[top - 1];
+}
+
+double zipf_alpha_for_top3_share(double share) {
+  // Figure 12 legend of the paper.
+  if (share <= 0.80) return 1.05;
+  if (share <= 0.85) return 1.10;
+  if (share <= 0.90) return 1.15;
+  return 1.25;
+}
+
+}  // namespace nuevomatch

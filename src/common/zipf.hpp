@@ -1,0 +1,38 @@
+// Zipf(alpha) sampler over [0, n) built on a precomputed CDF.
+//
+// Used to generate skewed packet traces (paper Section 5.1.1 / Figure 12):
+// the paper parameterizes skew by the share of traffic accounted for by the
+// 3% most frequent flows and reports the matching alpha (80%/1.05, 85%/1.10,
+// 90%/1.15, 95%/1.25).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nuevomatch {
+
+class ZipfSampler {
+ public:
+  /// Frequency of item k is proportional to 1 / (k+1)^alpha.
+  ZipfSampler(size_t n, double alpha);
+
+  /// Draw an item index in [0, n); item 0 is the most frequent.
+  [[nodiscard]] size_t sample(Rng& rng) const;
+
+  [[nodiscard]] size_t size() const noexcept { return cdf_.size(); }
+
+  /// Fraction of probability mass held by the `top` most frequent items.
+  [[nodiscard]] double top_share(size_t top) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(item <= k)
+};
+
+/// Paper's skew notation: alpha such that the top 3% of flows draw `share`
+/// of the traffic (values straight from Figure 12's axis labels).
+[[nodiscard]] double zipf_alpha_for_top3_share(double share);
+
+}  // namespace nuevomatch

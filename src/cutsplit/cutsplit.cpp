@@ -1,0 +1,56 @@
+#include "cutsplit/cutsplit.hpp"
+
+namespace nuevomatch {
+
+std::array<std::vector<Rule>, 4> partition_by_small_fields(std::span<const Rule> rules,
+                                                           int small_threshold_bits) {
+  const uint64_t limit = uint64_t{1} << small_threshold_bits;
+  std::array<std::vector<Rule>, 4> groups;
+  for (const Rule& r : rules) {
+    const bool src_small = r.field[kSrcIp].span() <= limit;
+    const bool dst_small = r.field[kDstIp].span() <= limit;
+    const size_t g = (src_small ? 1u : 0u) | (dst_small ? 2u : 0u);
+    groups[g].push_back(r);
+  }
+  return groups;
+}
+
+CutSplit::CutSplit(CutSplitConfig cfg) : cfg_(cfg) {}
+
+void CutSplit::build(std::span<const Rule> rules) {
+  trees_.clear();
+  n_rules_ = rules.size();
+  CutTreeConfig tc = cfg_.tree;
+  tc.binth = cfg_.binth;
+  for (auto& group : partition_by_small_fields(rules, cfg_.small_threshold_bits)) {
+    if (group.empty()) continue;
+    CutTree tree;
+    tree.build(group, tc);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+MatchResult CutSplit::match(const Packet& p) const {
+  return match_with_floor(p, std::numeric_limits<int32_t>::max());
+}
+
+MatchResult CutSplit::match_with_floor(const Packet& p, int32_t priority_floor) const {
+  MatchResult best;
+  int32_t floor = priority_floor;
+  for (const CutTree& t : trees_) {
+    const MatchResult r = t.match_with_floor(p, floor);
+    if (r.beats(best)) {
+      best = r;
+      floor = best.priority;  // later trees prune against the running best
+    }
+  }
+  return best;
+}
+
+size_t CutSplit::memory_bytes() const {
+  size_t bytes = 0;
+  for (const CutTree& t : trees_) bytes += t.memory_bytes();
+  return bytes;
+}
+
+}  // namespace nuevomatch

@@ -1,0 +1,47 @@
+// CutSplit (Li et al., INFOCOM'18 — paper baseline "cs"): FiCuts-style
+// pre-partitioning of the rule-set by which IP fields are "small" (specific),
+// then one cut/split tree per group. binth = 8 as in the paper (§5.1).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "classifiers/classifier.hpp"
+#include "cutsplit/cut_tree.hpp"
+
+namespace nuevomatch {
+
+struct CutSplitConfig {
+  int binth = 8;
+  /// A field is "small" (specific enough to cut on) when its range spans at
+  /// most 2^small_threshold_bits values.
+  int small_threshold_bits = 16;
+  CutTreeConfig tree{};  // binth is overridden by the field above
+};
+
+/// FiCuts grouping: index = (src small ? 1 : 0) | (dst small ? 2 : 0).
+[[nodiscard]] std::array<std::vector<Rule>, 4> partition_by_small_fields(
+    std::span<const Rule> rules, int small_threshold_bits);
+
+class CutSplit final : public Classifier {
+ public:
+  explicit CutSplit(CutSplitConfig cfg = {});
+
+  void build(std::span<const Rule> rules) override;
+  [[nodiscard]] MatchResult match(const Packet& p) const override;
+  [[nodiscard]] MatchResult match_with_floor(const Packet& p,
+                                             int32_t priority_floor) const override;
+
+  [[nodiscard]] size_t memory_bytes() const override;
+  [[nodiscard]] size_t size() const override { return n_rules_; }
+  [[nodiscard]] std::string name() const override { return "cutsplit"; }
+
+  [[nodiscard]] const std::vector<CutTree>& trees() const noexcept { return trees_; }
+
+ private:
+  CutSplitConfig cfg_;
+  std::vector<CutTree> trees_;
+  size_t n_rules_ = 0;
+};
+
+}  // namespace nuevomatch

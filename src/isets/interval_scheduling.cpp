@@ -1,0 +1,63 @@
+#include "isets/interval_scheduling.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace nuevomatch {
+
+std::vector<uint32_t> max_independent_set(std::span<const Rule> rules, int field) {
+  std::vector<uint32_t> order(rules.size());
+  for (uint32_t i = 0; i < rules.size(); ++i) order[i] = i;
+  // Sort by upper bound; pick each range that starts after the last pick.
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const Range& ra = rules[a].field[static_cast<size_t>(field)];
+    const Range& rb = rules[b].field[static_cast<size_t>(field)];
+    if (ra.hi != rb.hi) return ra.hi < rb.hi;
+    return ra.lo > rb.lo;  // tighter range first on equal hi
+  });
+  std::vector<uint32_t> picked;
+  uint64_t next_free = 0;  // smallest admissible lo (hi of last pick + 1)
+  for (uint32_t idx : order) {
+    const Range& r = rules[idx].field[static_cast<size_t>(field)];
+    if (r.lo >= next_free) {
+      picked.push_back(idx);
+      next_free = static_cast<uint64_t>(r.hi) + 1;
+    }
+  }
+  std::sort(picked.begin(), picked.end(), [&](uint32_t a, uint32_t b) {
+    return rules[a].field[static_cast<size_t>(field)].lo <
+           rules[b].field[static_cast<size_t>(field)].lo;
+  });
+  return picked;
+}
+
+double ruleset_diversity(std::span<const Rule> rules, int field) {
+  if (rules.empty()) return 0.0;
+  std::unordered_set<uint64_t> uniq;
+  for (const Rule& r : rules) {
+    const Range& rg = r.field[static_cast<size_t>(field)];
+    uniq.insert((static_cast<uint64_t>(rg.lo) << 32) | rg.hi);
+  }
+  return static_cast<double>(uniq.size()) / static_cast<double>(rules.size());
+}
+
+size_t ruleset_centrality(std::span<const Rule> rules, int field) {
+  // Sweep-line max overlap depth in one dimension.
+  std::vector<std::pair<uint64_t, int>> events;
+  events.reserve(rules.size() * 2);
+  for (const Rule& r : rules) {
+    const Range& rg = r.field[static_cast<size_t>(field)];
+    events.emplace_back(rg.lo, +1);
+    events.emplace_back(static_cast<uint64_t>(rg.hi) + 1, -1);
+  }
+  std::sort(events.begin(), events.end());
+  size_t depth = 0;
+  size_t best = 0;
+  for (const auto& [x, d] : events) {
+    depth = static_cast<size_t>(static_cast<long>(depth) + d);
+    best = std::max(best, depth);
+  }
+  return best;
+}
+
+}  // namespace nuevomatch

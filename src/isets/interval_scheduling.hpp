@@ -1,0 +1,30 @@
+// Classical interval-scheduling maximization (paper Section 3.6.1, citing
+// Kleinberg & Tardos): the largest subset of rules whose ranges in one field
+// are pairwise non-overlapping — the building block of iSet partitioning.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nuevomatch {
+
+/// Indices (positions into `rules`) of a maximum-cardinality subset whose
+/// ranges in `field` are pairwise disjoint. Greedy by smallest upper bound;
+/// provably optimal for this objective. Output is sorted by range lo.
+[[nodiscard]] std::vector<uint32_t> max_independent_set(std::span<const Rule> rules,
+                                                        int field);
+
+/// Rule-set diversity of a field (paper §3.7): unique values / total rules,
+/// defined for exact-match fields; ranges count by their lo endpoint.
+[[nodiscard]] double ruleset_diversity(std::span<const Rule> rules, int field);
+
+/// Rule-set centrality (paper §3.7): the maximum number of rules that all
+/// pairwise overlap across every field (share a common point). Computed as
+/// the max over fields' single-point overlap is a lower bound; we report the
+/// max clique size over one dimension, which lower-bounds the iSets needed.
+[[nodiscard]] size_t ruleset_centrality(std::span<const Rule> rules, int field);
+
+}  // namespace nuevomatch

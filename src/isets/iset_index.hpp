@@ -1,0 +1,91 @@
+// One indexed iSet (paper Figure 1, left path): an RQ-RMI predicting the
+// position of the matching rule in a field-sorted array, a bounded secondary
+// search around the prediction, and multi-field validation of the candidate.
+//
+// Field values of the sorted rules are stored as structure-of-arrays so the
+// secondary search touches densely packed cache lines (paper Section 4,
+// "Inference and secondary search").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rqrmi/model.hpp"
+
+namespace nuevomatch {
+
+class IsetIndex {
+ public:
+  /// `rules` must be pairwise non-overlapping in `field` and sorted by the
+  /// field's lo (exactly what partition_rules produces).
+  void build(int field, std::vector<Rule> rules, const rqrmi::RqRmiConfig& cfg);
+
+  /// Reinstate from an already-trained model (the serializer's load path).
+  /// `rules` must be the exact rule array the model was trained on.
+  void restore(int field, std::vector<Rule> rules, rqrmi::RqRmi model);
+
+  /// Full lookup: predict, search, validate. Returns the validated match or
+  /// a miss (validation may reject the candidate on another field, §3.6).
+  [[nodiscard]] MatchResult lookup(const Packet& p) const noexcept;
+  [[nodiscard]] MatchResult lookup(const Packet& p, rqrmi::SimdLevel level) const noexcept;
+  /// Early-termination variant: candidates at or below `priority_floor` are
+  /// rejected from packed metadata before the rule body is ever fetched.
+  [[nodiscard]] MatchResult lookup_with_floor(const Packet& p,
+                                              int32_t priority_floor) const noexcept;
+
+  // --- staged API (used by the Figure 14 runtime-breakdown bench) --------
+  [[nodiscard]] rqrmi::Prediction predict(uint32_t field_value) const noexcept;
+  [[nodiscard]] rqrmi::Prediction predict(uint32_t field_value,
+                                          rqrmi::SimdLevel level) const noexcept;
+  /// Bounded binary search around the prediction; -1 when no stored range
+  /// contains the value.
+  [[nodiscard]] int32_t search(uint32_t field_value,
+                               const rqrmi::Prediction& pred) const noexcept;
+  /// Hint the cache that `pred`'s search window is about to be walked
+  /// (the batch pipeline issues these one stage ahead).
+  void prefetch_window(const rqrmi::Prediction& pred) const noexcept;
+  /// Validate candidate position against all packet fields (tombstone-aware).
+  [[nodiscard]] MatchResult validate(int32_t pos, const Packet& p) const noexcept;
+  /// Same with a priority floor: the packed priority/shape metadata decides
+  /// cheap rejections (floor) and cheap accepts (rules wildcard outside the
+  /// indexed field) without touching the rule body (paper Section 4 packs
+  /// per-rule values exactly to avoid these memory accesses).
+  [[nodiscard]] MatchResult validate(int32_t pos, const Packet& p,
+                                     int32_t priority_floor) const noexcept;
+
+  /// Tombstone a rule (paper §3.9 deletion path). Returns false if absent.
+  bool erase(uint32_t rule_id) noexcept;
+
+  [[nodiscard]] int field() const noexcept { return field_; }
+  [[nodiscard]] size_t size() const noexcept { return rules_.size(); }
+  [[nodiscard]] size_t live_rules() const noexcept { return live_; }
+  [[nodiscard]] uint32_t max_search_error() const noexcept {
+    return model_.max_search_error();
+  }
+  /// RQ-RMI weights — the part that must stay in cache (Figure 1 keeps the
+  /// rule bodies in DRAM).
+  [[nodiscard]] size_t model_bytes() const noexcept { return model_.memory_bytes(); }
+  /// Sorted field arrays + rule bodies (the DRAM side).
+  [[nodiscard]] size_t rule_storage_bytes() const noexcept;
+  [[nodiscard]] const rqrmi::RqRmi& model() const noexcept { return model_; }
+  [[nodiscard]] const std::vector<Rule>& rules() const noexcept { return rules_; }
+
+ private:
+  /// Fill the SoA arrays from rules_; validates sortedness/disjointness.
+  void index_rules();
+
+  int field_ = 0;
+  uint64_t domain_ = 0;
+  std::vector<uint32_t> lo_;      // SoA: range starts, sorted
+  std::vector<uint32_t> hi_;      // SoA: range ends
+  std::vector<int32_t> prio_;     // SoA: rule priorities
+  std::vector<uint32_t> id_;      // SoA: rule ids
+  std::vector<uint8_t> wild_rest_;  // 1 = wildcard in every non-indexed field
+  std::vector<Rule> rules_;       // same order as lo_/hi_
+  std::vector<uint8_t> alive_;    // tombstones
+  size_t live_ = 0;
+  rqrmi::RqRmi model_;
+};
+
+}  // namespace nuevomatch

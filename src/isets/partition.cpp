@@ -1,0 +1,50 @@
+#include "isets/partition.hpp"
+
+#include <algorithm>
+
+#include "isets/interval_scheduling.hpp"
+
+namespace nuevomatch {
+
+IsetPartition partition_rules(std::span<const Rule> rules, const IsetPartitionConfig& cfg) {
+  IsetPartition out;
+  out.total_rules = rules.size();
+  std::vector<Rule> pool{rules.begin(), rules.end()};
+
+  const auto min_rules = static_cast<size_t>(
+      cfg.min_coverage_fraction * static_cast<double>(rules.size()));
+
+  while (static_cast<int>(out.isets.size()) < cfg.max_isets && !pool.empty()) {
+    // Largest independent set over each field; keep the best field.
+    int best_field = -1;
+    std::vector<uint32_t> best_set;
+    for (int f = 0; f < kNumFields; ++f) {
+      auto set = max_independent_set(pool, f);
+      if (set.size() > best_set.size()) {
+        best_set = std::move(set);
+        best_field = f;
+      }
+    }
+    if (best_field < 0 || best_set.size() < std::max<size_t>(min_rules, 1)) break;
+
+    IsetPartition::Iset iset;
+    iset.field = best_field;
+    iset.rules.reserve(best_set.size());
+    std::vector<bool> taken(pool.size(), false);
+    for (uint32_t idx : best_set) {
+      iset.rules.push_back(pool[idx]);
+      taken[idx] = true;
+    }
+    out.isets.push_back(std::move(iset));
+
+    std::vector<Rule> rest;
+    rest.reserve(pool.size() - best_set.size());
+    for (size_t i = 0; i < pool.size(); ++i)
+      if (!taken[i]) rest.push_back(pool[i]);
+    pool = std::move(rest);
+  }
+  out.remainder = std::move(pool);
+  return out;
+}
+
+}  // namespace nuevomatch

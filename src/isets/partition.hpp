@@ -1,0 +1,41 @@
+// Greedy iSet partitioning (paper Section 3.6.1): repeatedly extract the
+// largest independent set over any single field; rules never covered by a
+// large-enough iSet form the remainder, indexed by an external classifier.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nuevomatch {
+
+struct IsetPartitionConfig {
+  /// Stop extracting when the next iSet would hold less than this fraction
+  /// of the ORIGINAL rule-set (paper §5.1: 25% vs cs/nc, 5% vs tm).
+  double min_coverage_fraction = 0.25;
+  /// Upper bound on the number of iSets (paper evaluates 0-6; 2-4 typical).
+  int max_isets = 4;
+};
+
+struct IsetPartition {
+  struct Iset {
+    int field = 0;
+    std::vector<Rule> rules;  // sorted by range lo in `field`, pairwise disjoint
+  };
+  std::vector<Iset> isets;
+  std::vector<Rule> remainder;
+  size_t total_rules = 0;
+
+  [[nodiscard]] double coverage() const noexcept {
+    if (total_rules == 0) return 0.0;
+    size_t covered = 0;
+    for (const auto& s : isets) covered += s.rules.size();
+    return static_cast<double>(covered) / static_cast<double>(total_rules);
+  }
+};
+
+[[nodiscard]] IsetPartition partition_rules(std::span<const Rule> rules,
+                                            const IsetPartitionConfig& cfg = {});
+
+}  // namespace nuevomatch

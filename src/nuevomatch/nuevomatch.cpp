@@ -1,0 +1,203 @@
+#include "nuevomatch/nuevomatch.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace nuevomatch {
+
+NuevoMatch::NuevoMatch(NuevoMatchConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.remainder_factory)
+    throw std::invalid_argument{"NuevoMatchConfig.remainder_factory must be set"};
+  remainder_ = cfg_.remainder_factory();
+}
+
+rqrmi::RqRmiConfig NuevoMatch::rqrmi_config(size_t iset_size) const {
+  rqrmi::RqRmiConfig rc = rqrmi::default_config(iset_size);
+  if (!cfg_.stage_widths_override.empty()) rc.stage_widths = cfg_.stage_widths_override;
+  rc.error_threshold = cfg_.error_threshold;
+  rc.initial_samples = cfg_.initial_samples;
+  rc.adam_epochs = cfg_.adam_epochs;
+  rc.max_retrain_attempts = cfg_.max_retrain_attempts;
+  rc.seed = cfg_.seed;
+  return rc;
+}
+
+void NuevoMatch::build(std::span<const Rule> rules) {
+  rules_.assign(rules.begin(), rules.end());
+  isets_.clear();
+  built_size_ = rules_.size();
+  migrated_ = 0;
+
+  IsetPartitionConfig pc;
+  pc.max_isets = cfg_.max_isets;
+  pc.min_coverage_fraction = cfg_.min_iset_coverage;
+  IsetPartition part = partition_rules(rules_, pc);
+
+  isets_.reserve(part.isets.size());
+  for (auto& is : part.isets) {
+    IsetIndex idx;
+    const size_t n = is.rules.size();
+    idx.build(is.field, std::move(is.rules), rqrmi_config(n));
+    isets_.push_back(std::move(idx));
+  }
+  remainder_ = cfg_.remainder_factory();
+  remainder_->build(part.remainder);
+}
+
+MatchResult NuevoMatch::match_isets(const Packet& p) const {
+  // The running best priority is threaded through as a floor so later iSets
+  // reject their candidates from packed metadata without fetching rule
+  // bodies (cross-iSet early termination, an extension of paper Section 4).
+  MatchResult best;
+  for (const IsetIndex& is : isets_) {
+    const MatchResult r = is.lookup_with_floor(p, best.priority);
+    if (r.beats(best)) best = r;
+  }
+  return best;
+}
+
+void NuevoMatch::match_batch(std::span<const Packet> packets,
+                             std::span<MatchResult> out) const {
+  constexpr size_t kTile = 16;
+  constexpr size_t kMaxIsets = 8;
+  const size_t n_isets = std::min(isets_.size(), kMaxIsets);
+  std::array<rqrmi::Prediction, kTile * kMaxIsets> preds;
+
+  for (size_t base = 0; base < packets.size(); base += kTile) {
+    const size_t tile = std::min(kTile, packets.size() - base);
+    // Stage 1: model inference for the whole tile; prefetch search windows.
+    for (size_t t = 0; t < tile; ++t) {
+      const Packet& p = packets[base + t];
+      for (size_t s = 0; s < n_isets; ++s) {
+        const rqrmi::Prediction pr = isets_[s].predict(p[isets_[s].field()]);
+        preds[t * kMaxIsets + s] = pr;
+        isets_[s].prefetch_window(pr);
+      }
+    }
+    // Stage 2: bounded search + validation + remainder per packet.
+    for (size_t t = 0; t < tile; ++t) {
+      const Packet& p = packets[base + t];
+      MatchResult best;
+      for (size_t s = 0; s < n_isets; ++s) {
+        const IsetIndex& is = isets_[s];
+        const int32_t pos = is.search(p[is.field()], preds[t * kMaxIsets + s]);
+        const MatchResult r = is.validate(pos, p, best.priority);
+        if (r.beats(best)) best = r;
+      }
+      // Any iSets beyond the pipeline width take the scalar path.
+      for (size_t s = n_isets; s < isets_.size(); ++s) {
+        const MatchResult r = isets_[s].lookup_with_floor(p, best.priority);
+        if (r.beats(best)) best = r;
+      }
+      const MatchResult rem = cfg_.early_termination && best.hit()
+                                  ? remainder_->match_with_floor(p, best.priority)
+                                  : remainder_->match(p);
+      if (rem.beats(best)) best = rem;
+      out[base + t] = best;
+    }
+  }
+}
+
+MatchResult NuevoMatch::match(const Packet& p) const {
+  MatchResult best = match_isets(p);
+  const MatchResult rem =
+      cfg_.early_termination && best.hit()
+          ? remainder_->match_with_floor(p, best.priority)
+          : remainder_->match(p);
+  if (rem.beats(best)) best = rem;
+  return best;
+}
+
+MatchResult NuevoMatch::match_with_floor(const Packet& p, int32_t priority_floor) const {
+  MatchResult r = match(p);
+  if (r.hit() && r.priority >= priority_floor) return MatchResult{};
+  return r;
+}
+
+bool NuevoMatch::supports_updates() const { return remainder_->supports_updates(); }
+
+bool NuevoMatch::insert(const Rule& r) {
+  if (!remainder_->insert(r)) return false;
+  rules_.push_back(r);
+  ++migrated_;
+  return true;
+}
+
+bool NuevoMatch::erase(uint32_t rule_id) {
+  const auto it = std::find_if(rules_.begin(), rules_.end(),
+                               [&](const Rule& r) { return r.id == rule_id; });
+  if (it == rules_.end()) return false;
+  for (IsetIndex& is : isets_) {
+    if (is.erase(rule_id)) {
+      rules_.erase(it);
+      return true;
+    }
+  }
+  if (!remainder_->erase(rule_id)) return false;
+  rules_.erase(it);
+  return true;
+}
+
+std::vector<Rule> NuevoMatch::remainder_rules() const {
+  // rules_ is the logical rule list; subtract live iSet membership. Rules
+  // erased from an iSet are tombstoned there and absent from rules_.
+  std::vector<uint8_t> in_iset;
+  for (const IsetIndex& is : isets_) {
+    for (size_t i = 0; i < is.rules().size(); ++i) {
+      const Rule& r = is.rules()[i];
+      if (r.id >= in_iset.size()) in_iset.resize(r.id + 1, 0);
+      in_iset[r.id] = 1;
+    }
+  }
+  std::vector<Rule> out;
+  for (const Rule& r : rules_) {
+    if (r.id >= in_iset.size() || !in_iset[r.id]) out.push_back(r);
+  }
+  return out;
+}
+
+double NuevoMatch::update_pressure() const noexcept {
+  if (built_size_ == 0) return 0.0;
+  return static_cast<double>(migrated_) / static_cast<double>(built_size_);
+}
+
+void NuevoMatch::rebuild() {
+  const std::vector<Rule> snapshot = rules_;
+  build(snapshot);
+}
+
+void NuevoMatch::restore(std::vector<IsetIndex> isets, std::vector<Rule> remainder_rules) {
+  isets_ = std::move(isets);
+  rules_.clear();
+  for (const IsetIndex& is : isets_)
+    rules_.insert(rules_.end(), is.rules().begin(), is.rules().end());
+  rules_.insert(rules_.end(), remainder_rules.begin(), remainder_rules.end());
+  built_size_ = rules_.size();
+  migrated_ = 0;
+  remainder_ = cfg_.remainder_factory();
+  remainder_->build(remainder_rules);
+}
+
+size_t NuevoMatch::memory_bytes() const {
+  size_t bytes = remainder_->memory_bytes();
+  for (const IsetIndex& is : isets_) bytes += is.model_bytes();
+  return bytes;
+}
+
+std::string NuevoMatch::name() const { return "nuevomatch(" + remainder_->name() + ")"; }
+
+double NuevoMatch::coverage() const noexcept {
+  if (built_size_ == 0) return 0.0;
+  size_t covered = 0;
+  for (const IsetIndex& is : isets_) covered += is.size();
+  return static_cast<double>(covered) / static_cast<double>(built_size_);
+}
+
+uint32_t NuevoMatch::max_search_error() const noexcept {
+  uint32_t e = 0;
+  for (const IsetIndex& is : isets_) e = std::max(e, is.max_search_error());
+  return e;
+}
+
+}  // namespace nuevomatch

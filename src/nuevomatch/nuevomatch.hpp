@@ -1,0 +1,103 @@
+// NuevoMatch (paper Figure 1): iSets indexed by RQ-RMIs + a remainder set
+// indexed by an external classifier, with a selector returning the highest
+// priority validated match. Acts as an accelerator for the remainder engine:
+// construct it with the factory of whichever classifier you want to speed up.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "classifiers/classifier.hpp"
+#include "isets/iset_index.hpp"
+#include "isets/partition.hpp"
+#include "rqrmi/model.hpp"
+
+namespace nuevomatch {
+
+struct NuevoMatchConfig {
+  /// iSet extraction (paper §5.1 uses max 4 iSets; coverage floor 25% vs
+  /// decision trees, 5% vs TupleMerge).
+  int max_isets = 4;
+  double min_iset_coverage = 0.25;
+
+  /// RQ-RMI training (paper §5.1: error threshold 64; Table 4 widths are
+  /// auto-selected per iSet size unless stage_widths_override is non-empty).
+  uint32_t error_threshold = 64;
+  std::vector<uint32_t> stage_widths_override{};
+  int initial_samples = 512;
+  int adam_epochs = 100;
+  int max_retrain_attempts = 4;
+
+  /// Query the remainder only when the iSet result can still be beaten, and
+  /// let the remainder engine cut its own search (paper §4).
+  bool early_termination = true;
+
+  /// Builds the remainder classifier (and the fallback when no iSet covers
+  /// enough rules). Must be set.
+  ClassifierFactory remainder_factory;
+
+  uint64_t seed = 7;
+};
+
+class NuevoMatch final : public Classifier {
+ public:
+  explicit NuevoMatch(NuevoMatchConfig cfg);
+
+  void build(std::span<const Rule> rules) override;
+  [[nodiscard]] MatchResult match(const Packet& p) const override;
+  [[nodiscard]] MatchResult match_with_floor(const Packet& p,
+                                             int32_t priority_floor) const override;
+
+  /// iSet path only (used by the parallel engine and breakdown benches).
+  [[nodiscard]] MatchResult match_isets(const Packet& p) const;
+
+  /// Batched lookup (paper §5.1 processes packets in batches of 128): a
+  /// software pipeline computes all RQ-RMI predictions for a tile of packets
+  /// first — prefetching each search window — then runs search + validation
+  /// + remainder. Results are written per packet; out.size() must equal
+  /// packets.size().
+  void match_batch(std::span<const Packet> packets, std::span<MatchResult> out) const;
+
+  // --- updates (paper §3.9) ---------------------------------------------
+  [[nodiscard]] bool supports_updates() const override;
+  bool insert(const Rule& r) override;   ///< new rules go to the remainder
+  bool erase(uint32_t rule_id) override; ///< tombstone in iSet or remainder
+  /// Fraction of rules that have migrated to the remainder since build.
+  [[nodiscard]] double update_pressure() const noexcept;
+  /// Retrain from the current rule-set (the paper's periodic retraining).
+  void rebuild();
+
+  /// Reinstate a built classifier from its parts without retraining the
+  /// RQ-RMIs (the serializer's load path). The remainder classifier is
+  /// rebuilt from `remainder_rules` via the configured factory — external
+  /// engines build fast; only model training is expensive.
+  void restore(std::vector<IsetIndex> isets, std::vector<Rule> remainder_rules);
+
+  [[nodiscard]] size_t memory_bytes() const override;
+  [[nodiscard]] size_t size() const override { return rules_.size(); }
+  [[nodiscard]] std::string name() const override;
+
+  // --- introspection ------------------------------------------------------
+  [[nodiscard]] double coverage() const noexcept;  ///< fraction in iSets
+  [[nodiscard]] const std::vector<IsetIndex>& isets() const noexcept { return isets_; }
+  [[nodiscard]] const Classifier& remainder() const noexcept { return *remainder_; }
+  [[nodiscard]] Classifier& remainder() noexcept { return *remainder_; }
+  [[nodiscard]] size_t remainder_size() const noexcept { return remainder_->size(); }
+  /// The logical rule-set of the remainder engine (everything not covered by
+  /// an iSet, including rules migrated there by updates). Serializer input.
+  [[nodiscard]] std::vector<Rule> remainder_rules() const;
+  [[nodiscard]] uint32_t max_search_error() const noexcept;
+  [[nodiscard]] const NuevoMatchConfig& config() const noexcept { return cfg_; }
+
+ private:
+  [[nodiscard]] rqrmi::RqRmiConfig rqrmi_config(size_t iset_size) const;
+
+  NuevoMatchConfig cfg_;
+  std::vector<Rule> rules_;          // current logical rule-set
+  std::vector<IsetIndex> isets_;
+  std::unique_ptr<Classifier> remainder_;
+  size_t built_size_ = 0;            // rules at last (re)build
+  size_t migrated_ = 0;              // updates routed to remainder since build
+};
+
+}  // namespace nuevomatch

@@ -1,0 +1,48 @@
+// Two-core execution model (paper Section 4, "Parallelization"): one core
+// runs the RQ-RMI iSets, the other runs the remainder classifier; packets are
+// processed in batches (128 in the paper) to amortize synchronization.
+//
+// BatchParallelEngine uses a persistent worker thread and produces results
+// identical to NuevoMatch::match with early termination disabled (the
+// parallel layout cannot prune the remainder — the paper makes the same
+// observation and uses early termination only in single-core mode).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "nuevomatch/nuevomatch.hpp"
+
+namespace nuevomatch {
+
+inline constexpr size_t kDefaultBatchSize = 128;
+
+class BatchParallelEngine {
+ public:
+  explicit BatchParallelEngine(const NuevoMatch& nm);
+  ~BatchParallelEngine();
+
+  BatchParallelEngine(const BatchParallelEngine&) = delete;
+  BatchParallelEngine& operator=(const BatchParallelEngine&) = delete;
+
+  /// Classify a batch; `out` must have the same length as `batch`.
+  void classify(std::span<const Packet> batch, std::span<MatchResult> out);
+
+ private:
+  void worker_loop();
+
+  const NuevoMatch& nm_;
+  std::thread worker_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::span<const Packet> pending_{};    // batch handed to the worker
+  std::vector<MatchResult> worker_out_;  // remainder results
+  bool job_ready_ = false;
+  bool job_done_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace nuevomatch

@@ -1,0 +1,188 @@
+#include "rmi/rmi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rqrmi/trainer.hpp"
+
+namespace nuevomatch::rmi {
+
+using rqrmi::Submodel;
+using rqrmi::TrainSample;
+using rqrmi::TrainerConfig;
+
+void Rmi::build(std::vector<KeyIndex> pairs, const RmiConfig& cfg) {
+  stages_.clear();
+  leaf_errors_.clear();
+  n_keys_ = 0;
+  n_out_ = 0;
+  if (cfg.stage_widths.empty() || cfg.stage_widths.front() != 1)
+    throw std::invalid_argument{"RmiConfig: stage_widths must start with 1"};
+  if (pairs.empty()) return;
+
+  std::sort(pairs.begin(), pairs.end(), [](const KeyIndex& a, const KeyIndex& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.index < b.index;
+  });
+  pairs.erase(std::unique(pairs.begin(), pairs.end(),
+                          [](const KeyIndex& a, const KeyIndex& b) { return a.key == b.key; }),
+              pairs.end());
+  n_keys_ = pairs.size();
+
+  // The array positions the last stage must predict span [0, max_index].
+  uint32_t max_index = 0;
+  for (const KeyIndex& p : pairs) max_index = std::max(max_index, p.index);
+  n_out_ = static_cast<size_t>(max_index) + 1;
+  const double n_out = static_cast<double>(n_out_);
+
+  const TrainerConfig tcfg{cfg.adam_epochs, cfg.learning_rate, cfg.seed};
+  const size_t n_stages = cfg.stage_widths.size();
+  stages_.resize(n_stages);
+
+  // Key material per submodel of the current stage. This is the exhaustive
+  // per-key partitioning of the original RMI: every training pair is pushed
+  // through the trained prefix of the model to find its next-stage submodel
+  // (the step RQ-RMI replaces with analytic responsibilities).
+  std::vector<std::vector<KeyIndex>> cur(1);
+  cur[0] = std::move(pairs);
+
+  for (size_t s = 0; s < n_stages; ++s) {
+    const uint32_t width = cfg.stage_widths[s];
+    const bool last = (s + 1 == n_stages);
+    stages_[s].resize(width);
+    if (last) leaf_errors_.assign(width, 0);
+    std::vector<std::vector<KeyIndex>> next;
+    if (!last) next.resize(cfg.stage_widths[s + 1]);
+
+    for (uint32_t j = 0; j < width; ++j) {
+      const std::vector<KeyIndex>& mine = cur[j];
+      if (mine.empty()) continue;
+
+      std::vector<TrainSample> ds;
+      ds.reserve(mine.size());
+      for (const KeyIndex& p : mine)
+        ds.push_back(TrainSample{p.key, (static_cast<double>(p.index) + 0.5) / n_out});
+      const Submodel model = rqrmi::fit_submodel(ds, tcfg);
+      stages_[s][j] = model;
+
+      // Both the partitioning and the error certification run the exact
+      // float inference path used by lookup(): the original RMI's guarantee
+      // is empirical, so training-time routing must equal query-time routing.
+      if (last) {
+        // Error bound over the materialized training keys only ([18] §3.4).
+        int64_t err = 0;
+        for (const KeyIndex& p : mine) {
+          const float y = rqrmi::eval(model, static_cast<float>(p.key));
+          const auto pred =
+              std::min<int64_t>(static_cast<int64_t>(y * static_cast<float>(n_out)),
+                                static_cast<int64_t>(max_index));
+          err = std::max(err, std::abs(pred - static_cast<int64_t>(p.index)));
+        }
+        leaf_errors_[j] = static_cast<uint32_t>(err);
+      } else {
+        const auto next_w = static_cast<float>(cfg.stage_widths[s + 1]);
+        for (const KeyIndex& p : mine) {
+          const float y = rqrmi::eval(model, static_cast<float>(p.key));
+          auto b = static_cast<size_t>(y * next_w);
+          if (b >= next.size()) b = next.size() - 1;
+          next[b].push_back(p);
+        }
+      }
+    }
+    if (!last) cur = std::move(next);
+  }
+}
+
+rqrmi::Prediction Rmi::lookup(float key) const noexcept {
+  if (stages_.empty()) return rqrmi::Prediction{};
+  uint32_t leaf = 0;
+  const Submodel* m = &stages_[0][0];
+  for (size_t s = 0; s + 1 < stages_.size(); ++s) {
+    const float y = rqrmi::eval(*m, key);
+    const auto width = static_cast<uint32_t>(stages_[s + 1].size());
+    uint32_t j = static_cast<uint32_t>(y * static_cast<float>(width));
+    if (j >= width) j = width - 1;
+    leaf = j;
+    m = &stages_[s + 1][j];
+  }
+  const float y = rqrmi::eval(*m, key);
+  auto idx = static_cast<uint32_t>(y * static_cast<float>(n_out_));
+  if (n_out_ > 0 && idx >= n_out_) idx = static_cast<uint32_t>(n_out_) - 1;
+  return rqrmi::Prediction{idx, leaf_errors_.empty() ? 0 : leaf_errors_[leaf]};
+}
+
+uint32_t Rmi::max_search_error() const noexcept {
+  uint32_t worst = 0;
+  for (uint32_t e : leaf_errors_) worst = std::max(worst, e);
+  return worst;
+}
+
+size_t Rmi::memory_bytes() const noexcept {
+  size_t bytes = 0;
+  for (const auto& stage : stages_) bytes += stage.size() * Submodel::packed_bytes();
+  bytes += leaf_errors_.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+size_t Rmi::num_submodels() const noexcept {
+  size_t n = 0;
+  for (const auto& stage : stages_) n += stage.size();
+  return n;
+}
+
+uint64_t enumeration_cost(const Rule& rule, std::span<const int> fields) {
+  uint64_t total = 1;
+  for (int f : fields) {
+    const uint64_t span = rule.field[static_cast<size_t>(f)].span();
+    if (span != 0 && total > UINT64_MAX / span) return UINT64_MAX;  // saturate
+    total *= span;
+  }
+  return total;
+}
+
+uint64_t enumeration_cost(std::span<const Rule> rules, int field) {
+  uint64_t total = 0;
+  for (const Rule& r : rules) {
+    const uint64_t span = r.field[static_cast<size_t>(field)].span();
+    if (total > UINT64_MAX - span) return UINT64_MAX;
+    total += span;
+  }
+  return total;
+}
+
+std::vector<KeyIndex> enumerate_range_keys(std::span<const Rule> rules, int field,
+                                           size_t max_pairs) {
+  if (enumeration_cost(rules, field) > max_pairs) return {};
+  const uint64_t domain = kFieldDomain[static_cast<size_t>(field)];
+  // Highest-priority rule per key: iterate in reverse priority order so that
+  // better rules overwrite worse ones, then dedup keeping the winner.
+  std::vector<Rule> by_prio(rules.begin(), rules.end());
+  std::sort(by_prio.begin(), by_prio.end(), [](const Rule& a, const Rule& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.id > b.id;
+  });
+  std::vector<KeyIndex> out;
+  for (const Rule& r : by_prio) {
+    const Range& rng = r.field[static_cast<size_t>(field)];
+    for (uint64_t k = rng.lo; k <= rng.hi; ++k) {
+      out.push_back(KeyIndex{rqrmi::normalize_key_exact(k, domain), r.id});
+      if (k == domain) break;  // avoid u64 wrap on full-domain ranges
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const KeyIndex& a, const KeyIndex& b) { return a.key < b.key; });
+  // Later entries came from higher-priority rules; keep the last per key.
+  std::vector<KeyIndex> dedup;
+  dedup.reserve(out.size());
+  for (const KeyIndex& p : out) {
+    if (!dedup.empty() && dedup.back().key == p.key) {
+      dedup.back() = p;
+    } else {
+      dedup.push_back(p);
+    }
+  }
+  return dedup;
+}
+
+}  // namespace nuevomatch::rmi

@@ -1,0 +1,90 @@
+// Classic Recursive Model Index (Kraska et al., SIGMOD'18) — the learned
+// index NuevoMatch builds on (paper Section 3.1) and whose limitations
+// motivate RQ-RMI (Section 3.2).
+//
+// An RMI learns an EXACT key -> array-position mapping:
+//   * submodels are trained on the materialized training keys only;
+//   * responsibilities are determined empirically, by running every training
+//     key through the trained prefix of the model (the "exhaustive
+//     enumeration" RQ-RMI eliminates, underlined in paper Section 3.1);
+//   * the per-leaf error bound is the maximum prediction error OVER THE
+//     TRAINING KEYS, so lookups are guaranteed correct only for keys that
+//     were present during training ([18] Section 3.4, quoted in §3.2).
+//
+// To index rule RANGES with an RMI one must enumerate every key in every
+// range (paper §3.2: one wildcard rule can explode into 46,592 pairs);
+// enumerate_range_keys()/enumeration_cost() quantify exactly that blow-up,
+// and the ablation bench contrasts it with RQ-RMI's sampling + analytic
+// bounds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rqrmi/model.hpp"
+#include "rqrmi/nn.hpp"
+
+namespace nuevomatch::rmi {
+
+/// One exact training pair: normalized key in [0,1) -> array position.
+struct KeyIndex {
+  double key = 0.0;
+  uint32_t index = 0;
+};
+
+struct RmiConfig {
+  /// Stage widths, first entry must be 1 (same convention as RqRmiConfig).
+  std::vector<uint32_t> stage_widths{1, 4};
+  int adam_epochs = 100;
+  double learning_rate = 5e-3;
+  uint64_t seed = 1;
+};
+
+class Rmi {
+ public:
+  /// Train on exact key->index pairs (keys need not be sorted; duplicates
+  /// keep the smallest index). Empty input builds a trivial model.
+  void build(std::vector<KeyIndex> pairs, const RmiConfig& cfg);
+
+  /// Predicted position plus the error bound certified over TRAINING keys.
+  /// For keys never seen in training the bound may be violated — that is the
+  /// documented RMI limitation RQ-RMI removes.
+  [[nodiscard]] rqrmi::Prediction lookup(float key) const noexcept;
+
+  /// Worst per-leaf training-key error (the epsilon of [18]).
+  [[nodiscard]] uint32_t max_search_error() const noexcept;
+
+  /// Model weights + error table bytes (cache-resident part).
+  [[nodiscard]] size_t memory_bytes() const noexcept;
+
+  [[nodiscard]] size_t num_keys() const noexcept { return n_keys_; }
+  [[nodiscard]] size_t num_submodels() const noexcept;
+  [[nodiscard]] bool trained() const noexcept { return !stages_.empty(); }
+
+ private:
+  std::vector<std::vector<rqrmi::Submodel>> stages_;
+  std::vector<uint32_t> leaf_errors_;
+  size_t n_keys_ = 0;
+  size_t n_out_ = 0;  ///< size of the predicted value array (max index + 1)
+};
+
+/// Number of key->index pairs an exact-match RMI needs to index `rule`
+/// over the given fields (product of the per-field range spans — the
+/// exponential blow-up of paper Section 3.2). Saturates at UINT64_MAX.
+[[nodiscard]] uint64_t enumeration_cost(const Rule& rule, std::span<const int> fields);
+
+/// Total enumeration cost of a rule-set over a single field. This is what
+/// "train an RMI on ranges" would materialize.
+[[nodiscard]] uint64_t enumeration_cost(std::span<const Rule> rules, int field);
+
+/// Materialize the key->index pairs an RMI needs for one field of a rule-set
+/// (every integer key in every rule's range; overlaps keep the
+/// highest-priority rule). Aborts and returns an empty vector when more than
+/// `max_pairs` would be produced — the guard the bench uses to demonstrate
+/// infeasibility on wildcard-heavy sets.
+[[nodiscard]] std::vector<KeyIndex> enumerate_range_keys(std::span<const Rule> rules,
+                                                         int field, size_t max_pairs);
+
+}  // namespace nuevomatch::rmi

@@ -1,0 +1,340 @@
+#include "rqrmi/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "rqrmi/pwl.hpp"
+#include "rqrmi/trainer.hpp"
+
+namespace nuevomatch::rqrmi {
+
+namespace {
+
+using Resp = std::vector<RqRmi::DomainInterval>;
+
+/// Extra x-space margin absorbing key-normalization rounding (<= 1 ulp of a
+/// value in [0,1)) when responsibilities are computed in double precision.
+constexpr double kXMargin = 1e-7;
+/// Extra y-space margin absorbing the float multiply y*W at routing time.
+constexpr double kYMargin = 4e-7;
+
+void merge_intervals(Resp& v) {
+  if (v.empty()) return;
+  std::sort(v.begin(), v.end(),
+            [](const auto& a, const auto& b) { return a.lo < b.lo; });
+  Resp out;
+  out.push_back(v.front());
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i].lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, v[i].hi);
+    } else {
+      out.push_back(v[i]);
+    }
+  }
+  v = std::move(out);
+}
+
+double total_length(const Resp& v) {
+  double acc = 0.0;
+  for (const auto& i : v) acc += i.hi - i.lo;
+  return acc;
+}
+
+/// Index of the interval containing x, or -1. Intervals are sorted/disjoint.
+int find_interval(std::span<const KeyInterval> ivs, double x) {
+  const auto it = std::upper_bound(
+      ivs.begin(), ivs.end(), x,
+      [](double v, const KeyInterval& k) { return v < k.lo; });
+  if (it == ivs.begin()) return -1;
+  const auto& cand = *(it - 1);
+  return (x >= cand.lo && x < cand.hi) ? static_cast<int>(cand.index) : -1;
+}
+
+/// Sampled training set over the submodel's responsibility (paper §3.5.4):
+/// stratified-uniform samples proportional to range size, plus strided
+/// midpoints of covered pieces so no sizable range is missed entirely.
+std::vector<TrainSample> make_dataset(const Resp& resp,
+                                      std::span<const KeyInterval> ivs,
+                                      int n_samples, Rng& rng) {
+  std::vector<TrainSample> out;
+  const double total = total_length(resp);
+  if (total <= 0.0 || ivs.empty()) return out;
+  const double n = static_cast<double>(ivs.size());
+
+  // Stratified uniform sampling over the responsibility measure.
+  std::vector<double> prefix(resp.size() + 1, 0.0);
+  for (size_t i = 0; i < resp.size(); ++i)
+    prefix[i + 1] = prefix[i] + (resp[i].hi - resp[i].lo);
+  for (int t = 0; t < n_samples; ++t) {
+    const double u =
+        (static_cast<double>(t) + rng.next_double()) / static_cast<double>(n_samples) * total;
+    const auto it = std::upper_bound(prefix.begin(), prefix.end(), u);
+    const size_t seg = std::min(resp.size() - 1, static_cast<size_t>(it - prefix.begin()) - 1);
+    const double x = resp[seg].lo + (u - prefix[seg]);
+    const int idx = find_interval(ivs, x);
+    if (idx >= 0) out.push_back(TrainSample{x, (idx + 0.5) / n});
+  }
+
+  // Midpoint seeding of covered pieces, strided to at most n_samples extras.
+  size_t covered = 0;
+  for (const auto& r : resp) {
+    for (auto it = std::upper_bound(ivs.begin(), ivs.end(), r.lo,
+                                    [](double v, const KeyInterval& k) { return v < k.hi; });
+         it != ivs.end() && it->lo < r.hi; ++it)
+      ++covered;
+  }
+  const size_t stride = std::max<size_t>(1, covered / std::max(1, n_samples));
+  size_t c = 0;
+  for (const auto& r : resp) {
+    for (auto it = std::upper_bound(ivs.begin(), ivs.end(), r.lo,
+                                    [](double v, const KeyInterval& k) { return v < k.hi; });
+         it != ivs.end() && it->lo < r.hi; ++it) {
+      if (c++ % stride != 0) continue;
+      const double a = std::max(r.lo, it->lo);
+      const double b = std::min(r.hi, it->hi);
+      out.push_back(TrainSample{(a + b) / 2.0, (it->index + 0.5) / n});
+    }
+  }
+  return out;
+}
+
+/// Compute the responsibilities of the next stage (Theorem A.1): for every
+/// linear segment of M, invert analytically the x-intervals routed into each
+/// output bucket, widening by the float-path deviation `dev` in y and
+/// kXMargin in x so float inference can never route a key outside the
+/// responsibility its leaf was certified on.
+void route_responsibilities(const Submodel& m, uint32_t width, const Resp& resp,
+                            double dev, std::vector<Resp>& next) {
+  const double w = static_cast<double>(width);
+  const double margin = dev + kYMargin;
+  for (const auto& region : resp) {
+    const auto bps = trigger_inputs(m, region.lo, region.hi);
+    for (size_t i = 0; i + 1 < bps.size(); ++i) {
+      const double p = bps[i];
+      const double q = bps[i + 1];
+      const double mp = eval_exact(m, p);
+      const double mq = eval_exact(m, q);
+      const double vlo = std::min(mp, mq) - margin;
+      const double vhi = std::max(mp, mq) + margin;
+      const auto blo = static_cast<int64_t>(std::floor(vlo * w));
+      const auto bhi = static_cast<int64_t>(std::floor(vhi * w));
+      const int64_t first = std::clamp<int64_t>(blo, 0, width - 1);
+      const int64_t last = std::clamp<int64_t>(bhi, 0, width - 1);
+      if (first == last || mp == mq) {
+        for (int64_t b = first; b <= last; ++b)
+          next[static_cast<size_t>(b)].push_back({p - kXMargin, q + kXMargin});
+        continue;
+      }
+      // M is linear on [p,q]: x-interval routed to bucket b is the preimage
+      // of [b/W - margin, (b+1)/W + margin].
+      const double slope = (mq - mp) / (q - p);
+      for (int64_t b = first; b <= last; ++b) {
+        const double ylo = static_cast<double>(b) / w - margin;
+        const double yhi = static_cast<double>(b + 1) / w + margin;
+        double x0 = (ylo - mp) / slope + p;
+        double x1 = (yhi - mp) / slope + p;
+        if (x0 > x1) std::swap(x0, x1);
+        x0 = std::max(x0, p);
+        x1 = std::min(x1, q);
+        if (x0 <= x1)
+          next[static_cast<size_t>(b)].push_back({x0 - kXMargin, x1 + kXMargin});
+      }
+    }
+  }
+}
+
+/// Worst-case prediction error of a leaf submodel over its responsibility
+/// (Theorem A.13): on each linear segment of M the extreme predicted indices
+/// for a range are attained at the segment/range intersection endpoints.
+uint32_t leaf_error(const Submodel& m, const Resp& resp,
+                    std::span<const KeyInterval> ivs) {
+  if (ivs.empty()) return 0;
+  const double n = static_cast<double>(ivs.size());
+  const auto predict = [&](double x) -> int64_t {
+    const double v = clamp_unit(eval_exact(m, x)) * n;
+    return std::min(static_cast<int64_t>(v), static_cast<int64_t>(ivs.size()) - 1);
+  };
+  int64_t err = 0;
+  for (const auto& region : resp) {
+    const auto bps = trigger_inputs(m, region.lo, region.hi);
+    for (size_t i = 0; i + 1 < bps.size(); ++i) {
+      const double p = bps[i];
+      const double q = bps[i + 1];
+      // Ranges overlapping [p,q].
+      for (auto it = std::upper_bound(ivs.begin(), ivs.end(), p,
+                                      [](double v, const KeyInterval& k) { return v < k.hi; });
+           it != ivs.end() && it->lo < q; ++it) {
+        const double a = std::max(p, it->lo);
+        const double b = std::min(q, it->hi);
+        const auto truth = static_cast<int64_t>(it->index);
+        err = std::max(err, std::abs(predict(a) - truth));
+        err = std::max(err, std::abs(predict(b) - truth));
+      }
+    }
+  }
+  return static_cast<uint32_t>(err);
+}
+
+}  // namespace
+
+RqRmiConfig default_config(size_t n_intervals) {
+  RqRmiConfig cfg;
+  if (n_intervals < 1'000) {
+    cfg.stage_widths = {1, 4};
+  } else if (n_intervals < 10'000) {
+    cfg.stage_widths = {1, 4, 16};
+  } else if (n_intervals < 100'000) {
+    cfg.stage_widths = {1, 4, 128};
+  } else if (n_intervals < 300'000) {
+    cfg.stage_widths = {1, 8, 256};
+  } else {
+    cfg.stage_widths = {1, 8, 512};
+  }
+  return cfg;
+}
+
+void RqRmi::build(std::vector<KeyInterval> intervals, const RqRmiConfig& cfg) {
+  stages_.clear();
+  leaf_errors_.clear();
+  leaf_resp_.clear();
+  training_rounds_ = 0;
+  n_values_ = intervals.size();
+  if (cfg.stage_widths.empty() || cfg.stage_widths.front() != 1)
+    throw std::invalid_argument{"RqRmiConfig: stage_widths must start with 1"};
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    const auto& iv = intervals[i];
+    if (iv.index != i) throw std::invalid_argument{"KeyInterval.index must equal position"};
+    if (!(iv.lo < iv.hi)) throw std::invalid_argument{"KeyInterval must be non-empty"};
+    if (i > 0 && intervals[i - 1].hi > iv.lo)
+      throw std::invalid_argument{"KeyIntervals must be sorted and disjoint"};
+  }
+  if (intervals.empty()) return;
+
+  Rng rng{cfg.seed};
+  const TrainerConfig tcfg{cfg.adam_epochs, cfg.learning_rate, cfg.seed};
+  const size_t n_stages = cfg.stage_widths.size();
+  std::vector<Resp> cur_resp(1);
+  cur_resp[0] = Resp{{0.0, 1.0}};
+  stages_.resize(n_stages);
+
+  for (size_t s = 0; s < n_stages; ++s) {
+    const uint32_t width = cfg.stage_widths[s];
+    const bool last = (s + 1 == n_stages);
+    stages_[s].resize(width);
+    if (last) {
+      leaf_errors_.assign(width, 0);
+      leaf_resp_.assign(width, {});
+    }
+    std::vector<Resp> next_resp;
+    if (!last) next_resp.resize(cfg.stage_widths[s + 1]);
+
+    for (uint32_t j = 0; j < width; ++j) {
+      Resp& resp = cur_resp[j];
+      merge_intervals(resp);
+      if (resp.empty()) continue;
+
+      int samples = cfg.initial_samples;
+      auto ds = make_dataset(resp, intervals, samples, rng);
+      Submodel model = fit_submodel(ds, tcfg);
+      ++training_rounds_;
+
+      if (last) {
+        // Error-bound / retraining loop (paper Figure 5, dashed path).
+        uint32_t err = leaf_error(model, resp, intervals);
+        for (int attempt = 0;
+             err > cfg.error_threshold && attempt < cfg.max_retrain_attempts; ++attempt) {
+          samples *= 2;
+          ds = make_dataset(resp, intervals, samples, rng);
+          const Submodel retry = fit_submodel(ds, tcfg);
+          ++training_rounds_;
+          const uint32_t retry_err = leaf_error(retry, resp, intervals);
+          if (retry_err < err) {
+            model = retry;
+            err = retry_err;
+          }
+        }
+        const double dev = float_eval_deviation(model);
+        const auto slack =
+            static_cast<uint32_t>(std::ceil(dev * static_cast<double>(n_values_))) + 2;
+        leaf_errors_[j] = err + slack;
+        leaf_resp_[j] = resp;
+      } else {
+        route_responsibilities(model, cfg.stage_widths[s + 1], resp,
+                               float_eval_deviation(model), next_resp);
+      }
+      stages_[s][j] = model;
+    }
+    if (!last) cur_resp = std::move(next_resp);
+  }
+}
+
+void RqRmi::restore(std::vector<std::vector<Submodel>> stages,
+                    std::vector<uint32_t> leaf_errors,
+                    std::vector<std::vector<DomainInterval>> leaf_resp,
+                    size_t n_values) {
+  if (stages.empty()) {
+    if (!leaf_errors.empty() || !leaf_resp.empty() || n_values != 0)
+      throw std::invalid_argument{"RqRmi::restore: trivial model must be empty"};
+    stages_.clear();
+    leaf_errors_.clear();
+    leaf_resp_.clear();
+    n_values_ = 0;
+    training_rounds_ = 0;
+    return;
+  }
+  if (stages.front().size() != 1)
+    throw std::invalid_argument{"RqRmi::restore: first stage width must be 1"};
+  const size_t leaves = stages.back().size();
+  if (leaf_errors.size() != leaves || leaf_resp.size() != leaves)
+    throw std::invalid_argument{"RqRmi::restore: leaf table size mismatch"};
+  stages_ = std::move(stages);
+  leaf_errors_ = std::move(leaf_errors);
+  leaf_resp_ = std::move(leaf_resp);
+  n_values_ = n_values;
+  training_rounds_ = 0;
+}
+
+Prediction RqRmi::lookup(float key, SimdLevel level) const noexcept {
+  if (stages_.empty()) return Prediction{};
+  uint32_t leaf = 0;
+  const Submodel* m = &stages_[0][0];
+  for (size_t s = 0; s + 1 < stages_.size(); ++s) {
+    const float y = eval(*m, key, level);
+    const auto width = static_cast<uint32_t>(stages_[s + 1].size());
+    uint32_t j = static_cast<uint32_t>(y * static_cast<float>(width));
+    if (j >= width) j = width - 1;
+    leaf = j;
+    m = &stages_[s + 1][j];
+  }
+  const float y = eval(*m, key, level);
+  auto idx = static_cast<uint32_t>(y * static_cast<float>(n_values_));
+  if (idx >= n_values_) idx = static_cast<uint32_t>(n_values_) - 1;
+  return Prediction{idx, leaf_errors_.empty() ? 0 : leaf_errors_[leaf]};
+}
+
+Prediction RqRmi::lookup(float key) const noexcept {
+  return lookup(key, best_simd_level());
+}
+
+uint32_t RqRmi::max_search_error() const noexcept {
+  uint32_t worst = 0;
+  for (uint32_t e : leaf_errors_) worst = std::max(worst, e);
+  return worst;
+}
+
+size_t RqRmi::memory_bytes() const noexcept {
+  size_t bytes = 0;
+  for (const auto& stage : stages_) bytes += stage.size() * Submodel::packed_bytes();
+  bytes += leaf_errors_.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+size_t RqRmi::num_submodels() const noexcept {
+  size_t n = 0;
+  for (const auto& stage : stages_) n += stage.size();
+  return n;
+}
+
+}  // namespace nuevomatch::rqrmi

@@ -1,0 +1,113 @@
+// Range-Query Recursive Model Index (paper Section 3).
+//
+// An RQ-RMI indexes a sorted array of non-overlapping key intervals over the
+// normalized domain [0,1). lookup(key) walks the submodel stages (paper
+// Figure 3), and returns a predicted array position together with that leaf's
+// worst-case search error; the true position of the interval containing the
+// key — if one exists — is guaranteed to lie within +-error of the
+// prediction. The guarantee holds for EVERY representable key, sampled during
+// training or not, by the analytic arguments of Appendix A plus an explicit
+// float-path deviation margin (see DESIGN.md, "Key design decisions").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rqrmi/nn.hpp"
+
+namespace nuevomatch::rqrmi {
+
+/// Half-open normalized interval [lo, hi) mapped to array position `index`.
+/// RqRmi::build requires intervals sorted by lo, pairwise disjoint, with
+/// index equal to the position in the input vector.
+struct KeyInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  uint32_t index = 0;
+};
+
+struct RqRmiConfig {
+  /// Stage widths, first entry must be 1 (paper Table 4, e.g. {1,8,256}).
+  std::vector<uint32_t> stage_widths{1, 4};
+  /// Target worst-case search distance; leaves above it are retrained with
+  /// doubled sampling (paper Figure 5). The achieved bound may exceed this
+  /// when training does not converge — exactly as the paper allows (§3.5.6).
+  uint32_t error_threshold = 64;
+  int max_retrain_attempts = 4;
+  int initial_samples = 512;  ///< per-submodel dataset size before doubling
+  int adam_epochs = 100;
+  double learning_rate = 5e-3;
+  uint64_t seed = 1;
+};
+
+/// Paper Table 4: stage widths as a function of the indexed set size.
+[[nodiscard]] RqRmiConfig default_config(size_t n_intervals);
+
+struct Prediction {
+  uint32_t index = 0;         ///< predicted array position
+  uint32_t search_error = 0;  ///< certified max distance to the true position
+};
+
+class RqRmi {
+ public:
+  /// Train the model on the interval set. Empty input builds a trivial model.
+  void build(std::vector<KeyInterval> intervals, const RqRmiConfig& cfg);
+
+  /// Predict the array position for a normalized key (production path).
+  [[nodiscard]] Prediction lookup(float key) const noexcept;
+  /// Same, forcing a specific SIMD kernel (Table 1 benchmarking).
+  [[nodiscard]] Prediction lookup(float key, SimdLevel level) const noexcept;
+
+  /// Worst case over all leaves (the paper's epsilon).
+  [[nodiscard]] uint32_t max_search_error() const noexcept;
+
+  /// Model weights + error table (the bytes that must stay cache-resident).
+  [[nodiscard]] size_t memory_bytes() const noexcept;
+
+  [[nodiscard]] size_t num_intervals() const noexcept { return n_values_; }
+  [[nodiscard]] size_t num_submodels() const noexcept;
+  [[nodiscard]] bool trained() const noexcept { return !stages_.empty(); }
+
+  // --- introspection for tests & benches --------------------------------
+  struct DomainInterval {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  [[nodiscard]] const std::vector<std::vector<Submodel>>& stages() const noexcept {
+    return stages_;
+  }
+  [[nodiscard]] const std::vector<uint32_t>& leaf_errors() const noexcept {
+    return leaf_errors_;
+  }
+  [[nodiscard]] const std::vector<std::vector<DomainInterval>>& leaf_responsibilities()
+      const noexcept {
+    return leaf_resp_;
+  }
+  [[nodiscard]] int training_rounds() const noexcept { return training_rounds_; }
+
+  /// Reinstate a trained model from its parts without retraining (the
+  /// serializer's load path). Shape invariants are validated; throws
+  /// std::invalid_argument on mismatch.
+  void restore(std::vector<std::vector<Submodel>> stages,
+               std::vector<uint32_t> leaf_errors,
+               std::vector<std::vector<DomainInterval>> leaf_resp, size_t n_values);
+
+ private:
+  std::vector<std::vector<Submodel>> stages_;
+  std::vector<uint32_t> leaf_errors_;                  // per leaf submodel
+  std::vector<std::vector<DomainInterval>> leaf_resp_; // per leaf submodel
+  size_t n_values_ = 0;
+  int training_rounds_ = 0;  // total submodel fits incl. retraining
+};
+
+/// Normalize an integer key from [0, domain_max] into [0,1) — the single
+/// conversion used by both training analysis and the inference hot path.
+[[nodiscard]] inline float normalize_key(uint32_t key, uint64_t domain_max) noexcept {
+  return static_cast<float>(static_cast<double>(key) / static_cast<double>(domain_max + 1));
+}
+[[nodiscard]] inline double normalize_key_exact(uint64_t key, uint64_t domain_max) noexcept {
+  return static_cast<double>(key) / static_cast<double>(domain_max + 1);
+}
+
+}  // namespace nuevomatch::rqrmi

@@ -1,0 +1,138 @@
+#include "rqrmi/nn.hpp"
+
+#if defined(__SSE2__) || defined(__AVX__)
+#include <immintrin.h>
+#endif
+
+namespace nuevomatch::rqrmi {
+
+namespace {
+
+// "Serial(1)" in Table 1 means one float per instruction; keep the compiler
+// from silently auto-vectorizing the reference path, or the vector-width
+// comparison measures nothing.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#endif
+float eval_serial_impl(const Submodel& m, float x) noexcept {
+  float acc = m.b2;
+  for (int k = 0; k < kHiddenWidth; ++k) {
+    const float z = m.w1[static_cast<size_t>(k)] * x + m.b1[static_cast<size_t>(k)];
+    if (z > 0.0f) acc += m.w2[static_cast<size_t>(k)] * z;
+  }
+  return clamp_unit(acc);
+}
+
+#if defined(__SSE2__)
+float eval_sse_impl(const Submodel& m, float x) noexcept {
+  const __m128 vx = _mm_set1_ps(x);
+  const __m128 zero = _mm_setzero_ps();
+  float acc = m.b2;
+  for (int half = 0; half < 2; ++half) {
+    const float* w1 = m.w1.data() + half * 4;
+    const float* b1 = m.b1.data() + half * 4;
+    const float* w2 = m.w2.data() + half * 4;
+    __m128 z = _mm_add_ps(_mm_mul_ps(_mm_load_ps(w1), vx), _mm_load_ps(b1));
+    z = _mm_max_ps(z, zero);
+    const __m128 prod = _mm_mul_ps(z, _mm_load_ps(w2));
+    alignas(16) float lanes[4];
+    _mm_store_ps(lanes, prod);
+    acc += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  }
+  return clamp_unit(acc);
+}
+#endif
+
+#if defined(__AVX__)
+float eval_avx_impl(const Submodel& m, float x) noexcept {
+  const __m256 vx = _mm256_set1_ps(x);
+  __m256 z = _mm256_add_ps(_mm256_mul_ps(_mm256_load_ps(m.w1.data()), vx),
+                           _mm256_load_ps(m.b1.data()));
+  z = _mm256_max_ps(z, _mm256_setzero_ps());
+  const __m256 prod = _mm256_mul_ps(z, _mm256_load_ps(m.w2.data()));
+  // Horizontal sum of 8 lanes.
+  const __m128 lo = _mm256_castps256_ps128(prod);
+  const __m128 hi = _mm256_extractf128_ps(prod, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+  sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 0x1));
+  return clamp_unit(_mm_cvtss_f32(sum) + m.b2);
+}
+#endif
+
+}  // namespace
+
+std::string to_string(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kSerial: return "serial(1)";
+    case SimdLevel::kSse: return "sse(4)";
+    case SimdLevel::kAvx: return "avx(8)";
+  }
+  return "?";
+}
+
+bool simd_level_available(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kSerial:
+      return true;
+    case SimdLevel::kSse:
+#if defined(__SSE2__)
+      return true;
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx:
+#if defined(__AVX__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdLevel best_simd_level() noexcept {
+#if defined(__AVX__)
+  return SimdLevel::kAvx;
+#elif defined(__SSE2__)
+  return SimdLevel::kSse;
+#else
+  return SimdLevel::kSerial;
+#endif
+}
+
+float eval(const Submodel& m, float x, SimdLevel level) noexcept {
+  switch (level) {
+#if defined(__AVX__)
+    case SimdLevel::kAvx: return eval_avx_impl(m, x);
+#endif
+#if defined(__SSE2__)
+    case SimdLevel::kSse: return eval_sse_impl(m, x);
+#endif
+    default: return eval_serial_impl(m, x);
+  }
+}
+
+float eval(const Submodel& m, float x) noexcept {
+#if defined(__AVX__)
+  return eval_avx_impl(m, x);
+#elif defined(__SSE2__)
+  return eval_sse_impl(m, x);
+#else
+  return eval_serial_impl(m, x);
+#endif
+}
+
+double eval_raw(const Submodel& m, double x) noexcept {
+  double acc = static_cast<double>(m.b2);
+  for (int k = 0; k < kHiddenWidth; ++k) {
+    const double z = static_cast<double>(m.w1[static_cast<size_t>(k)]) * x +
+                     static_cast<double>(m.b1[static_cast<size_t>(k)]);
+    if (z > 0.0) acc += static_cast<double>(m.w2[static_cast<size_t>(k)]) * z;
+  }
+  return acc;
+}
+
+double eval_exact(const Submodel& m, double x) noexcept { return clamp_unit(eval_raw(m, x)); }
+
+}  // namespace nuevomatch::rqrmi

@@ -1,0 +1,69 @@
+// RQ-RMI submodel: a 3-layer fully-connected network with one scalar input,
+// one scalar output and 8 hidden ReLU neurons (paper Definition 3.1 and
+// Section 4 "Submodel structure").
+//
+//   N(x)  = A(x * w1 + b1) x w2 + b2          (A = element-wise ReLU)
+//   M(x)  = H(N(x))                           (H trims the output to [0,1))
+//
+// The 8-wide hidden layer is deliberate: one AVX register evaluates the whole
+// hidden layer in a handful of instructions (paper Table 1). Serial, SSE and
+// AVX kernels are provided; all share the same clamping semantics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace nuevomatch::rqrmi {
+
+inline constexpr int kHiddenWidth = 8;
+
+/// Largest float strictly below 1.0 — the top of the trimmed output domain.
+inline constexpr float kOneBelow = 0x1.fffffep-1f;
+
+/// Clamp a raw network output into [0, 1).
+[[nodiscard]] constexpr float clamp_unit(float v) noexcept {
+  if (v < 0.0f) return 0.0f;
+  if (v > kOneBelow) return kOneBelow;
+  return v;
+}
+[[nodiscard]] constexpr double clamp_unit(double v) noexcept {
+  if (v < 0.0) return 0.0;
+  if (v > 0x1.fffffep-1) return 0x1.fffffep-1;  // same ceiling as the float path
+  return v;
+}
+
+/// Weights of one submodel. 25 floats; padded/aligned for vector loads.
+struct alignas(32) Submodel {
+  std::array<float, kHiddenWidth> w1{};  // input -> hidden weights
+  std::array<float, kHiddenWidth> b1{};  // hidden biases
+  std::array<float, kHiddenWidth> w2{};  // hidden -> output weights
+  float b2 = 0.0f;                       // output bias
+
+  /// Bytes that count toward the model's memory footprint.
+  [[nodiscard]] static constexpr size_t packed_bytes() noexcept {
+    return (3 * kHiddenWidth + 1) * sizeof(float);
+  }
+};
+
+enum class SimdLevel { kSerial, kSse, kAvx };
+
+[[nodiscard]] std::string to_string(SimdLevel level);
+
+/// Highest kernel compiled into this binary and supported by the CPU.
+[[nodiscard]] SimdLevel best_simd_level() noexcept;
+[[nodiscard]] bool simd_level_available(SimdLevel level) noexcept;
+
+/// Clamped model output M(x) via the requested kernel (float arithmetic —
+/// this is the production inference path).
+[[nodiscard]] float eval(const Submodel& m, float x, SimdLevel level) noexcept;
+[[nodiscard]] float eval(const Submodel& m, float x) noexcept;  // best level
+
+/// Clamped model output evaluated in double precision over the float
+/// weights. Reference semantics for the piecewise-linear analysis.
+[[nodiscard]] double eval_exact(const Submodel& m, double x) noexcept;
+
+/// Raw (unclamped) double-precision output N(x); used by the trainer.
+[[nodiscard]] double eval_raw(const Submodel& m, double x) noexcept;
+
+}  // namespace nuevomatch::rqrmi

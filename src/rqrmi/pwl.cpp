@@ -1,0 +1,128 @@
+#include "rqrmi/pwl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nuevomatch::rqrmi {
+
+namespace {
+
+constexpr double kTrimTop = 0x1.fffffep-1;  // upper clamp value (== kOneBelow)
+
+/// Remove near-duplicate points (the domain is [0,1], so an absolute
+/// tolerance is appropriate).
+void sort_dedup(std::vector<double>& xs) {
+  std::sort(xs.begin(), xs.end());
+  constexpr double kTol = 1e-15;
+  size_t out = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (out == 0 || xs[i] - xs[out - 1] > kTol) xs[out++] = xs[i];
+  }
+  xs.resize(out);
+}
+
+/// Linear coefficients of the *raw* network N(x) = a*x + b on a region where
+/// the ReLU active-set does not change; the active set is probed at `mid`.
+void raw_coeffs(const Submodel& m, double mid, double& a, double& b) {
+  a = 0.0;
+  b = static_cast<double>(m.b2);
+  for (int k = 0; k < kHiddenWidth; ++k) {
+    const double w1 = m.w1[static_cast<size_t>(k)];
+    const double b1 = m.b1[static_cast<size_t>(k)];
+    if (w1 * mid + b1 > 0.0) {
+      const double w2 = m.w2[static_cast<size_t>(k)];
+      a += w2 * w1;
+      b += w2 * b1;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> trigger_inputs(const Submodel& m, double lo, double hi) {
+  std::vector<double> pts{lo, hi};
+  // ReLU knees: x = -b1/w1.
+  for (int k = 0; k < kHiddenWidth; ++k) {
+    const double w1 = m.w1[static_cast<size_t>(k)];
+    if (w1 == 0.0) continue;
+    const double knee = -static_cast<double>(m.b1[static_cast<size_t>(k)]) / w1;
+    if (knee > lo && knee < hi) pts.push_back(knee);
+  }
+  sort_dedup(pts);
+
+  // Trim crossings: within each raw-linear region, N(x) may cross 0 or the
+  // upper trim; those crossings are additional slope changes of M.
+  std::vector<double> extra;
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    const double p = pts[i];
+    const double q = pts[i + 1];
+    double a = 0.0;
+    double b = 0.0;
+    raw_coeffs(m, (p + q) / 2.0, a, b);
+    if (a == 0.0) continue;
+    for (const double c : {0.0, kTrimTop}) {
+      const double x = (c - b) / a;
+      if (x > p && x < q) extra.push_back(x);
+    }
+  }
+  pts.insert(pts.end(), extra.begin(), extra.end());
+  sort_dedup(pts);
+  return pts;
+}
+
+std::vector<QuantizedPiece> quantized_pieces(const Submodel& m, uint32_t width,
+                                             double lo, double hi) {
+  std::vector<QuantizedPiece> pieces;
+  if (!(lo < hi) || width == 0) return pieces;
+
+  std::vector<double> cuts = trigger_inputs(m, lo, hi);
+  const double w = static_cast<double>(width);
+
+  // Between adjacent trigger inputs M is linear: add every x where M(x)*W
+  // crosses an integer (Lemma A.8's construction, both slope signs).
+  std::vector<double> crossings;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double p = cuts[i];
+    const double q = cuts[i + 1];
+    const double mp = eval_exact(m, p);
+    const double mq = eval_exact(m, q);
+    if (mp == mq) continue;
+    const double vlo = std::min(mp, mq) * w;
+    const double vhi = std::max(mp, mq) * w;
+    for (double y = std::ceil(vlo); y <= std::floor(vhi); y += 1.0) {
+      const double x = p + (y / w - mp) * (q - p) / (mq - mp);
+      if (x > p && x < q) crossings.push_back(x);
+    }
+  }
+  cuts.insert(cuts.end(), crossings.begin(), crossings.end());
+  sort_dedup(cuts);
+
+  const auto bucket_at = [&](double x) -> uint32_t {
+    const double v = eval_exact(m, x) * w;
+    const auto b = static_cast<uint32_t>(v);  // v >= 0
+    return std::min(b, width - 1);
+  };
+
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double p = cuts[i];
+    const double q = cuts[i + 1];
+    const uint32_t b = bucket_at((p + q) / 2.0);
+    if (!pieces.empty() && pieces.back().bucket == b) {
+      pieces.back().x1 = q;  // coalesce equal-bucket neighbours
+    } else {
+      pieces.push_back(QuantizedPiece{p, q, b});
+    }
+  }
+  if (pieces.empty()) pieces.push_back(QuantizedPiece{lo, hi, bucket_at((lo + hi) / 2.0)});
+  return pieces;
+}
+
+std::vector<double> transition_inputs(const Submodel& m, uint32_t width, double lo,
+                                      double hi) {
+  const auto pieces = quantized_pieces(m, width, lo, hi);
+  std::vector<double> out;
+  for (size_t i = 1; i < pieces.size(); ++i) out.push_back(pieces[i].x0);
+  return out;
+}
+
+}  // namespace nuevomatch::rqrmi

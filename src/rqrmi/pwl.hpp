@@ -1,0 +1,48 @@
+// Piecewise-linear analysis of a trained submodel (paper Sections 3.3-3.5 and
+// Appendix A). Because M(x) = H(N(x)) is piecewise linear (Corollary 3.2),
+// three quantities can be computed *analytically*, with no key enumeration:
+//
+//   * trigger inputs  (Definition A.5): inputs where M changes slope — the
+//     ReLU knees plus the points where N(x) crosses the [0,1) trim;
+//   * transition inputs (Definition A.6): inputs where floor(M(x)*W) changes;
+//   * quantized pieces: the partition of the domain into maximal intervals on
+//     which floor(M(x)*W) is constant — the workhorse for computing submodel
+//     responsibilities (Theorem A.1) and worst-case prediction error bounds
+//     (Theorem A.13).
+//
+// All analysis runs in double precision over the float weights used at
+// inference time; consumers add a routing margin + error slack so that float
+// rounding on the production path can never step outside the analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rqrmi/nn.hpp"
+
+namespace nuevomatch::rqrmi {
+
+/// Maximal interval [x0, x1] on which floor(M(x)*W) == bucket.
+struct QuantizedPiece {
+  double x0 = 0.0;
+  double x1 = 0.0;
+  uint32_t bucket = 0;
+};
+
+/// Sorted breakpoints of M over [lo, hi]: lo, hi, ReLU knees and trim
+/// crossings that fall strictly inside. Between two adjacent breakpoints M is
+/// exactly linear. (Trigger inputs, Definition A.5.)
+[[nodiscard]] std::vector<double> trigger_inputs(const Submodel& m, double lo, double hi);
+
+/// Inputs in (lo, hi) where floor(M(x)*W) changes value.
+/// (Transition inputs, Definition A.6 / Lemma A.8.)
+[[nodiscard]] std::vector<double> transition_inputs(const Submodel& m, uint32_t width,
+                                                    double lo, double hi);
+
+/// Partition [lo, hi] into maximal constant-bucket pieces under quantization
+/// width `width`. Buckets are clamped to [0, width-1]. Pieces are returned in
+/// increasing x order and exactly tile [lo, hi].
+[[nodiscard]] std::vector<QuantizedPiece> quantized_pieces(const Submodel& m, uint32_t width,
+                                                           double lo, double hi);
+
+}  // namespace nuevomatch::rqrmi

@@ -1,0 +1,225 @@
+#include "rqrmi/trainer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nuevomatch::rqrmi {
+
+namespace {
+
+constexpr int kParams = 3 * kHiddenWidth + 1;  // w1, b1, w2, b2
+
+/// Dense symmetric positive-definite solve via Cholesky with a ridge term.
+/// Returns false if the matrix is not SPD even after regularization.
+bool cholesky_solve(std::array<double, 9 * 9>& a, std::array<double, 9>& b, int n) {
+  std::array<double, 9 * 9> l{};
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a[static_cast<size_t>(i * 9 + j)];
+      for (int k = 0; k < j; ++k)
+        sum -= l[static_cast<size_t>(i * 9 + k)] * l[static_cast<size_t>(j * 9 + k)];
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        l[static_cast<size_t>(i * 9 + j)] = std::sqrt(sum);
+      } else {
+        l[static_cast<size_t>(i * 9 + j)] = sum / l[static_cast<size_t>(j * 9 + j)];
+      }
+    }
+  }
+  // Forward substitution L z = b, then backward L^T x = z.
+  std::array<double, 9> z{};
+  for (int i = 0; i < n; ++i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int k = 0; k < i; ++k) sum -= l[static_cast<size_t>(i * 9 + k)] * z[static_cast<size_t>(k)];
+    z[static_cast<size_t>(i)] = sum / l[static_cast<size_t>(i * 9 + i)];
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = z[static_cast<size_t>(i)];
+    for (int k = i + 1; k < n; ++k)
+      sum -= l[static_cast<size_t>(k * 9 + i)] * b[static_cast<size_t>(k)];
+    b[static_cast<size_t>(i)] = sum / l[static_cast<size_t>(i * 9 + i)];
+  }
+  return true;
+}
+
+/// Least-squares fit of the output layer with ReLU knots at x-quantiles:
+/// basis phi_k(x) = relu(x - q_k) (w1 = 1), plus a constant column.
+Submodel least_squares_init(std::span<const TrainSample> samples) {
+  Submodel m;
+  std::vector<double> xs;
+  xs.reserve(samples.size());
+  for (const TrainSample& s : samples) xs.push_back(s.x);
+  std::sort(xs.begin(), xs.end());
+
+  std::array<double, kHiddenWidth> knots{};
+  for (int k = 0; k < kHiddenWidth; ++k) {
+    const size_t pos = xs.size() * static_cast<size_t>(k) / kHiddenWidth;
+    knots[static_cast<size_t>(k)] = xs[std::min(pos, xs.size() - 1)];
+  }
+  // Shift the first knot slightly below min(x) so the first basis function is
+  // active over the whole dataset (gives the fit an affine component).
+  knots[0] -= 1e-6;
+
+  constexpr int n = kHiddenWidth + 1;  // 8 basis weights + bias
+  std::array<double, 9 * 9> ata{};
+  std::array<double, 9> aty{};
+  std::array<double, 9> phi{};
+  for (const TrainSample& s : samples) {
+    for (int k = 0; k < kHiddenWidth; ++k)
+      phi[static_cast<size_t>(k)] = std::max(0.0, s.x - knots[static_cast<size_t>(k)]);
+    phi[kHiddenWidth] = 1.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j <= i; ++j)
+        ata[static_cast<size_t>(i * 9 + j)] += phi[static_cast<size_t>(i)] * phi[static_cast<size_t>(j)];
+      aty[static_cast<size_t>(i)] += phi[static_cast<size_t>(i)] * s.y;
+    }
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      ata[static_cast<size_t>(i * 9 + j)] = ata[static_cast<size_t>(j * 9 + i)];
+
+  // Ridge-regularized solve; escalate the ridge until SPD.
+  std::array<double, 9> sol{};
+  for (double ridge = 1e-8; ridge < 1.0; ridge *= 100.0) {
+    std::array<double, 9 * 9> a = ata;
+    for (int i = 0; i < n; ++i) a[static_cast<size_t>(i * 9 + i)] += ridge;
+    sol = aty;
+    if (cholesky_solve(a, sol, n)) break;
+    sol = {};  // retry with a larger ridge
+  }
+
+  for (int k = 0; k < kHiddenWidth; ++k) {
+    m.w1[static_cast<size_t>(k)] = 1.0f;
+    m.b1[static_cast<size_t>(k)] = static_cast<float>(-knots[static_cast<size_t>(k)]);
+    m.w2[static_cast<size_t>(k)] = static_cast<float>(sol[static_cast<size_t>(k)]);
+  }
+  m.b2 = static_cast<float>(sol[kHiddenWidth]);
+  return m;
+}
+
+struct AdamState {
+  std::array<double, kParams> p{};  // parameters
+  std::array<double, kParams> m{};  // first moment
+  std::array<double, kParams> v{};  // second moment
+};
+
+void pack(const Submodel& sm, std::array<double, kParams>& p) {
+  for (int k = 0; k < kHiddenWidth; ++k) {
+    p[static_cast<size_t>(k)] = sm.w1[static_cast<size_t>(k)];
+    p[static_cast<size_t>(kHiddenWidth + k)] = sm.b1[static_cast<size_t>(k)];
+    p[static_cast<size_t>(2 * kHiddenWidth + k)] = sm.w2[static_cast<size_t>(k)];
+  }
+  p[3 * kHiddenWidth] = sm.b2;
+}
+
+Submodel unpack(const std::array<double, kParams>& p) {
+  Submodel sm;
+  for (int k = 0; k < kHiddenWidth; ++k) {
+    sm.w1[static_cast<size_t>(k)] = static_cast<float>(p[static_cast<size_t>(k)]);
+    sm.b1[static_cast<size_t>(k)] = static_cast<float>(p[static_cast<size_t>(kHiddenWidth + k)]);
+    sm.w2[static_cast<size_t>(k)] = static_cast<float>(p[static_cast<size_t>(2 * kHiddenWidth + k)]);
+  }
+  sm.b2 = static_cast<float>(p[3 * kHiddenWidth]);
+  return sm;
+}
+
+double loss_and_grad(const std::array<double, kParams>& p,
+                     std::span<const TrainSample> samples,
+                     std::array<double, kParams>& grad) {
+  grad.fill(0.0);
+  double loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(samples.size());
+  for (const TrainSample& s : samples) {
+    double f = p[3 * kHiddenWidth];
+    std::array<double, kHiddenWidth> h{};
+    for (int k = 0; k < kHiddenWidth; ++k) {
+      const double z = p[static_cast<size_t>(k)] * s.x + p[static_cast<size_t>(kHiddenWidth + k)];
+      h[static_cast<size_t>(k)] = z > 0.0 ? z : 0.0;
+      f += p[static_cast<size_t>(2 * kHiddenWidth + k)] * h[static_cast<size_t>(k)];
+    }
+    const double e = f - s.y;
+    loss += e * e;
+    const double d = 2.0 * e * inv_n;
+    grad[3 * kHiddenWidth] += d;
+    for (int k = 0; k < kHiddenWidth; ++k) {
+      grad[static_cast<size_t>(2 * kHiddenWidth + k)] += d * h[static_cast<size_t>(k)];
+      if (h[static_cast<size_t>(k)] > 0.0) {
+        const double w2 = p[static_cast<size_t>(2 * kHiddenWidth + k)];
+        grad[static_cast<size_t>(k)] += d * w2 * s.x;
+        grad[static_cast<size_t>(kHiddenWidth + k)] += d * w2;
+      }
+    }
+  }
+  return loss * inv_n;
+}
+
+}  // namespace
+
+Submodel fit_submodel(std::span<const TrainSample> samples, const TrainerConfig& cfg) {
+  if (samples.empty()) return Submodel{};
+
+  Submodel init = least_squares_init(samples);
+  if (cfg.adam_epochs <= 0) return init;
+
+  AdamState st;
+  pack(init, st.p);
+  std::array<double, kParams> grad{};
+  std::array<double, kParams> best_p = st.p;
+  double best_loss = loss_and_grad(st.p, samples, grad);
+
+  constexpr double beta1 = 0.9;
+  constexpr double beta2 = 0.999;
+  constexpr double eps = 1e-8;
+  double b1t = 1.0;
+  double b2t = 1.0;
+  for (int epoch = 0; epoch < cfg.adam_epochs; ++epoch) {
+    const double loss = loss_and_grad(st.p, samples, grad);
+    if (loss < best_loss) {
+      best_loss = loss;
+      best_p = st.p;
+    }
+    b1t *= beta1;
+    b2t *= beta2;
+    for (int i = 0; i < kParams; ++i) {
+      auto idx = static_cast<size_t>(i);
+      st.m[idx] = beta1 * st.m[idx] + (1.0 - beta1) * grad[idx];
+      st.v[idx] = beta2 * st.v[idx] + (1.0 - beta2) * grad[idx] * grad[idx];
+      const double mhat = st.m[idx] / (1.0 - b1t);
+      const double vhat = st.v[idx] / (1.0 - b2t);
+      st.p[idx] -= cfg.learning_rate * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+  // Keep whichever parameters achieved the lowest loss (Adam may overshoot).
+  const double final_loss = loss_and_grad(st.p, samples, grad);
+  return unpack(final_loss < best_loss ? st.p : best_p);
+}
+
+double mse(const Submodel& m, std::span<const TrainSample> samples) {
+  if (samples.empty()) return 0.0;
+  double acc = 0.0;
+  for (const TrainSample& s : samples) {
+    const double e = eval_raw(m, s.x) - s.y;
+    acc += e * e;
+  }
+  return acc / static_cast<double>(samples.size());
+}
+
+double float_eval_deviation(const Submodel& m) noexcept {
+  // Term magnitudes over x in [0,1]: |w2_k| * max(0, |w1_k| + |b1_k|).
+  double term_sum = std::abs(static_cast<double>(m.b2));
+  for (int k = 0; k < kHiddenWidth; ++k) {
+    const double zmax = std::abs(static_cast<double>(m.w1[static_cast<size_t>(k)])) +
+                        std::abs(static_cast<double>(m.b1[static_cast<size_t>(k)]));
+    term_sum += std::abs(static_cast<double>(m.w2[static_cast<size_t>(k)])) * zmax;
+  }
+  // Per-term rounding (~2 ulp) plus any summation order of <= 10 adds:
+  // conservative factor 16 * machine epsilon * total magnitude.
+  constexpr double kFloatEps = 1.1920929e-7;
+  return 16.0 * kFloatEps * term_sum;
+}
+
+}  // namespace nuevomatch::rqrmi

@@ -1,0 +1,48 @@
+// Submodel training (paper Sections 3.5.4-3.5.5).
+//
+// The paper trains each 1-8-1 submodel with TensorFlow + Adam on a sampled
+// dataset. We keep the identical architecture, loss (MSE) and optimizer, but
+// implement both directly (see DESIGN.md "Substitutions"):
+//
+//   1. closed-form least-squares initialization: ReLU knots are placed at
+//      the dataset's x-quantiles, which makes the output layer a linear
+//      regression solved exactly via Cholesky;
+//   2. full-batch Adam refinement of all 25 parameters with analytic
+//      gradients.
+//
+// This is deterministic given the seed and orders of magnitude faster than a
+// TF round-trip on such tiny models (the paper itself flags TF as its
+// training bottleneck, Section 4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rqrmi/nn.hpp"
+
+namespace nuevomatch::rqrmi {
+
+struct TrainSample {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct TrainerConfig {
+  int adam_epochs = 100;       ///< 0 = least-squares fit only
+  double learning_rate = 5e-3;
+  uint64_t seed = 1;
+};
+
+/// Fit one submodel to the samples. Empty input yields the zero model.
+[[nodiscard]] Submodel fit_submodel(std::span<const TrainSample> samples,
+                                    const TrainerConfig& cfg);
+
+/// Mean squared error of the raw network on the samples (training metric).
+[[nodiscard]] double mse(const Submodel& m, std::span<const TrainSample> samples);
+
+/// Analytic bound on |float-path eval - double-path eval| for this
+/// submodel over x in [0,1]. Derived from weight magnitudes; consumers use
+/// it to keep the correctness proof valid on the float inference path.
+[[nodiscard]] double float_eval_deviation(const Submodel& m) noexcept;
+
+}  // namespace nuevomatch::rqrmi

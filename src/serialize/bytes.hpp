@@ -1,0 +1,121 @@
+// Minimal binary codec used by the model serializer: little-endian
+// fixed-width integers, IEEE floats, length-prefixed buffers, and a CRC-32
+// trailer. No allocations on the read path; readers fail soft (ok() turns
+// false and every subsequent get returns zero) so corrupted input can never
+// run the cursor out of bounds.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace nuevomatch::serialize {
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte buffer.
+[[nodiscard]] constexpr uint32_t crc32(std::span<const uint8_t> data) noexcept {
+  uint32_t crc = 0xFFFF'FFFFu;
+  for (uint8_t byte : data) {
+    crc ^= byte;
+    for (int k = 0; k < 8; ++k) crc = (crc >> 1) ^ (0xEDB8'8320u & (~(crc & 1u) + 1u));
+  }
+  return ~crc;
+}
+
+class ByteWriter {
+ public:
+  void put_u8(uint8_t v) { buf_.push_back(v); }
+  void put_u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void put_i32(int32_t v) { put_u32(std::bit_cast<uint32_t>(v)); }
+  void put_u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void put_f32(float v) { put_u32(std::bit_cast<uint32_t>(v)); }
+  void put_f64(double v) { put_u64(std::bit_cast<uint64_t>(v)); }
+  void put_bytes(std::span<const uint8_t> b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+  void put_tag(std::string_view tag) {
+    for (char c : tag) buf_.push_back(static_cast<uint8_t>(c));
+  }
+
+  /// Append the CRC-32 of everything written so far and return the buffer.
+  [[nodiscard]] std::vector<uint8_t> finish() && {
+    const uint32_t crc = crc32(buf_);
+    put_u32(crc);
+    return std::move(buf_);
+  }
+
+  [[nodiscard]] const std::vector<uint8_t>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  /// Validate and strip the CRC-32 trailer before reading any fields.
+  [[nodiscard]] bool check_crc() noexcept {
+    if (data_.size() < 4) return fail();
+    const auto body = data_.subspan(0, data_.size() - 4);
+    ByteReader tail{data_.subspan(data_.size() - 4)};
+    const uint32_t want = tail.get_u32();
+    if (crc32(body) != want) return fail();
+    data_ = body;
+    return true;
+  }
+
+  [[nodiscard]] uint8_t get_u8() noexcept {
+    if (pos_ + 1 > data_.size()) return fail(), 0;
+    return data_[pos_++];
+  }
+  [[nodiscard]] uint32_t get_u32() noexcept {
+    if (pos_ + 4 > data_.size()) return fail(), 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] int32_t get_i32() noexcept { return std::bit_cast<int32_t>(get_u32()); }
+  [[nodiscard]] uint64_t get_u64() noexcept {
+    if (pos_ + 8 > data_.size()) return fail(), 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] float get_f32() noexcept { return std::bit_cast<float>(get_u32()); }
+  [[nodiscard]] double get_f64() noexcept { return std::bit_cast<double>(get_u64()); }
+  [[nodiscard]] bool expect_tag(std::string_view tag) noexcept {
+    for (char c : tag) {
+      if (get_u8() != static_cast<uint8_t>(c)) return fail();
+    }
+    return ok_;
+  }
+
+  /// Guard helper for length fields: a corrupt count must not trigger a
+  /// gigantic allocation. Fails unless `count * elem_size` fits what's left.
+  [[nodiscard]] bool can_hold(uint64_t count, size_t elem_size) noexcept {
+    if (elem_size == 0) return ok_;
+    if (count > (data_.size() - pos_) / elem_size) return fail();
+    return ok_;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool at_end() const noexcept { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool fail() noexcept {
+    ok_ = false;
+    pos_ = data_.size();
+    return false;
+  }
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace nuevomatch::serialize

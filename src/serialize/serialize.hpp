@@ -1,0 +1,54 @@
+// Binary serialization of trained NuevoMatch classifiers.
+//
+// Training an RQ-RMI takes seconds-to-minutes (paper Section 5.3.4); looking
+// one up takes nanoseconds. Deployments therefore train offline and ship the
+// weights — this module provides the wire format: a versioned, CRC-32
+// protected encoding of the RQ-RMI stages, per-leaf error bounds, iSet rule
+// arrays and the remainder rule-set. The remainder's external classifier is
+// NOT serialized: it is rebuilt on load through the caller's factory, since
+// external engines build in milliseconds and their in-memory layout is not a
+// stable contract.
+//
+// Every load_* returns std::nullopt on any malformed input: truncated
+// buffers, bad magic/version, CRC mismatch, or shape violations. Corrupted
+// input can never produce a classifier that answers queries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nuevomatch/nuevomatch.hpp"
+#include "rqrmi/model.hpp"
+
+namespace nuevomatch::serialize {
+
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// --- RQ-RMI model ----------------------------------------------------------
+[[nodiscard]] std::vector<uint8_t> save_model(const rqrmi::RqRmi& model);
+[[nodiscard]] std::optional<rqrmi::RqRmi> load_model(std::span<const uint8_t> bytes);
+
+/// --- rule-sets --------------------------------------------------------------
+[[nodiscard]] std::vector<uint8_t> save_rules(std::span<const Rule> rules);
+[[nodiscard]] std::optional<RuleSet> load_rules(std::span<const uint8_t> bytes);
+
+/// --- full classifier --------------------------------------------------------
+/// Serialized: every iSet (field, rules, trained model) + remainder rules.
+/// Contract: serialize freshly built (or rebuilt) classifiers. Rules erased
+/// after the last (re)build are tombstones inside the iSet arrays and would
+/// be resurrected by a round-trip — call rebuild() first if updates were
+/// applied (matching the paper's periodic-retraining deployment, §3.9).
+[[nodiscard]] std::vector<uint8_t> save_classifier(const NuevoMatch& nm);
+/// `cfg` supplies the remainder factory (and runtime knobs); the trained
+/// state comes from `bytes`.
+[[nodiscard]] std::optional<NuevoMatch> load_classifier(std::span<const uint8_t> bytes,
+                                                        NuevoMatchConfig cfg);
+
+/// --- files -------------------------------------------------------------------
+[[nodiscard]] bool write_file(const std::string& path, std::span<const uint8_t> bytes);
+[[nodiscard]] std::optional<std::vector<uint8_t>> read_file(const std::string& path);
+
+}  // namespace nuevomatch::serialize

@@ -1,0 +1,74 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+
+namespace nuevomatch {
+
+std::vector<Packet> representative_packets(std::span<const Rule> rules, uint64_t seed) {
+  Rng rng{seed};
+  std::vector<Packet> pkts(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (int f = 0; f < kNumFields; ++f) {
+      const Range& r = rules[i].field[static_cast<size_t>(f)];
+      pkts[i].field[static_cast<size_t>(f)] =
+          static_cast<uint32_t>(rng.between(r.lo, r.hi));
+    }
+  }
+  return pkts;
+}
+
+std::vector<Packet> generate_trace(std::span<const Rule> rules, const TraceConfig& cfg) {
+  std::vector<Packet> out;
+  if (rules.empty() || cfg.n_packets == 0) return out;
+  out.reserve(cfg.n_packets);
+  Rng rng{cfg.seed};
+  const std::vector<Packet> reps = representative_packets(rules, cfg.seed ^ 0x5EED);
+
+  // Random rule->rank permutation so that skew is not correlated with
+  // priority order.
+  std::vector<uint32_t> perm(rules.size());
+  for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  for (size_t i = perm.size(); i > 1; --i)
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+
+  switch (cfg.kind) {
+    case TraceConfig::Kind::kUniform: {
+      for (size_t i = 0; i < cfg.n_packets; ++i)
+        out.push_back(reps[rng.below(reps.size())]);
+      break;
+    }
+    case TraceConfig::Kind::kZipf: {
+      const ZipfSampler zipf{rules.size(), cfg.zipf_alpha};
+      for (size_t i = 0; i < cfg.n_packets; ++i)
+        out.push_back(reps[perm[zipf.sample(rng)]]);
+      break;
+    }
+    case TraceConfig::Kind::kCaidaLike: {
+      // Flow-level heavy tail + temporal locality via an LRU working set.
+      const ZipfSampler zipf{rules.size(), 1.2};
+      std::vector<uint32_t> working;
+      working.reserve(cfg.working_set);
+      for (size_t i = 0; i < cfg.n_packets; ++i) {
+        uint32_t flow = 0;
+        if (!working.empty() && rng.chance(cfg.locality)) {
+          flow = working[rng.below(working.size())];
+        } else {
+          flow = perm[zipf.sample(rng)];
+          if (working.size() < cfg.working_set) {
+            working.push_back(flow);
+          } else {
+            working[rng.below(working.size())] = flow;  // evict random entry
+          }
+        }
+        out.push_back(reps[flow]);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace nuevomatch

@@ -1,0 +1,38 @@
+// Packet trace generation (paper §5.1.1).
+//
+//   * uniform  — every rule equally likely: the worst-case memory access
+//     pattern the headline results use;
+//   * zipf     — skew parameterized as in Figure 12 (share of traffic in the
+//     3% most frequent flows);
+//   * caida    — locality-preserving synthetic stand-in for the CAIDA
+//     Equinix trace: heavy-tailed flow sizes plus an LRU-style working set,
+//     with five-tuples drawn from the rule-set exactly the way the paper
+//     remaps CAIDA headers onto each rule-set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nuevomatch {
+
+struct TraceConfig {
+  enum class Kind { kUniform, kZipf, kCaidaLike };
+  Kind kind = Kind::kUniform;
+  size_t n_packets = 700'000;  ///< the paper's trace length
+  double zipf_alpha = 1.05;    ///< for kZipf (Figure 12: 1.05/1.10/1.15/1.25)
+  double locality = 0.7;       ///< for kCaidaLike: P(next packet from working set)
+  size_t working_set = 64;     ///< for kCaidaLike
+  uint64_t seed = 3;
+};
+
+/// One representative packet per rule (a point inside its hyper-rectangle) —
+/// the paper's "for each rule, we generate one matching five-tuple".
+[[nodiscard]] std::vector<Packet> representative_packets(std::span<const Rule> rules,
+                                                         uint64_t seed = 3);
+
+[[nodiscard]] std::vector<Packet> generate_trace(std::span<const Rule> rules,
+                                                 const TraceConfig& cfg);
+
+}  // namespace nuevomatch

@@ -1,0 +1,8 @@
+// TupleSpaceSearch is TupleMerge with merging disabled (see tuplemerge.hpp).
+// This translation unit exists to give the class its own home for future
+// divergence (e.g. OVS-style staged lookups) and to anchor the vtable.
+#include "tuplemerge/tuplemerge.hpp"
+
+namespace nuevomatch {
+// Currently header-only; implementation shared with TupleMerge.
+}  // namespace nuevomatch

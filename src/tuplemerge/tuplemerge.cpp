@@ -1,0 +1,129 @@
+#include "tuplemerge/tuplemerge.hpp"
+
+#include <algorithm>
+
+namespace nuevomatch {
+
+TupleMerge::TupleMerge(TupleMergeConfig cfg) : cfg_(cfg) {}
+
+namespace {
+
+/// Table mask for a new table holding rules of tuple `t`: TupleMerge relaxes
+/// IPv4 lengths so similar tuples can share the table; TSS keeps `t` as-is.
+/// Rounding down to a coarse granularity and capping the length keeps the
+/// total table count small — the quantity that dominates lookup cost —
+/// while the collision limit bounds how much relaxation can hurt.
+TupleMask relaxed_mask(const TupleMask& t, const TupleMergeConfig& cfg) {
+  if (!cfg.enable_merging) return t;
+  TupleMask m = t;
+  for (int f : {kSrcIp, kDstIp}) {
+    const int g = std::max(1, cfg.ip_len_granularity);
+    m.len[static_cast<size_t>(f)] = static_cast<uint8_t>(
+        std::min(cfg.ip_len_cap, m.len[static_cast<size_t>(f)] / g * g));
+  }
+  return m;
+}
+
+}  // namespace
+
+void TupleMerge::build(std::span<const Rule> rules) {
+  rules_.assign(rules.begin(), rules.end());
+  alive_.assign(rules_.size(), 1);
+  live_rules_ = rules_.size();
+  tables_.clear();
+  // Priority order makes early termination effective from the start.
+  std::vector<uint32_t> order(rules_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return rules_[a].priority < rules_[b].priority;
+  });
+  for (uint32_t pos : order) insert_into_tables(pos);
+  // Fold every table's update region into its flat layout: bulk build must
+  // leave nothing on the linear-scan path.
+  for (auto& tbl : tables_) tbl->compact();
+  sort_tables();
+}
+
+void TupleMerge::insert_into_tables(uint32_t rule_pos) {
+  const Rule& r = rules_[rule_pos];
+  const TupleMask t = tuple_of(r);
+
+  // Most specific existing table that can hold this rule.
+  TupleTable* best = nullptr;
+  for (auto& tbl : tables_) {
+    if (!tbl->mask().covers(t)) continue;
+    if (!cfg_.enable_merging && !(tbl->mask() == t)) continue;
+    if (best == nullptr || tbl->mask().specificity() > best->mask().specificity())
+      best = tbl.get();
+  }
+  if (best == nullptr) {
+    tables_.push_back(std::make_unique<TupleTable>(relaxed_mask(t, cfg_)));
+    best = tables_.back().get();
+  }
+  best->insert(r, rule_pos);
+
+  // TupleMerge split: an overfull relaxed table spills the colliding tuple
+  // back into its own exact table.
+  if (cfg_.enable_merging && best->max_collisions() > cfg_.collision_limit &&
+      !(best->mask() == t)) {
+    auto moved = best->extract_tuple(t);
+    if (!moved.empty()) {
+      tables_.push_back(std::make_unique<TupleTable>(t));
+      TupleTable* fresh = tables_.back().get();
+      for (const auto& e : moved) fresh->insert(rules_[e.rule_pos], e.rule_pos);
+    }
+  }
+}
+
+void TupleMerge::sort_tables() {
+  std::sort(tables_.begin(), tables_.end(), [](const auto& a, const auto& b) {
+    return a->best_priority() < b->best_priority();
+  });
+}
+
+MatchResult TupleMerge::match(const Packet& p) const {
+  return match_with_floor(p, std::numeric_limits<int32_t>::max());
+}
+
+MatchResult TupleMerge::match_with_floor(const Packet& p, int32_t priority_floor) const {
+  MatchResult best;
+  best.priority = priority_floor;  // acts as the pruning bound; not a hit yet
+  for (const auto& tbl : tables_) {
+    if (tbl->best_priority() >= best.priority) break;  // sorted: nothing better left
+    tbl->probe_best(p, rules_, alive_, best);
+  }
+  return best.rule_id != MatchResult::kNoMatch ? best : MatchResult{};
+}
+
+bool TupleMerge::insert(const Rule& r) {
+  rules_.push_back(r);
+  alive_.push_back(1);
+  ++live_rules_;
+  insert_into_tables(static_cast<uint32_t>(rules_.size() - 1));
+  sort_tables();
+  return true;
+}
+
+bool TupleMerge::erase(uint32_t rule_id) {
+  for (uint32_t pos = 0; pos < rules_.size(); ++pos) {
+    if (rules_[pos].id == rule_id && alive_[pos]) {
+      for (auto& tbl : tables_) {
+        if (tbl->erase(pos, rules_[pos])) {
+          alive_[pos] = 0;
+          --live_rules_;
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+size_t TupleMerge::memory_bytes() const {
+  size_t bytes = tables_.size() * sizeof(TupleTable);
+  for (const auto& t : tables_) bytes += t->memory_bytes();
+  return bytes;
+}
+
+}  // namespace nuevomatch

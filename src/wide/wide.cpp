@@ -1,0 +1,173 @@
+#include "wide/wide.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace nuevomatch::wide {
+
+WideValue WideValue::next() const noexcept {
+  WideValue out = *this;
+  for (int i = kLimbs - 1; i >= 0; --i) {
+    if (++out.limb[static_cast<size_t>(i)] != 0) return out;  // no carry
+  }
+  return WideValue::max();  // saturate instead of wrapping
+}
+
+WideRange wide_prefix(const WideValue& base, int len) noexcept {
+  WideRange out;
+  for (int i = 0; i < kLimbs; ++i) {
+    const int hi_bits = std::clamp(len - 32 * i, 0, 32);
+    const uint32_t mask =
+        hi_bits == 0 ? 0u : (hi_bits >= 32 ? ~0u : ~0u << (32 - hi_bits));
+    out.lo.limb[static_cast<size_t>(i)] = base.limb[static_cast<size_t>(i)] & mask;
+    out.hi.limb[static_cast<size_t>(i)] = out.lo.limb[static_cast<size_t>(i)] | ~mask;
+  }
+  return out;
+}
+
+void canonicalize(WideRuleSet& rules) {
+  for (size_t i = 0; i < rules.size(); ++i) {
+    rules[i].id = static_cast<uint32_t>(i);
+    rules[i].priority = static_cast<int32_t>(i);
+  }
+}
+
+Range subfield_range(const WideRule& r, int field, int limb) noexcept {
+  const WideRange& w = r.field[static_cast<size_t>(field)];
+  for (int i = 0; i < limb; ++i) {
+    if (w.lo.limb[static_cast<size_t>(i)] != w.hi.limb[static_cast<size_t>(i)])
+      return Range{0, 0xFFFF'FFFFu};  // a higher limb ranges: no information here
+  }
+  return Range{w.lo.limb[static_cast<size_t>(limb)], w.hi.limb[static_cast<size_t>(limb)]};
+}
+
+double normalize_wide(const WideValue& v) noexcept {
+  // Horner over limbs: v / 2^128 in [0,1). Bits beyond the 53-bit mantissa
+  // are rounded away — deliberately so; this IS the lossy encoding.
+  double acc = 0.0;
+  for (int i = kLimbs - 1; i >= 0; --i)
+    acc = (acc + static_cast<double>(v.limb[static_cast<size_t>(i)])) / 4294967296.0;
+  return acc;
+}
+
+std::string to_string(const WideValue& v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%08x:%08x:%08x:%08x", v.limb[0], v.limb[1], v.limb[2],
+                v.limb[3]);
+  return buf;
+}
+
+WideRuleSet generate_mac_rules(size_t n, uint64_t seed) {
+  Rng rng{seed};
+  WideRuleSet rules;
+  rules.reserve(n);
+  // A station pool under a modest number of OUIs (vendor /24 blocks), like a
+  // campus L2 table: ~90% exact stations, ~10% OUI aggregates.
+  std::vector<uint64_t> ouis;
+  for (int i = 0; i < 64; ++i)
+    ouis.push_back((rng.next_u64() & 0xFFFFFFull) << 24);  // high 24 of 48
+  uint64_t station_counter = seed * 0x9E3779B97F4A7C15ull;
+  while (rules.size() < n) {
+    WideRule r;
+    r.field.resize(1);
+    if (rng.chance(0.9)) {
+      // Unique station address: OUI + mixed counter for the NIC part.
+      uint64_t nic = station_counter++;
+      nic = (nic ^ (nic >> 17)) * 0xBF58476D1CE4E5B9ull;
+      const uint64_t mac = ouis[rng.below(ouis.size())] | (nic & 0xFFFFFFull);
+      const WideValue v = WideValue::from_u64(mac);
+      r.field[0] = WideRange{v, v};
+    } else {
+      // The 48-bit MAC occupies 128-bit MSB positions 80..127, so its OUI
+      // (high 24 MAC bits) is a /104 prefix of the wide value.
+      r.field[0] =
+          wide_prefix(WideValue::from_u64(ouis[rng.below(ouis.size())]), 80 + 24);
+    }
+    r.action = static_cast<int32_t>(rng.below(48));
+    rules.push_back(r);
+  }
+  canonicalize(rules);
+  return rules;
+}
+
+WideRuleSet generate_ipv6_rules(size_t n, uint64_t seed) {
+  Rng rng{seed};
+  WideRuleSet rules;
+  rules.reserve(n);
+  // Deployment-like structure: all routes live under one registry /32 (high
+  // bits shared — exactly what starves a 53-bit mantissa), with a modest
+  // pool of /48 sites each carrying many /64 subnets and /128 hosts. Dense
+  // sites are what make the float encoding collapse: inside one site only
+  // the top handful of subnet bits survive the mantissa.
+  WideValue registry{};
+  registry.limb[0] = 0x20010db8u;  // 2001:db8::/32
+  uint64_t counter = seed * 1315423911ull;
+  const auto mix = [](uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    return z ^ (z >> 27);
+  };
+  std::vector<uint16_t> sites;
+  const size_t n_sites = std::max<size_t>(4, n / 256);
+  for (size_t i = 0; i < n_sites; ++i)
+    sites.push_back(static_cast<uint16_t>(mix(counter++)));
+  while (rules.size() < n) {
+    WideRule r;
+    r.field.resize(1);
+    WideValue base = registry;
+    base.limb[1] = static_cast<uint32_t>(sites[rng.below(sites.size())]) << 16;
+    const double u = rng.next_double();
+    // Subnets are numbered sequentially per site (0..255), as real sites
+    // allocate them — their distinguishing bits sit at the bottom of limb 1,
+    // far below what a double retains once the /32 registry prefix has
+    // consumed the mantissa's top bits.
+    if (u < 0.05) {
+      r.field[0] = wide_prefix(base, 48);  // site aggregate
+    } else if (u < 0.70) {
+      base.limb[1] |= static_cast<uint32_t>(rng.below(256));  // /64 subnet id
+      r.field[0] = wide_prefix(base, 64);
+    } else {
+      base.limb[1] |= static_cast<uint32_t>(rng.below(256));
+      base.limb[2] = static_cast<uint32_t>(mix(counter++));
+      base.limb[3] = static_cast<uint32_t>(mix(counter++));
+      r.field[0] = WideRange{base, base};  // /128 host route
+    }
+    r.action = static_cast<int32_t>(rng.below(48));
+    rules.push_back(r);
+  }
+  canonicalize(rules);
+  return rules;
+}
+
+std::vector<WidePacket> generate_wide_trace(const WideRuleSet& rules, size_t n_packets,
+                                            uint64_t seed) {
+  Rng rng{seed};
+  std::vector<WidePacket> trace;
+  trace.reserve(n_packets);
+  if (rules.empty()) return trace;
+  for (size_t i = 0; i < n_packets; ++i) {
+    const WideRule& r = rules[rng.below(rules.size())];
+    WidePacket p;
+    p.reserve(r.field.size());
+    for (const WideRange& w : r.field) {
+      // Uniform point inside the range: randomize limbs below the common
+      // prefix of lo/hi, clamped back into the range.
+      WideValue v = w.lo;
+      for (int l = 0; l < kLimbs; ++l) {
+        if (w.lo.limb[static_cast<size_t>(l)] == w.hi.limb[static_cast<size_t>(l)]) continue;
+        for (int k = l; k < kLimbs; ++k)
+          v.limb[static_cast<size_t>(k)] = rng.next_u32();
+        break;
+      }
+      if (!(w.lo <= v)) v = w.lo;
+      if (!(v <= w.hi)) v = w.hi;
+      p.push_back(v);
+    }
+    trace.push_back(std::move(p));
+  }
+  return trace;
+}
+
+}  // namespace nuevomatch::wide

@@ -1,0 +1,141 @@
+// Long-field classification (paper Section 4, "Handling long fields").
+//
+// iSet partitioning and RQ-RMI models operate on single-precision keys. For
+// 64-bit (MAC) and 128-bit (IPv6) fields the paper compares two encodings:
+//
+//   1. SPLIT  — break the field into 32-bit sub-fields and treat each as a
+//               distinct dimension. Lossless, but a sub-field carries range
+//               information only while all more-significant sub-fields are
+//               exact.
+//   2. FLOAT  — map the whole field to one floating-point scalar. Compact,
+//               but values differing only below the 53-bit mantissa collapse
+//               to the same key, which destroys the partitioner's ability to
+//               tell rules apart.
+//
+// The paper reports the two behave alike on 48-bit MACs (they fit the
+// mantissa) while SPLIT wins on IPv6 — behaviour these types reproduce from
+// first principles. Validation always runs on the original wide fields, so
+// both encodings classify correctly; the encoding only affects coverage.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nuevomatch::wide {
+
+/// Limbs per wide value: 4 x 32 = 128 bits, most-significant limb first.
+inline constexpr int kLimbs = 4;
+
+/// A fixed-width 128-bit unsigned value (big-endian limb order).
+struct WideValue {
+  std::array<uint32_t, kLimbs> limb{};
+
+  [[nodiscard]] friend constexpr auto operator<=>(const WideValue& a,
+                                                  const WideValue& b) noexcept {
+    for (int i = 0; i < kLimbs; ++i) {
+      if (a.limb[static_cast<size_t>(i)] != b.limb[static_cast<size_t>(i)])
+        return a.limb[static_cast<size_t>(i)] <=> b.limb[static_cast<size_t>(i)];
+    }
+    return std::strong_ordering::equal;
+  }
+  [[nodiscard]] friend constexpr bool operator==(const WideValue&,
+                                                 const WideValue&) = default;
+
+  /// Construct from a 64-bit scalar (lands in the two low limbs).
+  [[nodiscard]] static constexpr WideValue from_u64(uint64_t v) noexcept {
+    WideValue out;
+    out.limb[2] = static_cast<uint32_t>(v >> 32);
+    out.limb[3] = static_cast<uint32_t>(v);
+    return out;
+  }
+  /// Value with every bit set (the all-wildcard upper bound).
+  [[nodiscard]] static constexpr WideValue max() noexcept {
+    WideValue out;
+    for (auto& l : out.limb) l = 0xFFFF'FFFFu;
+    return out;
+  }
+  /// +1 with carry; saturates at max().
+  [[nodiscard]] WideValue next() const noexcept;
+};
+
+/// Inclusive range over wide values.
+struct WideRange {
+  WideValue lo{};
+  WideValue hi{};
+
+  [[nodiscard]] bool contains(const WideValue& v) const noexcept {
+    return lo <= v && v <= hi;
+  }
+  [[nodiscard]] bool overlaps(const WideRange& o) const noexcept {
+    return lo <= o.hi && o.lo <= hi;
+  }
+  [[nodiscard]] bool is_exact() const noexcept { return lo == hi; }
+  [[nodiscard]] static WideRange full() noexcept { return {WideValue{}, WideValue::max()}; }
+  friend bool operator==(const WideRange&, const WideRange&) = default;
+};
+
+/// Prefix of length `len` (0..128) starting at `base` -> inclusive range.
+[[nodiscard]] WideRange wide_prefix(const WideValue& base, int len) noexcept;
+
+/// A classification rule over `n_fields` wide dimensions.
+struct WideRule {
+  std::vector<WideRange> field;
+  int32_t priority = 0;
+  uint32_t id = 0;
+  int32_t action = 0;
+
+  [[nodiscard]] bool matches(const std::vector<WideValue>& packet) const noexcept {
+    for (size_t f = 0; f < field.size(); ++f) {
+      if (!field[f].contains(packet[f])) return false;
+    }
+    return true;
+  }
+};
+
+using WideRuleSet = std::vector<WideRule>;
+using WidePacket = std::vector<WideValue>;
+
+/// Re-number ids/priorities to the dense convention, preserving order.
+void canonicalize(WideRuleSet& rules);
+
+// --- encoding 1: 32-bit sub-fields ------------------------------------------
+
+/// The 32-bit range rule `r` induces on sub-field (field, limb): the limb's
+/// [lo, hi] when every more-significant limb is exact, otherwise the full
+/// 32-bit wildcard (the information the split encoding genuinely preserves).
+[[nodiscard]] Range subfield_range(const WideRule& r, int field, int limb) noexcept;
+
+// --- encoding 2: one lossy float --------------------------------------------
+
+/// Normalize a wide value into [0,1) in double precision. Monotone
+/// (non-decreasing), but NOT injective: bits below the 53-bit mantissa are
+/// lost — the precise failure mode Section 4 reports for IPv6.
+[[nodiscard]] double normalize_wide(const WideValue& v) noexcept;
+
+// --- formatting ---------------------------------------------------------------
+
+[[nodiscard]] std::string to_string(const WideValue& v);  // hex, ipv6-style
+
+// --- synthetic workloads (paper Section 4's two cases) -----------------------
+
+/// L2-forwarding-style rule-set: one 48-bit MAC field, mostly exact
+/// station addresses plus a few OUI (/24) aggregates.
+[[nodiscard]] WideRuleSet generate_mac_rules(size_t n, uint64_t seed);
+
+/// IPv6 forwarding-style rule-set: one 128-bit destination field with
+/// production-like prefix lengths (/32../64 aggregates, /128 hosts) that
+/// differ only far below double precision.
+[[nodiscard]] WideRuleSet generate_ipv6_rules(size_t n, uint64_t seed);
+
+/// Uniform packet trace over the rules (every rule equally likely).
+[[nodiscard]] std::vector<WidePacket> generate_wide_trace(const WideRuleSet& rules,
+                                                          size_t n_packets,
+                                                          uint64_t seed);
+
+}  // namespace nuevomatch::wide

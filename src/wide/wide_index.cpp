@@ -1,0 +1,229 @@
+#include "wide/wide_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nuevomatch::wide {
+
+namespace {
+
+/// Normalized half-open key interval of a rule in one dimension, plus the
+/// inclusive key of a packet value in the same dimension. Both encodings
+/// funnel through this so the partitioner, the index and the lookup agree
+/// exactly on what "overlap" means.
+struct KeySpan {
+  double lo = 0.0;  // inclusive
+  double hi = 0.0;  // exclusive
+};
+
+KeySpan span_of(Encoding enc, const WideRule& r, int field, int limb) noexcept {
+  if (enc == Encoding::kSplit) {
+    const Range sub = subfield_range(r, field, limb);
+    return {static_cast<double>(sub.lo) / 4294967296.0,
+            (static_cast<double>(sub.hi) + 1.0) / 4294967296.0};
+  }
+  const WideRange& w = r.field[static_cast<size_t>(field)];
+  const double lo = normalize_wide(w.lo);
+  const double hi_true = normalize_wide(w.hi);
+  double hi = normalize_wide(w.hi.next());
+  // The span must strictly contain every in-range key: keys are <= hi_true
+  // (normalize is monotone), so the half-open end must exceed hi_true even
+  // when mantissa collapse rounds hi.next() onto hi — otherwise an in-range
+  // packet lands on the boundary, where the model gives no guarantee.
+  if (hi <= hi_true) hi = std::nextafter(hi_true, 2.0);
+  if (hi <= lo) hi = std::nextafter(lo, 2.0);
+  return {lo, hi};
+}
+
+double key_of_value(Encoding enc, const WideValue& v, int limb) noexcept {
+  if (enc == Encoding::kSplit)
+    return static_cast<double>(v.limb[static_cast<size_t>(limb)]) / 4294967296.0;
+  return normalize_wide(v);
+}
+
+int limbs_for(Encoding enc) noexcept { return enc == Encoding::kSplit ? kLimbs : 1; }
+
+}  // namespace
+
+std::string to_string(Encoding e) {
+  return e == Encoding::kSplit ? "split32" : "float";
+}
+
+void WideIsetIndex::build(Encoding enc, int field, int limb, std::vector<WideRule> rules,
+                          const rqrmi::RqRmiConfig& cfg) {
+  enc_ = enc;
+  field_ = field;
+  limb_ = limb;
+  rules_ = std::move(rules);
+  key_lo_.resize(rules_.size());
+  key_hi_.resize(rules_.size());
+  std::vector<rqrmi::KeyInterval> intervals;
+  intervals.reserve(rules_.size());
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const KeySpan s = span_of(enc_, rules_[i], field_, limb_);
+    key_lo_[i] = s.lo;
+    key_hi_[i] = s.hi;
+    if (i > 0 && key_lo_[i] < key_hi_[i - 1])
+      throw std::invalid_argument{"WideIsetIndex: rules must be disjoint in the key space"};
+    intervals.push_back(rqrmi::KeyInterval{s.lo, s.hi, static_cast<uint32_t>(i)});
+  }
+  model_.build(std::move(intervals), cfg);
+}
+
+double WideIsetIndex::key_of(const WidePacket& p) const noexcept {
+  return key_of_value(enc_, p[static_cast<size_t>(field_)], limb_);
+}
+
+MatchResult WideIsetIndex::lookup(const WidePacket& p) const noexcept {
+  if (rules_.empty()) return MatchResult{};
+  const double key = key_of(p);
+  const auto pred = model_.lookup(static_cast<float>(key));
+  const auto n = static_cast<int64_t>(rules_.size());
+  const int64_t first = std::max<int64_t>(0, static_cast<int64_t>(pred.index) - pred.search_error);
+  const int64_t last = std::min<int64_t>(n - 1, static_cast<int64_t>(pred.index) + pred.search_error);
+  // Last stored span with lo <= key inside the window.
+  const auto begin = key_lo_.begin() + first;
+  const auto end = key_lo_.begin() + last + 1;
+  const auto it = std::upper_bound(begin, end, key);
+  if (it == begin) return MatchResult{};
+  const auto pos = static_cast<size_t>((it - 1) - key_lo_.begin());
+  // Validate on the ORIGINAL wide fields: float collapse can only produce a
+  // candidate that validation rejects, never a wrong accept. When the
+  // packet's key falls exactly on a collapsed boundary (the true interval's
+  // end rounds onto the next interval's start), the true match is one slot
+  // earlier; key_lo_ is strictly increasing, so one step back is complete.
+  if (rules_[pos].matches(p))
+    return MatchResult{static_cast<int32_t>(rules_[pos].id), rules_[pos].priority};
+  if (pos > 0 && key_lo_[pos] == key && rules_[pos - 1].matches(p))
+    return MatchResult{static_cast<int32_t>(rules_[pos - 1].id), rules_[pos - 1].priority};
+  return MatchResult{};
+}
+
+WidePartition partition_wide(const WideRuleSet& rules, const WidePartitionConfig& cfg) {
+  WidePartition out;
+  out.total_rules = rules.size();
+  if (rules.empty()) return out;
+  const size_t n_fields = rules.front().field.size();
+  const auto min_rules = static_cast<size_t>(
+      cfg.min_coverage_fraction * static_cast<double>(rules.size()));
+
+  std::vector<WideRule> pool = rules;
+  for (int round = 0; round < cfg.max_isets && !pool.empty(); ++round) {
+    // Interval scheduling per dimension; keep the largest winner.
+    std::vector<size_t> best_pick;
+    int best_field = -1;
+    int best_limb = 0;
+    for (size_t f = 0; f < n_fields; ++f) {
+      for (int limb = 0; limb < limbs_for(cfg.encoding); ++limb) {
+        std::vector<size_t> order(pool.size());
+        for (size_t i = 0; i < pool.size(); ++i) order[i] = i;
+        std::vector<KeySpan> spans(pool.size());
+        for (size_t i = 0; i < pool.size(); ++i)
+          spans[i] = span_of(cfg.encoding, pool[i], static_cast<int>(f), limb);
+        std::sort(order.begin(), order.end(),
+                  [&](size_t a, size_t b) { return spans[a].hi < spans[b].hi; });
+        std::vector<size_t> pick;
+        double frontier = -1.0;
+        for (size_t i : order) {
+          if (spans[i].lo >= frontier) {
+            pick.push_back(i);
+            frontier = spans[i].hi;
+          }
+        }
+        if (pick.size() > best_pick.size()) {
+          best_pick = std::move(pick);
+          best_field = static_cast<int>(f);
+          best_limb = limb;
+        }
+      }
+    }
+    if (best_field < 0 || best_pick.size() < std::max<size_t>(1, min_rules)) break;
+
+    WidePartition::Iset iset;
+    iset.field = best_field;
+    iset.limb = best_limb;
+    std::vector<uint8_t> taken(pool.size(), 0);
+    for (size_t i : best_pick) taken[i] = 1;
+    for (size_t i = 0; i < pool.size(); ++i)
+      if (taken[i]) iset.rules.push_back(pool[i]);
+    std::sort(iset.rules.begin(), iset.rules.end(), [&](const WideRule& a, const WideRule& b) {
+      return span_of(cfg.encoding, a, best_field, best_limb).lo <
+             span_of(cfg.encoding, b, best_field, best_limb).lo;
+    });
+    out.isets.push_back(std::move(iset));
+
+    std::vector<WideRule> rest;
+    rest.reserve(pool.size() - best_pick.size());
+    for (size_t i = 0; i < pool.size(); ++i)
+      if (!taken[i]) rest.push_back(pool[i]);
+    pool = std::move(rest);
+  }
+  out.remainder = std::move(pool);
+  return out;
+}
+
+void WideClassifier::build(WideRuleSet rules, const Config& cfg) {
+  n_rules_ = rules.size();
+  isets_.clear();
+  WidePartitionConfig pc;
+  pc.encoding = cfg.encoding;
+  pc.max_isets = cfg.max_isets;
+  pc.min_coverage_fraction = cfg.min_coverage_fraction;
+  WidePartition part = partition_wide(rules, pc);
+  for (auto& is : part.isets) {
+    auto rc = rqrmi::default_config(is.rules.size());
+    rc.error_threshold = cfg.error_threshold;
+    rc.seed = cfg.seed;
+    WideIsetIndex idx;
+    idx.build(cfg.encoding, is.field, is.limb, std::move(is.rules), rc);
+    isets_.push_back(std::move(idx));
+  }
+  remainder_ = std::move(part.remainder);
+  std::sort(remainder_.begin(), remainder_.end(),
+            [](const WideRule& a, const WideRule& b) { return a.priority < b.priority; });
+}
+
+MatchResult WideClassifier::match(const WidePacket& p) const noexcept {
+  MatchResult best;
+  for (const WideIsetIndex& is : isets_) {
+    const MatchResult r = is.lookup(p);
+    if (r.beats(best)) best = r;
+  }
+  for (const WideRule& r : remainder_) {
+    if (best.hit() && r.priority >= best.priority) break;  // sorted by priority
+    if (r.matches(p)) {
+      best = MatchResult{static_cast<int32_t>(r.id), r.priority};
+      break;
+    }
+  }
+  return best;
+}
+
+double WideClassifier::coverage() const noexcept {
+  if (n_rules_ == 0) return 0.0;
+  size_t covered = 0;
+  for (const auto& is : isets_) covered += is.size();
+  return static_cast<double>(covered) / static_cast<double>(n_rules_);
+}
+
+size_t WideClassifier::model_bytes() const noexcept {
+  size_t bytes = 0;
+  for (const auto& is : isets_) bytes += is.model_bytes();
+  return bytes;
+}
+
+void WideLinearSearch::build(WideRuleSet rules) {
+  rules_ = std::move(rules);
+  std::sort(rules_.begin(), rules_.end(),
+            [](const WideRule& a, const WideRule& b) { return a.priority < b.priority; });
+}
+
+MatchResult WideLinearSearch::match(const WidePacket& p) const noexcept {
+  for (const WideRule& r : rules_) {
+    if (r.matches(p)) return MatchResult{static_cast<int32_t>(r.id), r.priority};
+  }
+  return MatchResult{};
+}
+
+}  // namespace nuevomatch::wide

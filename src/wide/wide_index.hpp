@@ -1,0 +1,124 @@
+// iSet partitioning + RQ-RMI indexing for long-field rules under the two
+// encodings of paper Section 4 (SPLIT into 32-bit sub-fields vs one lossy
+// FLOAT scalar). Validation always runs against the original wide fields, so
+// both encodings are exact classifiers; the encoding decides only how many
+// rules the partitioner can place into iSets (coverage) — the quantity the
+// paper compares.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rqrmi/model.hpp"
+#include "wide/wide.hpp"
+
+namespace nuevomatch::wide {
+
+enum class Encoding {
+  kSplit,  ///< 32-bit sub-fields; dimension = (field, limb)
+  kFloat,  ///< one double per field; dimension = field
+};
+
+[[nodiscard]] std::string to_string(Encoding e);
+
+/// One wide iSet: rules non-overlapping in the chosen dimension, indexed by
+/// an RQ-RMI over normalized keys, validated against the wide fields.
+class WideIsetIndex {
+ public:
+  /// `rules` must be sorted and pairwise disjoint in the dimension's key
+  /// space (what WidePartition produces).
+  void build(Encoding enc, int field, int limb, std::vector<WideRule> rules,
+             const rqrmi::RqRmiConfig& cfg);
+
+  [[nodiscard]] MatchResult lookup(const WidePacket& p) const noexcept;
+
+  [[nodiscard]] size_t size() const noexcept { return rules_.size(); }
+  [[nodiscard]] int field() const noexcept { return field_; }
+  [[nodiscard]] int limb() const noexcept { return limb_; }
+  [[nodiscard]] size_t model_bytes() const noexcept { return model_.memory_bytes(); }
+  [[nodiscard]] uint32_t max_search_error() const noexcept {
+    return model_.max_search_error();
+  }
+  [[nodiscard]] const std::vector<WideRule>& rules() const noexcept { return rules_; }
+
+ private:
+  [[nodiscard]] double key_of(const WidePacket& p) const noexcept;
+
+  Encoding enc_ = Encoding::kSplit;
+  int field_ = 0;
+  int limb_ = 0;
+  std::vector<double> key_lo_;  // sorted normalized range starts
+  std::vector<double> key_hi_;  // inclusive normalized range ends
+  std::vector<WideRule> rules_;
+  rqrmi::RqRmi model_;
+};
+
+/// Greedy largest-iSet-first partition over every dimension the encoding
+/// exposes (paper Section 3.6.1 generalized to wide dimensions).
+struct WidePartition {
+  struct Iset {
+    int field = 0;
+    int limb = 0;  // meaningful for kSplit only
+    std::vector<WideRule> rules;
+  };
+  std::vector<Iset> isets;
+  std::vector<WideRule> remainder;
+  size_t total_rules = 0;
+
+  [[nodiscard]] double coverage() const noexcept {
+    if (total_rules == 0) return 0.0;
+    size_t covered = 0;
+    for (const auto& s : isets) covered += s.rules.size();
+    return static_cast<double>(covered) / static_cast<double>(total_rules);
+  }
+};
+
+struct WidePartitionConfig {
+  Encoding encoding = Encoding::kSplit;
+  int max_isets = 4;
+  double min_coverage_fraction = 0.05;
+};
+
+[[nodiscard]] WidePartition partition_wide(const WideRuleSet& rules,
+                                           const WidePartitionConfig& cfg);
+
+/// End-to-end wide classifier: iSets under the chosen encoding + a linear
+/// remainder, selector by priority (the NuevoMatch flow of Figure 1 on wide
+/// rules; the remainder engine is linear because the substrate baselines are
+/// 32-bit-field only).
+class WideClassifier {
+ public:
+  struct Config {
+    Encoding encoding = Encoding::kSplit;
+    int max_isets = 4;
+    double min_coverage_fraction = 0.05;
+    uint32_t error_threshold = 64;
+    uint64_t seed = 7;
+  };
+
+  void build(WideRuleSet rules, const Config& cfg);
+  [[nodiscard]] MatchResult match(const WidePacket& p) const noexcept;
+
+  [[nodiscard]] double coverage() const noexcept;
+  [[nodiscard]] size_t size() const noexcept { return n_rules_; }
+  [[nodiscard]] const std::vector<WideIsetIndex>& isets() const noexcept { return isets_; }
+  [[nodiscard]] size_t remainder_size() const noexcept { return remainder_.size(); }
+  [[nodiscard]] size_t model_bytes() const noexcept;
+
+ private:
+  std::vector<WideIsetIndex> isets_;
+  std::vector<WideRule> remainder_;  // priority-sorted for early exit
+  size_t n_rules_ = 0;
+};
+
+/// Ground-truth oracle.
+class WideLinearSearch {
+ public:
+  void build(WideRuleSet rules);
+  [[nodiscard]] MatchResult match(const WidePacket& p) const noexcept;
+
+ private:
+  WideRuleSet rules_;  // priority-sorted
+};
+
+}  // namespace nuevomatch::wide

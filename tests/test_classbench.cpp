@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "classbench/generator.hpp"
+#include "classbench/parser.hpp"
+#include "isets/interval_scheduling.hpp"
+
+namespace nuevomatch {
+namespace {
+
+TEST(Generator, ProducesRequestedSizeAndValidRules) {
+  for (auto app : {AppClass::kAcl, AppClass::kFw, AppClass::kIpc}) {
+    const RuleSet rules = generate_classbench(app, 1, 2345, 1);
+    EXPECT_EQ(rules.size(), 2345u);
+    EXPECT_EQ(validate_ruleset(rules), "");
+  }
+}
+
+TEST(Generator, DeterministicPerSeedAndVariant) {
+  const RuleSet a = generate_classbench(AppClass::kAcl, 2, 500, 7);
+  const RuleSet b = generate_classbench(AppClass::kAcl, 2, 500, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].field[kDstIp].lo, b[i].field[kDstIp].lo);
+  const RuleSet c = generate_classbench(AppClass::kAcl, 3, 500, 7);
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i)
+    differs |= a[i].field[kDstIp].lo != c[i].field[kDstIp].lo;
+  EXPECT_TRUE(differs) << "variants must generate different sets";
+}
+
+TEST(Generator, DiversityGrowsWithSize) {
+  // The structural property behind paper Table 2: larger sets are dominated
+  // by distinct specific rules, so dst-IP diversity rises with n.
+  const double d1k = ruleset_diversity(generate_classbench(AppClass::kAcl, 1, 1000, 3), kDstIp);
+  const double d50k =
+      ruleset_diversity(generate_classbench(AppClass::kAcl, 1, 50'000, 3), kDstIp);
+  EXPECT_GT(d50k, d1k);
+}
+
+TEST(Generator, FwHasMoreWildcardsThanAcl) {
+  const RuleSet acl = generate_classbench(AppClass::kAcl, 1, 5000, 4);
+  const RuleSet fw = generate_classbench(AppClass::kFw, 1, 5000, 4);
+  const auto wildcard_frac = [](const RuleSet& rs, int field) {
+    size_t n = 0;
+    for (const Rule& r : rs) n += r.is_wildcard(field);
+    return static_cast<double>(n) / static_cast<double>(rs.size());
+  };
+  EXPECT_GT(wildcard_frac(fw, kSrcPort) + wildcard_frac(fw, kDstPort),
+            wildcard_frac(acl, kSrcPort) + wildcard_frac(acl, kDstPort) - 0.05);
+}
+
+TEST(Generator, PaperSuiteHasTwelveNamedSets) {
+  const auto suite = paper_suite();
+  ASSERT_EQ(suite.size(), 12u);
+  EXPECT_EQ(ruleset_name(suite[0].first, suite[0].second), "ACL1");
+  EXPECT_EQ(ruleset_name(suite[5].first, suite[5].second), "FW1");
+  EXPECT_EQ(ruleset_name(suite[10].first, suite[10].second), "IPC1");
+}
+
+TEST(Generator, LowDiversityHasFewUniqueValues) {
+  const RuleSet rules = generate_low_diversity(5000, 8, 5);
+  EXPECT_EQ(rules.size(), 5000u);
+  EXPECT_EQ(validate_ruleset(rules), "");
+  std::unordered_set<uint32_t> uniq;
+  for (const Rule& r : rules) uniq.insert(r.field[kDstIp].lo);
+  EXPECT_LE(uniq.size(), 8u);
+  EXPECT_LT(ruleset_diversity(rules, kDstIp), 0.01);
+}
+
+TEST(Generator, BlendReplacesRequestedFraction) {
+  const RuleSet base = generate_classbench(AppClass::kAcl, 1, 4000, 6);
+  const RuleSet mixed = blend_low_diversity(base, 0.5, 7);
+  ASSERT_EQ(mixed.size(), base.size());
+  // Low-diversity rules are exact in all fields; count them.
+  size_t exact_all = 0;
+  for (const Rule& r : mixed) {
+    bool all = true;
+    for (int f = 0; f < kNumFields; ++f) all &= r.field[static_cast<size_t>(f)].is_exact();
+    exact_all += all;
+  }
+  EXPECT_NEAR(static_cast<double>(exact_all) / mixed.size(), 0.5, 0.1);
+}
+
+TEST(Parser, ParsesCanonicalLine) {
+  const auto r =
+      parse_classbench_line("@1.2.3.0/24\t10.0.0.0/8\t0 : 65535\t80 : 80\t6/0xFF");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->field[kSrcIp].lo, 0x01020300u);
+  EXPECT_EQ(r->field[kSrcIp].hi, 0x010203FFu);
+  EXPECT_EQ(r->field[kDstIp].lo, 0x0A000000u);
+  EXPECT_EQ(r->field[kSrcPort], (Range{0, 65535}));
+  EXPECT_EQ(r->field[kDstPort], (Range{80, 80}));
+  EXPECT_EQ(r->field[kProto], (Range{6, 6}));
+}
+
+TEST(Parser, WildcardProtocolMask) {
+  const auto r = parse_classbench_line("@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 65535 0/0x00");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->field[kProto], full_range(kProto));
+}
+
+TEST(Parser, IgnoresTrailingColumns) {
+  const auto r = parse_classbench_line(
+      "@1.2.3.4/32 5.6.7.8/32 10 : 20 30 : 40 17/0xFF 0x0000/0x0200");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->field[kProto], (Range{17, 17}));
+}
+
+TEST(Parser, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_classbench_line("").has_value());
+  EXPECT_FALSE(parse_classbench_line("# comment").has_value());
+  EXPECT_FALSE(parse_classbench_line("@1.2.3/24 ...").has_value());
+  EXPECT_FALSE(parse_classbench_line("@1.2.3.4/33 5.6.7.8/32 0:1 0:1 6/0xFF").has_value());
+  EXPECT_FALSE(parse_classbench_line("@1.2.3.4/32 5.6.7.8/32 20 : 10 0 : 1 6/0xFF").has_value());
+}
+
+TEST(Parser, RoundTripsGeneratedRules) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 300, 8);
+  std::ostringstream os;
+  write_classbench(os, rules);
+  std::istringstream is{os.str()};
+  size_t skipped = 0;
+  const RuleSet back = parse_classbench(is, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(back.size(), rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    // IP prefixes and exact protos round-trip exactly; port ranges too.
+    EXPECT_EQ(back[i].field[kSrcPort], rules[i].field[kSrcPort]) << i;
+    EXPECT_EQ(back[i].field[kDstPort], rules[i].field[kDstPort]) << i;
+    EXPECT_EQ(back[i].field[kDstIp], rules[i].field[kDstIp]) << i;
+  }
+}
+
+TEST(Parser, StreamSkipsJunkLines) {
+  std::istringstream is{
+      "# classbench header\n"
+      "@1.2.3.0/24 0.0.0.0/0 0 : 65535 80 : 80 6/0xFF\n"
+      "not a rule\n"
+      "@4.5.6.0/24 0.0.0.0/0 0 : 65535 443 : 443 6/0xFF\n"};
+  size_t skipped = 0;
+  const RuleSet rules = parse_classbench(is, &skipped);
+  EXPECT_EQ(rules.size(), 2u);
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_EQ(rules[0].id, 0u);
+  EXPECT_EQ(rules[1].priority, 1);
+}
+
+}  // namespace
+}  // namespace nuevomatch

@@ -1,0 +1,141 @@
+// Interval scheduling maximization vs exhaustive search, plus the paper's
+// diversity/centrality metrics (§3.7).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isets/interval_scheduling.hpp"
+
+namespace nuevomatch {
+namespace {
+
+RuleSet random_rules(size_t n, uint64_t seed, uint32_t domain = 1000) {
+  Rng rng{seed};
+  RuleSet rules(n);
+  for (auto& r : rules) {
+    for (int f = 0; f < kNumFields; ++f) r.field[static_cast<size_t>(f)] = full_range(f);
+    const auto lo = static_cast<uint32_t>(rng.below(domain));
+    const auto hi = static_cast<uint32_t>(std::min<uint64_t>(domain - 1, lo + rng.below(domain / 4)));
+    r.field[kDstIp] = Range{lo, hi};
+  }
+  canonicalize(rules);
+  return rules;
+}
+
+/// Exhaustive maximum independent set over one field (n <= ~16).
+size_t brute_force_best(const RuleSet& rules, int field) {
+  const size_t n = rules.size();
+  size_t best = 0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    bool ok = true;
+    for (size_t i = 0; i < n && ok; ++i) {
+      if (!(mask & (1u << i))) continue;
+      for (size_t j = i + 1; j < n && ok; ++j) {
+        if (!(mask & (1u << j))) continue;
+        if (rules[i].field[static_cast<size_t>(field)].overlaps(
+                rules[j].field[static_cast<size_t>(field)]))
+          ok = false;
+      }
+    }
+    if (ok) best = std::max(best, static_cast<size_t>(__builtin_popcount(mask)));
+  }
+  return best;
+}
+
+class SchedulingOptimality : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulingOptimality, GreedyMatchesBruteForce) {
+  const RuleSet rules = random_rules(12, GetParam());
+  const auto greedy = max_independent_set(rules, kDstIp);
+  EXPECT_EQ(greedy.size(), brute_force_best(rules, kDstIp));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulingOptimality, ::testing::Range<uint64_t>(1, 25));
+
+TEST(Scheduling, OutputIsDisjointAndSorted) {
+  const RuleSet rules = random_rules(500, 77);
+  const auto set = max_independent_set(rules, kDstIp);
+  for (size_t i = 1; i < set.size(); ++i) {
+    const Range& prev = rules[set[i - 1]].field[kDstIp];
+    const Range& cur = rules[set[i]].field[kDstIp];
+    EXPECT_LT(prev.hi, cur.lo);
+  }
+}
+
+TEST(Scheduling, AllDisjointInputTakenWhole) {
+  RuleSet rules(100);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (int f = 0; f < kNumFields; ++f) rules[i].field[static_cast<size_t>(f)] = full_range(f);
+    rules[i].field[kDstIp] = Range{static_cast<uint32_t>(i * 10),
+                                   static_cast<uint32_t>(i * 10 + 5)};
+  }
+  canonicalize(rules);
+  EXPECT_EQ(max_independent_set(rules, kDstIp).size(), rules.size());
+}
+
+TEST(Scheduling, AllOverlappingInputYieldsOne) {
+  RuleSet rules(50);
+  for (auto& r : rules) {
+    for (int f = 0; f < kNumFields; ++f) r.field[static_cast<size_t>(f)] = full_range(f);
+  }
+  canonicalize(rules);
+  EXPECT_EQ(max_independent_set(rules, kDstIp).size(), 1u);
+}
+
+TEST(Scheduling, EmptyInput) {
+  EXPECT_TRUE(max_independent_set({}, kDstIp).empty());
+}
+
+TEST(Diversity, ExactMatchDiversity) {
+  RuleSet rules(10);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (int f = 0; f < kNumFields; ++f) rules[i].field[static_cast<size_t>(f)] = full_range(f);
+    rules[i].field[kDstPort] = Range{static_cast<uint32_t>(i % 5), static_cast<uint32_t>(i % 5)};
+  }
+  canonicalize(rules);
+  EXPECT_DOUBLE_EQ(ruleset_diversity(rules, kDstPort), 0.5);
+  EXPECT_DOUBLE_EQ(ruleset_diversity({}, kDstPort), 0.0);
+}
+
+TEST(Diversity, UpperBoundsLargestIsetFraction) {
+  // Paper §3.7: diversity upper-bounds the largest iSet's fraction for
+  // exact-match fields.
+  Rng rng{5};
+  RuleSet rules(200);
+  for (auto& r : rules) {
+    for (int f = 0; f < kNumFields; ++f) r.field[static_cast<size_t>(f)] = full_range(f);
+    const auto v = static_cast<uint32_t>(rng.below(37));
+    r.field[kDstPort] = Range{v, v};
+  }
+  canonicalize(rules);
+  const double diversity = ruleset_diversity(rules, kDstPort);
+  const double largest =
+      static_cast<double>(max_independent_set(rules, kDstPort).size()) /
+      static_cast<double>(rules.size());
+  EXPECT_LE(largest, diversity + 1e-12);
+}
+
+TEST(Centrality, MaxOverlapDepth) {
+  RuleSet rules(3);
+  for (auto& r : rules)
+    for (int f = 0; f < kNumFields; ++f) r.field[static_cast<size_t>(f)] = full_range(f);
+  rules[0].field[kDstIp] = Range{0, 100};
+  rules[1].field[kDstIp] = Range{50, 150};
+  rules[2].field[kDstIp] = Range{200, 300};
+  canonicalize(rules);
+  EXPECT_EQ(ruleset_centrality(rules, kDstIp), 2u);
+}
+
+TEST(Centrality, LowerBoundsIsetCount) {
+  // A set with centrality k needs >= k iSets for full coverage in that field.
+  RuleSet rules(8);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (int f = 0; f < kNumFields; ++f) rules[i].field[static_cast<size_t>(f)] = full_range(f);
+    rules[i].field[kDstIp] = Range{0, static_cast<uint32_t>(100 + i)};  // all share 0
+  }
+  canonicalize(rules);
+  EXPECT_EQ(ruleset_centrality(rules, kDstIp), rules.size());
+  EXPECT_EQ(max_independent_set(rules, kDstIp).size(), 1u);
+}
+
+}  // namespace
+}  // namespace nuevomatch

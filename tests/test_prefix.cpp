@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/prefix.hpp"
+
+namespace nuevomatch {
+namespace {
+
+TEST(Prefix, ZeroLengthIsWildcard) {
+  const Range r = prefix_to_range(0xDEADBEEF, 0);
+  EXPECT_EQ(r.lo, 0u);
+  EXPECT_EQ(r.hi, 0xFFFFFFFFu);
+}
+
+TEST(Prefix, FullLengthIsExact) {
+  const Range r = prefix_to_range(0xDEADBEEF, 32);
+  EXPECT_EQ(r.lo, 0xDEADBEEFu);
+  EXPECT_EQ(r.hi, 0xDEADBEEFu);
+}
+
+TEST(Prefix, Slash24Block) {
+  const Range r = prefix_to_range(0x0A0A0A63, 24);  // 10.10.10.99/24
+  EXPECT_EQ(r.lo, 0x0A0A0A00u);
+  EXPECT_EQ(r.hi, 0x0A0A0AFFu);
+}
+
+class PrefixRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixRoundTrip, RangeToPrefixInvertsPrefixToRange) {
+  const int len = GetParam();
+  const uint32_t addr = 0xC0A80102u;  // 192.168.1.2
+  const Range r = prefix_to_range(addr, len);
+  const auto back = range_to_prefix_len(r);
+  ASSERT_TRUE(back.has_value()) << "len=" << len;
+  EXPECT_EQ(*back, len);
+  EXPECT_EQ(r.span(), uint64_t{1} << (32 - len));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixRoundTrip, ::testing::Range(0, 33));
+
+TEST(Prefix, NonPrefixRangeHasNoLength) {
+  EXPECT_FALSE(range_to_prefix_len(Range{1, 3}).has_value());   // misaligned
+  EXPECT_FALSE(range_to_prefix_len(Range{0, 2}).has_value());   // size not 2^k
+  EXPECT_TRUE(range_to_prefix_len(Range{0, 3}).has_value());
+  EXPECT_FALSE(range_to_prefix_len(Range{2, 5}).has_value());
+}
+
+TEST(Prefix, CoveringPrefixLen) {
+  EXPECT_EQ(covering_prefix_len(Range{5, 5}), 32);
+  EXPECT_EQ(covering_prefix_len(Range{0x0A000000, 0x0AFFFFFF}), 8);
+  // Range crossing a /8 boundary must be covered by something shorter.
+  EXPECT_LT(covering_prefix_len(Range{0x0AFFFFFF, 0x0B000000}), 8);
+}
+
+TEST(Prefix, ParseIpv4Valid) {
+  EXPECT_EQ(parse_ipv4("10.10.3.100"), 0x0A0A0364u);
+  EXPECT_EQ(parse_ipv4("0.0.0.0"), 0u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255"), 0xFFFFFFFFu);
+}
+
+TEST(Prefix, ParseIpv4Invalid) {
+  EXPECT_FALSE(parse_ipv4("10.10.3").has_value());
+  EXPECT_FALSE(parse_ipv4("10.10.3.256").has_value());
+  EXPECT_FALSE(parse_ipv4("10.10.3.1.2").has_value());
+  EXPECT_FALSE(parse_ipv4("a.b.c.d").has_value());
+  EXPECT_FALSE(parse_ipv4("").has_value());
+}
+
+TEST(Prefix, FormatRoundTrips) {
+  for (uint32_t a : {0u, 0x0A0A0364u, 0xFFFFFFFFu, 0x01020304u}) {
+    EXPECT_EQ(parse_ipv4(format_ipv4(a)), a);
+  }
+}
+
+TEST(Prefix, CommonPrefixBits) {
+  EXPECT_EQ(common_prefix_bits(0, 0), 32);
+  EXPECT_EQ(common_prefix_bits(0, 0x80000000u), 0);
+  EXPECT_EQ(common_prefix_bits(0x0A0A0A00u, 0x0A0A0AFFu), 24);
+}
+
+}  // namespace
+}  // namespace nuevomatch

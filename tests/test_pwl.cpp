@@ -1,0 +1,148 @@
+// Piecewise-linear analysis: trigger inputs, quantized pieces and transition
+// inputs must agree with a dense numeric scan of the actual model function,
+// for hand-built and randomly-generated submodels alike.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "rqrmi/nn.hpp"
+#include "rqrmi/pwl.hpp"
+
+namespace nuevomatch::rqrmi {
+namespace {
+
+Submodel random_submodel(uint64_t seed, double scale = 4.0) {
+  Rng rng{seed};
+  Submodel m;
+  for (int k = 0; k < kHiddenWidth; ++k) {
+    m.w1[static_cast<size_t>(k)] = static_cast<float>((rng.next_double() * 2 - 1) * scale);
+    m.b1[static_cast<size_t>(k)] = static_cast<float>((rng.next_double() * 2 - 1) * scale / 2);
+    m.w2[static_cast<size_t>(k)] = static_cast<float>((rng.next_double() * 2 - 1));
+  }
+  m.b2 = static_cast<float>(rng.next_double() * 0.5);
+  return m;
+}
+
+TEST(Pwl, KernelsAgreeWithinDeviationBound) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const Submodel m = random_submodel(seed);
+    for (double x = 0.0; x <= 1.0; x += 0.001) {
+      const auto xf = static_cast<float>(x);
+      const float serial = eval(m, xf, SimdLevel::kSerial);
+      const double exact = eval_exact(m, static_cast<double>(xf));
+      EXPECT_NEAR(serial, exact, 1e-5) << "seed=" << seed << " x=" << x;
+      if (simd_level_available(SimdLevel::kSse)) {
+        EXPECT_NEAR(eval(m, xf, SimdLevel::kSse), exact, 1e-5);
+      }
+      if (simd_level_available(SimdLevel::kAvx)) {
+        EXPECT_NEAR(eval(m, xf, SimdLevel::kAvx), exact, 1e-5);
+      }
+    }
+  }
+}
+
+TEST(Pwl, ClampKeepsOutputInUnitInterval) {
+  for (uint64_t seed = 100; seed < 130; ++seed) {
+    const Submodel m = random_submodel(seed, 30.0);  // large weights force clipping
+    for (double x = 0.0; x <= 1.0; x += 0.0005) {
+      const float y = eval(m, static_cast<float>(x));
+      EXPECT_GE(y, 0.0f);
+      EXPECT_LT(y, 1.0f);
+    }
+  }
+}
+
+TEST(Pwl, TriggerInputsContainDomainEnds) {
+  const Submodel m = random_submodel(7);
+  const auto t = trigger_inputs(m, 0.0, 1.0);
+  ASSERT_GE(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.front(), 0.0);
+  EXPECT_DOUBLE_EQ(t.back(), 1.0);
+  for (size_t i = 1; i < t.size(); ++i) EXPECT_LT(t[i - 1], t[i]);
+}
+
+TEST(Pwl, FunctionIsLinearBetweenTriggerInputs) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    const Submodel m = random_submodel(seed, 6.0);
+    const auto t = trigger_inputs(m, 0.0, 1.0);
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      const double p = t[i];
+      const double q = t[i + 1];
+      if (q - p < 1e-9) continue;
+      const double mp = eval_exact(m, p);
+      const double mq = eval_exact(m, q);
+      // Check the midpoint lies on the chord (linearity).
+      const double mid = eval_exact(m, (p + q) / 2);
+      EXPECT_NEAR(mid, (mp + mq) / 2, 1e-9)
+          << "seed=" << seed << " segment [" << p << "," << q << "]";
+    }
+  }
+}
+
+TEST(Pwl, QuantizedPiecesTileTheDomain) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const Submodel m = random_submodel(seed);
+    for (uint32_t width : {1u, 4u, 16u, 256u}) {
+      const auto pieces = quantized_pieces(m, width, 0.0, 1.0);
+      ASSERT_FALSE(pieces.empty());
+      EXPECT_DOUBLE_EQ(pieces.front().x0, 0.0);
+      EXPECT_DOUBLE_EQ(pieces.back().x1, 1.0);
+      for (size_t i = 1; i < pieces.size(); ++i) {
+        EXPECT_DOUBLE_EQ(pieces[i].x0, pieces[i - 1].x1);
+        EXPECT_NE(pieces[i].bucket, pieces[i - 1].bucket) << "pieces must be maximal";
+      }
+      for (const auto& p : pieces) EXPECT_LT(p.bucket, width);
+    }
+  }
+}
+
+TEST(Pwl, QuantizedPiecesMatchNumericScan) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    const Submodel m = random_submodel(seed);
+    const uint32_t width = 64;
+    const auto pieces = quantized_pieces(m, width, 0.0, 1.0);
+    for (const auto& piece : pieces) {
+      // Sample strictly inside the piece; boundary points may sit exactly on
+      // a quantization edge.
+      const double w = piece.x1 - piece.x0;
+      if (w < 1e-9) continue;
+      for (double frac : {0.25, 0.5, 0.75}) {
+        const double x = piece.x0 + frac * w;
+        const auto bucket = std::min(
+            width - 1, static_cast<uint32_t>(eval_exact(m, x) * width));
+        EXPECT_EQ(bucket, piece.bucket) << "seed=" << seed << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(Pwl, TransitionInputsSeparateBuckets) {
+  for (uint64_t seed = 21; seed <= 30; ++seed) {
+    const Submodel m = random_submodel(seed);
+    const uint32_t width = 32;
+    const auto trans = transition_inputs(m, width, 0.0, 1.0);
+    const double eps = 1e-7;
+    for (double t : trans) {
+      const auto bucket = [&](double x) {
+        return std::min(width - 1, static_cast<uint32_t>(eval_exact(m, x) * width));
+      };
+      EXPECT_NE(bucket(t - eps), bucket(t + eps)) << "transition at " << t;
+    }
+  }
+}
+
+TEST(Pwl, ConstantModelHasSinglePiece) {
+  Submodel m;  // all zeros -> M(x) = 0 everywhere
+  const auto pieces = quantized_pieces(m, 16, 0.0, 1.0);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].bucket, 0u);
+}
+
+TEST(Pwl, BestSimdLevelIsAvailable) {
+  EXPECT_TRUE(simd_level_available(best_simd_level()));
+  EXPECT_TRUE(simd_level_available(SimdLevel::kSerial));
+}
+
+}  // namespace
+}  // namespace nuevomatch::rqrmi

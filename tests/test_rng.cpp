@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/zipf.hpp"
+
+namespace nuevomatch {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c{124};
+  bool all_equal = true;
+  Rng a2{123};
+  for (int i = 0; i < 10; ++i) all_equal &= (a2.next_u64() == c.next_u64());
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng{5};
+  for (uint64_t n : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(n), n);
+  }
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng{6};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.between(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng{8};
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.next_double();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Zipf, FrequenciesDecreaseByRank) {
+  const ZipfSampler z{100, 1.1};
+  Rng rng{9};
+  std::array<int, 100> counts{};
+  for (int i = 0; i < 200000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[50]);
+}
+
+TEST(Zipf, TopShareMatchesPaperCalibration) {
+  // Figure 12: with alpha=1.05 the top 3% of 500K flows should carry
+  // roughly 80% of the traffic (the paper's axis labeling).
+  const ZipfSampler z{500'000, 1.05};
+  const double share = z.top_share(500'000 * 3 / 100);
+  EXPECT_GT(share, 0.70);
+  EXPECT_LT(share, 0.92);
+}
+
+TEST(Zipf, AlphaLookupMatchesFigure12) {
+  EXPECT_DOUBLE_EQ(zipf_alpha_for_top3_share(0.80), 1.05);
+  EXPECT_DOUBLE_EQ(zipf_alpha_for_top3_share(0.85), 1.10);
+  EXPECT_DOUBLE_EQ(zipf_alpha_for_top3_share(0.90), 1.15);
+  EXPECT_DOUBLE_EQ(zipf_alpha_for_top3_share(0.95), 1.25);
+}
+
+TEST(Zipf, RejectsEmpty) { EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument); }
+
+TEST(Zipf, SingleItemAlwaysSampled) {
+  const ZipfSampler z{1, 1.0};
+  Rng rng{10};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.118, 1e-3);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> xs{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(xs), 2.0);
+  const std::vector<double> ones{1, 1, 1};
+  EXPECT_DOUBLE_EQ(geometric_mean(ones), 1.0);
+}
+
+TEST(Stats, Percentile) {
+  const std::vector<double> xs{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+}
+
+}  // namespace
+}  // namespace nuevomatch

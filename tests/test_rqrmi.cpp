@@ -1,0 +1,225 @@
+// End-to-end RQ-RMI correctness: the paper's central guarantee (§3.3,
+// Appendix A) is that for EVERY key inside an indexed range — sampled during
+// training or not — the true array position lies within the certified search
+// window around the prediction. We verify it exhaustively on 16-bit domains
+// and densely (every range's endpoints, interior probes, and float-boundary
+// neighbours) on 32-bit domains, across interval shapes and model configs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "rqrmi/model.hpp"
+
+namespace nuevomatch::rqrmi {
+namespace {
+
+struct IntervalSet {
+  std::vector<KeyInterval> intervals;  // normalized
+  std::vector<std::pair<uint64_t, uint64_t>> raw;  // integer [lo, hi] inclusive
+  uint64_t domain_max = 0;
+};
+
+/// Random disjoint integer ranges over [0, domain_max], optionally clustered.
+IntervalSet make_intervals(size_t n, uint64_t domain_max, uint64_t seed,
+                           bool clustered = false) {
+  IntervalSet out;
+  out.domain_max = domain_max;
+  Rng rng{seed};
+  // Draw 2n distinct-ish sorted cut points.
+  std::vector<uint64_t> points;
+  const uint64_t span = clustered ? domain_max / 64 : domain_max;
+  const uint64_t base = clustered ? domain_max / 2 : 0;
+  for (size_t i = 0; i < 2 * n; ++i) points.push_back(base + rng.below(span + 1));
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  for (size_t i = 0; i + 1 < points.size() && out.raw.size() < n; i += 2) {
+    const uint64_t lo = points[i];
+    const uint64_t hi = points[i + 1] > points[i] ? points[i + 1] - 1 : points[i];
+    if (hi < lo) continue;
+    out.raw.emplace_back(lo, hi);
+  }
+  for (size_t i = 0; i < out.raw.size(); ++i) {
+    out.intervals.push_back(KeyInterval{
+        normalize_key_exact(out.raw[i].first, domain_max),
+        normalize_key_exact(out.raw[i].second + 1, domain_max),
+        static_cast<uint32_t>(i)});
+  }
+  return out;
+}
+
+void expect_key_found(const RqRmi& model, const IntervalSet& s, uint64_t key,
+                      size_t true_idx, const char* ctx) {
+  const float norm = normalize_key(static_cast<uint32_t>(key), s.domain_max);
+  const Prediction pred = model.lookup(norm);
+  const auto lo = static_cast<int64_t>(pred.index) - pred.search_error;
+  const auto hi = static_cast<int64_t>(pred.index) + pred.search_error;
+  EXPECT_TRUE(static_cast<int64_t>(true_idx) >= lo && static_cast<int64_t>(true_idx) <= hi)
+      << ctx << ": key=" << key << " true=" << true_idx << " pred=" << pred.index
+      << " err=" << pred.search_error;
+}
+
+void check_all_boundaries(const RqRmi& model, const IntervalSet& s, const char* ctx) {
+  Rng rng{99};
+  for (size_t i = 0; i < s.raw.size(); ++i) {
+    const auto [lo, hi] = s.raw[i];
+    expect_key_found(model, s, lo, i, ctx);
+    expect_key_found(model, s, hi, i, ctx);
+    for (int probe = 0; probe < 4; ++probe)
+      expect_key_found(model, s, rng.between(lo, hi), i, ctx);
+  }
+}
+
+TEST(RqRmi, ExhaustiveSixteenBitDomain) {
+  // Port-sized domain: check EVERY representable key.
+  const IntervalSet s = make_intervals(200, 0xFFFF, 42);
+  RqRmiConfig cfg = default_config(s.intervals.size());
+  cfg.seed = 42;
+  RqRmi model;
+  model.build(s.intervals, cfg);
+  size_t idx = 0;
+  for (uint64_t key = 0; key <= 0xFFFF; ++key) {
+    while (idx < s.raw.size() && s.raw[idx].second < key) ++idx;
+    if (idx >= s.raw.size()) break;
+    if (key < s.raw[idx].first) continue;  // gap: no guarantee required
+    expect_key_found(model, s, key, idx, "exhaustive16");
+  }
+}
+
+struct RqRmiCase {
+  size_t n;
+  uint64_t domain;
+  uint64_t seed;
+  bool clustered;
+};
+
+class RqRmiProperty : public ::testing::TestWithParam<RqRmiCase> {};
+
+TEST_P(RqRmiProperty, EveryRangeKeyWithinSearchWindow) {
+  const auto& c = GetParam();
+  const IntervalSet s = make_intervals(c.n, c.domain, c.seed, c.clustered);
+  ASSERT_FALSE(s.intervals.empty());
+  RqRmiConfig cfg = default_config(s.intervals.size());
+  cfg.seed = c.seed;
+  RqRmi model;
+  model.build(s.intervals, cfg);
+  check_all_boundaries(model, s, "property");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RqRmiProperty,
+    ::testing::Values(
+        RqRmiCase{16, 0xFFFFFFFFull, 1, false}, RqRmiCase{16, 0xFFFFFFFFull, 2, true},
+        RqRmiCase{256, 0xFFFFFFFFull, 3, false}, RqRmiCase{256, 0xFFFFFFFFull, 4, true},
+        RqRmiCase{2000, 0xFFFFFFFFull, 5, false}, RqRmiCase{2000, 0xFFFFFFFFull, 6, true},
+        RqRmiCase{12000, 0xFFFFFFFFull, 7, false}, RqRmiCase{12000, 0xFFFFFFFFull, 8, true},
+        RqRmiCase{500, 0xFFFFull, 9, false}, RqRmiCase{100, 0xFFull, 10, false},
+        RqRmiCase{3000, 0xFFFFFFFFull, 11, true}, RqRmiCase{1, 0xFFFFFFFFull, 12, false},
+        RqRmiCase{2, 0xFFFFFFFFull, 13, false}, RqRmiCase{7, 0xFFFFull, 14, false}));
+
+TEST(RqRmi, SimdKernelsAgreeOnPredictions) {
+  const IntervalSet s = make_intervals(1500, 0xFFFFFFFFull, 77);
+  RqRmi model;
+  model.build(s.intervals, default_config(s.intervals.size()));
+  Rng rng{7};
+  for (int i = 0; i < 5000; ++i) {
+    const float key = static_cast<float>(rng.next_double());
+    const Prediction serial = model.lookup(key, SimdLevel::kSerial);
+    const Prediction best = model.lookup(key);
+    // Different summation orders may shift the prediction by a few slots;
+    // both must stay within each other's certified windows.
+    const auto diff = static_cast<int64_t>(serial.index) - static_cast<int64_t>(best.index);
+    EXPECT_LE(std::llabs(diff),
+              static_cast<int64_t>(serial.search_error + best.search_error));
+  }
+}
+
+TEST(RqRmi, EmptyInputYieldsTrivialModel) {
+  RqRmi model;
+  model.build({}, default_config(0));
+  EXPECT_FALSE(model.trained());
+  const Prediction p = model.lookup(0.5f);
+  EXPECT_EQ(p.index, 0u);
+  EXPECT_EQ(p.search_error, 0u);
+}
+
+TEST(RqRmi, RejectsMalformedIntervals) {
+  RqRmiConfig cfg;
+  RqRmi model;
+  // Wrong index.
+  EXPECT_THROW(model.build({KeyInterval{0.0, 0.5, 1}}, cfg), std::invalid_argument);
+  // Empty interval.
+  EXPECT_THROW(model.build({KeyInterval{0.5, 0.5, 0}}, cfg), std::invalid_argument);
+  // Overlap.
+  EXPECT_THROW(model.build({KeyInterval{0.0, 0.6, 0}, KeyInterval{0.5, 0.9, 1}}, cfg),
+               std::invalid_argument);
+  // Bad widths.
+  cfg.stage_widths = {4};
+  EXPECT_THROW(model.build({KeyInterval{0.0, 0.5, 0}}, cfg), std::invalid_argument);
+}
+
+TEST(RqRmi, MemoryFootprintMatchesPaperScale) {
+  // Paper §1: 500K rules indexed in ~tens of KB. A [1,8,512] model is
+  // 521 submodels * 100B ~ 52KB; ensure our accounting is in that ballpark
+  // and independent of the number of indexed intervals.
+  const IntervalSet s = make_intervals(20000, 0xFFFFFFFFull, 5);
+  RqRmiConfig cfg;
+  cfg.stage_widths = {1, 8, 512};
+  RqRmi model;
+  model.build(s.intervals, cfg);
+  EXPECT_GT(model.memory_bytes(), 40'000u);
+  EXPECT_LT(model.memory_bytes(), 80'000u);
+  EXPECT_EQ(model.num_submodels(), 1u + 8u + 512u);
+}
+
+TEST(RqRmi, DefaultConfigFollowsPaperTable4) {
+  EXPECT_EQ(default_config(500).stage_widths, (std::vector<uint32_t>{1, 4}));
+  EXPECT_EQ(default_config(5'000).stage_widths, (std::vector<uint32_t>{1, 4, 16}));
+  EXPECT_EQ(default_config(50'000).stage_widths, (std::vector<uint32_t>{1, 4, 128}));
+  EXPECT_EQ(default_config(200'000).stage_widths, (std::vector<uint32_t>{1, 8, 256}));
+  EXPECT_EQ(default_config(500'000).stage_widths, (std::vector<uint32_t>{1, 8, 512}));
+}
+
+TEST(RqRmi, LeafResponsibilitiesCoverIndexedDomain) {
+  const IntervalSet s = make_intervals(800, 0xFFFFFFFFull, 21);
+  RqRmiConfig cfg = default_config(s.intervals.size());
+  RqRmi model;
+  model.build(s.intervals, cfg);
+  // Union of leaf responsibilities must cover every indexed interval.
+  const auto& resp = model.leaf_responsibilities();
+  for (const auto& iv : s.intervals) {
+    for (double x : {iv.lo, (iv.lo + iv.hi) / 2}) {
+      bool covered = false;
+      for (const auto& leaf : resp) {
+        for (const auto& r : leaf) {
+          if (x >= r.lo && x < r.hi) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) break;
+      }
+      EXPECT_TRUE(covered) << "x=" << x;
+    }
+  }
+}
+
+TEST(RqRmi, TighterThresholdNeverLoosensAchievedError) {
+  const IntervalSet s = make_intervals(4000, 0xFFFFFFFFull, 31);
+  RqRmiConfig strict = default_config(s.intervals.size());
+  strict.error_threshold = 16;
+  strict.max_retrain_attempts = 5;
+  RqRmiConfig loose = strict;
+  loose.error_threshold = 512;
+  loose.max_retrain_attempts = 0;
+  RqRmi ms;
+  RqRmi ml;
+  ms.build(s.intervals, strict);
+  ml.build(s.intervals, loose);
+  EXPECT_LE(ms.max_search_error(), ml.max_search_error() + 16)
+      << "retraining against a tight threshold should not end up far worse";
+  EXPECT_GE(ms.training_rounds(), ml.training_rounds());
+}
+
+}  // namespace
+}  // namespace nuevomatch::rqrmi

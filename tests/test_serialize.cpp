@@ -1,0 +1,232 @@
+// Serialization round-trips and failure injection. The invariants: a loaded
+// model answers every query exactly as the saved one did; any corrupted,
+// truncated, or mislabeled buffer loads as std::nullopt — never as a
+// classifier that answers queries.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "classbench/generator.hpp"
+#include "common/rng.hpp"
+#include "serialize/bytes.hpp"
+#include "serialize/serialize.hpp"
+#include "trace/trace.hpp"
+#include "tuplemerge/tuplemerge.hpp"
+
+namespace nuevomatch::serialize {
+namespace {
+
+rqrmi::RqRmi trained_model(size_t n, uint64_t seed) {
+  Rng rng{seed};
+  std::vector<rqrmi::KeyInterval> ivs;
+  double at = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double len = (0.2 + 0.8 * rng.next_double()) / static_cast<double>(2 * n);
+    const double gap = 0.5 / static_cast<double>(2 * n);
+    ivs.push_back(rqrmi::KeyInterval{at, at + len, static_cast<uint32_t>(i)});
+    at += len + gap;
+  }
+  rqrmi::RqRmi model;
+  rqrmi::RqRmiConfig cfg;
+  cfg.stage_widths = n > 500 ? std::vector<uint32_t>{1, 4, 16} : std::vector<uint32_t>{1, 4};
+  cfg.seed = seed;
+  model.build(std::move(ivs), cfg);
+  return model;
+}
+
+TEST(SerializeBytes, Crc32KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(SerializeBytes, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.put_u8(7);
+  w.put_u32(0xDEADBEEFu);
+  w.put_i32(-42);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_f32(1.5f);
+  w.put_f64(-2.25);
+  const auto bytes = std::move(w).finish();
+
+  ByteReader r{bytes};
+  ASSERT_TRUE(r.check_crc());
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_i32(), -42);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get_f32(), 1.5f);
+  EXPECT_EQ(r.get_f64(), -2.25);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(SerializeBytes, ReaderFailsSoftOnTruncation) {
+  ByteWriter w;
+  w.put_u32(1);
+  const auto bytes = std::move(w).finish();
+  ByteReader r{std::span<const uint8_t>(bytes).subspan(0, 2)};
+  EXPECT_FALSE(r.check_crc());
+  EXPECT_EQ(r.get_u32(), 0u);  // all reads after failure return zero
+  EXPECT_FALSE(r.ok());
+}
+
+struct ModelCase {
+  size_t n;
+  uint64_t seed;
+  friend std::ostream& operator<<(std::ostream& os, const ModelCase& c) {
+    return os << "n" << c.n << "_s" << c.seed;
+  }
+};
+
+class ModelRoundTrip : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(ModelRoundTrip, LoadedModelPredictsIdentically) {
+  const auto& c = GetParam();
+  const rqrmi::RqRmi original = trained_model(c.n, c.seed);
+  const auto bytes = save_model(original);
+  const auto loaded = load_model(bytes);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_intervals(), original.num_intervals());
+  EXPECT_EQ(loaded->memory_bytes(), original.memory_bytes());
+  EXPECT_EQ(loaded->max_search_error(), original.max_search_error());
+  Rng rng{c.seed ^ 0xF00D};
+  for (int i = 0; i < 2000; ++i) {
+    const auto key = static_cast<float>(rng.next_double());
+    const auto a = original.lookup(key);
+    const auto b = loaded->lookup(key);
+    ASSERT_EQ(a.index, b.index) << "key=" << key;
+    ASSERT_EQ(a.search_error, b.search_error) << "key=" << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ModelRoundTrip,
+                         ::testing::Values(ModelCase{1, 1}, ModelCase{10, 2},
+                                           ModelCase{300, 3}, ModelCase{2000, 4}));
+
+TEST(ModelSerialize, EmptyModelRoundTrips) {
+  rqrmi::RqRmi empty;
+  const auto bytes = save_model(empty);
+  const auto loaded = load_model(bytes);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(loaded->trained());
+}
+
+TEST(RulesSerialize, RoundTripPreservesEveryField) {
+  const RuleSet rules = generate_classbench(AppClass::kFw, 2, 500, 5);
+  const auto bytes = save_rules(rules);
+  const auto loaded = load_rules(bytes);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (int f = 0; f < kNumFields; ++f)
+      EXPECT_EQ((*loaded)[i].field[static_cast<size_t>(f)], rules[i].field[static_cast<size_t>(f)]);
+    EXPECT_EQ((*loaded)[i].priority, rules[i].priority);
+    EXPECT_EQ((*loaded)[i].id, rules[i].id);
+    EXPECT_EQ((*loaded)[i].action, rules[i].action);
+  }
+}
+
+NuevoMatchConfig tm_config() {
+  NuevoMatchConfig cfg;
+  cfg.remainder_factory = [] { return std::make_unique<TupleMerge>(); };
+  cfg.min_iset_coverage = 0.05;
+  return cfg;
+}
+
+TEST(ClassifierSerialize, RoundTripMatchesOnFullTrace) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 4000, 6);
+  NuevoMatch nm{tm_config()};
+  nm.build(rules);
+  ASSERT_GT(nm.coverage(), 0.0);
+
+  const auto bytes = save_classifier(nm);
+  auto loaded = load_classifier(bytes, tm_config());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), nm.size());
+  EXPECT_DOUBLE_EQ(loaded->coverage(), nm.coverage());
+  EXPECT_EQ(loaded->max_search_error(), nm.max_search_error());
+
+  TraceConfig tc;
+  tc.n_packets = 20'000;
+  tc.seed = 77;
+  for (const Packet& p : generate_trace(rules, tc)) {
+    const auto a = nm.match(p);
+    const auto b = loaded->match(p);
+    ASSERT_EQ(a.rule_id, b.rule_id);
+    ASSERT_EQ(a.priority, b.priority);
+  }
+}
+
+TEST(ClassifierSerialize, LoadedClassifierStillAcceptsUpdates) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 2, 2000, 7);
+  NuevoMatch nm{tm_config()};
+  nm.build(rules);
+  auto loaded = load_classifier(save_classifier(nm), tm_config());
+  ASSERT_TRUE(loaded.has_value());
+  Rule extra;
+  extra.field[kDstIp] = Range{42, 42};
+  for (int f : {kSrcIp, kSrcPort, kDstPort, kProto})
+    extra.field[static_cast<size_t>(f)] = full_range(f);
+  extra.id = static_cast<uint32_t>(rules.size());
+  extra.priority = -1;  // beats everything
+  ASSERT_TRUE(loaded->insert(extra));
+  Packet p;
+  p.field[kDstIp] = 42;
+  EXPECT_EQ(loaded->match(p).rule_id, static_cast<int32_t>(extra.id));
+}
+
+// --- failure injection -------------------------------------------------------
+
+class CorruptionSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CorruptionSweep, BitFlipNeverLoads) {
+  const rqrmi::RqRmi model = trained_model(100, 11);
+  auto bytes = save_model(model);
+  const size_t stride = GetParam();
+  for (size_t pos = 0; pos < bytes.size(); pos += stride) {
+    auto bad = bytes;
+    bad[pos] ^= 0x40;
+    EXPECT_FALSE(load_model(bad).has_value()) << "flip at " << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, CorruptionSweep, ::testing::Values(17, 97));
+
+TEST(Corruption, TruncationNeverLoads) {
+  const rqrmi::RqRmi model = trained_model(64, 12);
+  const auto bytes = save_model(model);
+  for (size_t keep = 0; keep < bytes.size(); keep += 13)
+    EXPECT_FALSE(load_model(std::span<const uint8_t>(bytes).subspan(0, keep)).has_value());
+}
+
+TEST(Corruption, WrongMagicRejected) {
+  const RuleSet rules = generate_classbench(AppClass::kIpc, 1, 100, 13);
+  const auto rule_bytes = save_rules(rules);
+  EXPECT_FALSE(load_model(rule_bytes).has_value());
+
+  NuevoMatch nm{tm_config()};
+  nm.build(rules);
+  EXPECT_FALSE(load_rules(save_classifier(nm)).has_value());
+}
+
+TEST(Corruption, TrailingGarbageRejected) {
+  const auto bytes = save_rules(generate_classbench(AppClass::kAcl, 3, 50, 14));
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(load_rules(padded).has_value());
+}
+
+TEST(Files, WriteReadRoundTrip) {
+  const auto bytes = save_rules(generate_classbench(AppClass::kAcl, 1, 64, 15));
+  const std::string path = ::testing::TempDir() + "/nm_serialize_test.bin";
+  ASSERT_TRUE(write_file(path, bytes));
+  const auto back = read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+  std::remove(path.c_str());
+  EXPECT_FALSE(read_file(path + ".does-not-exist").has_value());
+}
+
+}  // namespace
+}  // namespace nuevomatch::serialize

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "classbench/stanford.hpp"
+#include "isets/partition.hpp"
+
+namespace nuevomatch {
+namespace {
+
+TEST(Stanford, SingleFieldRules) {
+  const RuleSet rules = generate_stanford_like(1, 10'000, 1);
+  EXPECT_EQ(rules.size(), 10'000u);
+  EXPECT_EQ(validate_ruleset(rules), "");
+  for (const Rule& r : rules) {
+    EXPECT_TRUE(r.is_wildcard(kSrcIp));
+    EXPECT_TRUE(r.is_wildcard(kSrcPort));
+    EXPECT_TRUE(r.is_wildcard(kDstPort));
+    EXPECT_TRUE(r.is_wildcard(kProto));
+    EXPECT_FALSE(r.is_wildcard(kDstIp));
+  }
+}
+
+TEST(Stanford, DefaultSizeMatchesDataset) {
+  EXPECT_EQ(kStanfordRules, 183'376u);  // paper §5.1.1 / Table 2 last row
+}
+
+TEST(Stanford, RoutersDiffer) {
+  const RuleSet a = generate_stanford_like(1, 1000, 1);
+  const RuleSet b = generate_stanford_like(2, 1000, 1);
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i)
+    differs |= a[i].field[kDstIp].lo != b[i].field[kDstIp].lo;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Stanford, CoverageBandsMatchPaperShape) {
+  // Paper Table 2 last row: 57.8 / 91.6 / 96.5 / 98.2 (% with 1-4 iSets).
+  // Assert the qualitative bands on a 30K sample (structure is scale-free).
+  const RuleSet rules = generate_stanford_like(0, 30'000, 2);
+  IsetPartitionConfig cfg;
+  cfg.min_coverage_fraction = 0.0;
+  double prev = 0.0;
+  double cov1 = 0.0;
+  double cov3 = 0.0;
+  for (int k = 1; k <= 4; ++k) {
+    cfg.max_isets = k;
+    const double cov = partition_rules(rules, cfg).coverage();
+    EXPECT_GE(cov, prev);
+    prev = cov;
+    if (k == 1) cov1 = cov;
+    if (k == 3) cov3 = cov;
+  }
+  EXPECT_GT(cov1, 0.40);
+  EXPECT_LT(cov1, 0.80);
+  EXPECT_GT(cov3, 0.85);
+}
+
+TEST(Stanford, PrefixesOnly) {
+  const RuleSet rules = generate_stanford_like(3, 5000, 3);
+  for (const Rule& r : rules) {
+    // Every dst range must be a prefix block (forwarding table semantics).
+    const auto span = r.field[kDstIp].span();
+    EXPECT_TRUE((span & (span - 1)) == 0) << "span must be a power of two";
+  }
+}
+
+}  // namespace
+}  // namespace nuevomatch

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "classbench/generator.hpp"
+#include "classifiers/linear.hpp"
+#include "trace/trace.hpp"
+
+namespace nuevomatch {
+namespace {
+
+TEST(Trace, RepresentativePacketsMatchTheirRules) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 1000, 1);
+  const auto pkts = representative_packets(rules, 2);
+  ASSERT_EQ(pkts.size(), rules.size());
+  for (size_t i = 0; i < rules.size(); ++i)
+    EXPECT_TRUE(rules[i].matches(pkts[i])) << "rule " << i;
+}
+
+TEST(Trace, UniformTraceAlwaysHits) {
+  const RuleSet rules = generate_classbench(AppClass::kFw, 1, 500, 3);
+  LinearSearch oracle;
+  oracle.build(rules);
+  TraceConfig tc;
+  tc.n_packets = 2000;
+  for (const Packet& p : generate_trace(rules, tc)) EXPECT_TRUE(oracle.match(p).hit());
+}
+
+TEST(Trace, RequestedLength) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 100, 4);
+  TraceConfig tc;
+  tc.n_packets = 12345;
+  EXPECT_EQ(generate_trace(rules, tc).size(), 12345u);
+  tc.n_packets = 0;
+  EXPECT_TRUE(generate_trace(rules, tc).empty());
+  EXPECT_TRUE(generate_trace({}, tc).empty());
+}
+
+TEST(Trace, ZipfIsSkewedUniformIsNot) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 2000, 5);
+  const auto count_top_share = [&](TraceConfig::Kind kind, double alpha) {
+    TraceConfig tc;
+    tc.kind = kind;
+    tc.zipf_alpha = alpha;
+    tc.n_packets = 60'000;
+    std::map<uint32_t, size_t> freq;
+    for (const Packet& p : generate_trace(rules, tc)) ++freq[p[kDstIp]];
+    std::vector<size_t> counts;
+    for (const auto& [k, v] : freq) counts.push_back(v);
+    std::sort(counts.rbegin(), counts.rend());
+    size_t top = 0;
+    size_t total = 0;
+    const size_t top_n = std::max<size_t>(1, counts.size() * 3 / 100);
+    for (size_t i = 0; i < counts.size(); ++i) {
+      total += counts[i];
+      if (i < top_n) top += counts[i];
+    }
+    return static_cast<double>(top) / static_cast<double>(total);
+  };
+  const double uniform_share = count_top_share(TraceConfig::Kind::kUniform, 1.0);
+  const double zipf_share = count_top_share(TraceConfig::Kind::kZipf, 1.25);
+  EXPECT_GT(zipf_share, uniform_share + 0.2)
+      << "zipf=" << zipf_share << " uniform=" << uniform_share;
+  EXPECT_GT(zipf_share, 0.5);
+}
+
+TEST(Trace, HigherAlphaMoreSkew) {
+  const RuleSet rules = generate_classbench(AppClass::kIpc, 1, 1000, 6);
+  const auto top_flow_count = [&](double alpha) {
+    TraceConfig tc;
+    tc.kind = TraceConfig::Kind::kZipf;
+    tc.zipf_alpha = alpha;
+    tc.n_packets = 30'000;
+    tc.seed = 7;
+    std::map<uint32_t, size_t> freq;
+    for (const Packet& p : generate_trace(rules, tc)) ++freq[p[kSrcIp] ^ p[kDstIp]];
+    size_t best = 0;
+    for (const auto& [k, v] : freq) best = std::max(best, v);
+    return best;
+  };
+  EXPECT_GT(top_flow_count(1.25), top_flow_count(1.05));
+}
+
+TEST(Trace, CaidaLikeHasTemporalLocality) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 2, 3000, 8);
+  TraceConfig tc;
+  tc.kind = TraceConfig::Kind::kCaidaLike;
+  tc.n_packets = 20'000;
+  const auto trace = generate_trace(rules, tc);
+  // Measure repeat probability within a sliding window of 64 packets.
+  size_t repeats = 0;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    const size_t lo = i > 64 ? i - 64 : 0;
+    for (size_t j = lo; j < i; ++j) {
+      if (trace[j].field == trace[i].field) {
+        ++repeats;
+        break;
+      }
+    }
+  }
+  const double rate = static_cast<double>(repeats) / static_cast<double>(trace.size());
+  EXPECT_GT(rate, 0.4) << "locality-preserving trace must revisit recent flows";
+}
+
+TEST(Trace, DeterministicPerSeed) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 200, 9);
+  TraceConfig tc;
+  tc.n_packets = 100;
+  tc.seed = 42;
+  const auto a = generate_trace(rules, tc);
+  const auto b = generate_trace(rules, tc);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].field, b[i].field);
+}
+
+}  // namespace
+}  // namespace nuevomatch

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "rqrmi/trainer.hpp"
+
+namespace nuevomatch::rqrmi {
+namespace {
+
+std::vector<TrainSample> linear_data(double a, double b, int n = 256) {
+  std::vector<TrainSample> out;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / (n - 1);
+    out.push_back(TrainSample{x, a * x + b});
+  }
+  return out;
+}
+
+TEST(Trainer, FitsLinearFunctionExactly) {
+  const auto data = linear_data(0.5, 0.2);
+  const Submodel m = fit_submodel(data, TrainerConfig{0, 5e-3, 1});  // LS only
+  EXPECT_LT(mse(m, data), 1e-8);
+}
+
+TEST(Trainer, FitsMonotoneStaircase) {
+  // A CDF-like staircase of 64 steps: the typical leaf target.
+  std::vector<TrainSample> data;
+  Rng rng{3};
+  for (int i = 0; i < 2048; ++i) {
+    const double x = rng.next_double();
+    const double y = std::floor(x * 64) / 64.0;
+    data.push_back(TrainSample{x, y});
+  }
+  const Submodel m = fit_submodel(data, TrainerConfig{100, 5e-3, 1});
+  // 8 linear pieces over a uniform 64-step staircase: error well under one
+  // step on average.
+  EXPECT_LT(mse(m, data), 1e-4);
+}
+
+TEST(Trainer, AdamDoesNotRegressBelowInit) {
+  std::vector<TrainSample> data;
+  Rng rng{4};
+  for (int i = 0; i < 1024; ++i) {
+    const double x = rng.next_double();
+    data.push_back(TrainSample{x, 0.5 + 0.3 * std::sin(6.0 * x)});
+  }
+  const Submodel ls = fit_submodel(data, TrainerConfig{0, 5e-3, 1});
+  const Submodel adam = fit_submodel(data, TrainerConfig{200, 5e-3, 1});
+  EXPECT_LE(mse(adam, data), mse(ls, data) * 1.001);
+}
+
+TEST(Trainer, EmptyDatasetGivesZeroModel) {
+  const Submodel m = fit_submodel({}, TrainerConfig{});
+  EXPECT_EQ(eval(m, 0.5f), 0.0f);
+  EXPECT_EQ(mse(m, {}), 0.0);
+}
+
+TEST(Trainer, SingleSampleFits) {
+  const std::vector<TrainSample> data{{0.5, 0.25}};
+  const Submodel m = fit_submodel(data, TrainerConfig{50, 5e-3, 1});
+  EXPECT_NEAR(eval_raw(m, 0.5), 0.25, 1e-3);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  const auto data = linear_data(0.9, 0.05);
+  const Submodel a = fit_submodel(data, TrainerConfig{50, 5e-3, 7});
+  const Submodel b = fit_submodel(data, TrainerConfig{50, 5e-3, 7});
+  for (int k = 0; k < kHiddenWidth; ++k) {
+    EXPECT_EQ(a.w2[static_cast<size_t>(k)], b.w2[static_cast<size_t>(k)]);
+  }
+  EXPECT_EQ(a.b2, b.b2);
+}
+
+TEST(Trainer, FloatDeviationBoundsActualDifference) {
+  Rng rng{11};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<TrainSample> data;
+    for (int i = 0; i < 512; ++i) {
+      const double x = rng.next_double();
+      data.push_back(TrainSample{x, rng.next_double()});
+    }
+    const Submodel m = fit_submodel(data, TrainerConfig{30, 5e-3, 1});
+    const double dev = float_eval_deviation(m);
+    for (int i = 0; i < 500; ++i) {
+      const auto xf = static_cast<float>(rng.next_double());
+      const double diff = std::abs(static_cast<double>(eval(m, xf, SimdLevel::kSerial)) -
+                                   eval_exact(m, static_cast<double>(xf)));
+      EXPECT_LE(diff, dev) << "trial=" << trial;
+      if (simd_level_available(SimdLevel::kAvx)) {
+        const double davx = std::abs(static_cast<double>(eval(m, xf, SimdLevel::kAvx)) -
+                                     eval_exact(m, static_cast<double>(xf)));
+        EXPECT_LE(davx, dev);
+      }
+    }
+  }
+}
+
+TEST(Trainer, MseComputesMeanSquaredError) {
+  Submodel m;  // zero model: N(x) = 0
+  const std::vector<TrainSample> data{{0.1, 1.0}, {0.2, 1.0}};
+  EXPECT_DOUBLE_EQ(mse(m, data), 1.0);
+}
+
+}  // namespace
+}  // namespace nuevomatch::rqrmi

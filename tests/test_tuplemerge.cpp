@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "classbench/generator.hpp"
+#include "oracle_check.hpp"
+#include "tuplemerge/tuplemerge.hpp"
+
+namespace nuevomatch {
+namespace {
+
+using testing_support::expect_floor_consistency;
+using testing_support::expect_matches_oracle;
+
+struct TmCase {
+  AppClass app;
+  int variant;
+  size_t n;
+  uint64_t seed;
+  friend std::ostream& operator<<(std::ostream& os, const TmCase& c) {
+    return os << ruleset_name(c.app, c.variant) << "_n" << c.n << "_s" << c.seed;
+  }
+};
+
+class TupleMergeOracle : public ::testing::TestWithParam<TmCase> {};
+
+TEST_P(TupleMergeOracle, MatchesLinearSearch) {
+  const auto& c = GetParam();
+  const RuleSet rules = generate_classbench(c.app, c.variant, c.n, c.seed);
+  TupleMerge tm;
+  tm.build(rules);
+  expect_matches_oracle(tm, rules);
+}
+
+TEST_P(TupleMergeOracle, TssMatchesLinearSearch) {
+  const auto& c = GetParam();
+  const RuleSet rules = generate_classbench(c.app, c.variant, c.n, c.seed);
+  TupleSpaceSearch tss;
+  tss.build(rules);
+  expect_matches_oracle(tss, rules);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TupleMergeOracle,
+                         ::testing::Values(TmCase{AppClass::kAcl, 1, 1000, 1},
+                                           TmCase{AppClass::kAcl, 3, 3000, 2},
+                                           TmCase{AppClass::kFw, 1, 1000, 3},
+                                           TmCase{AppClass::kFw, 4, 3000, 4},
+                                           TmCase{AppClass::kIpc, 1, 2000, 5},
+                                           TmCase{AppClass::kIpc, 2, 500, 6}));
+
+TEST(TupleMerge, FloorConsistency) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 2, 1500, 7);
+  TupleMerge tm;
+  tm.build(rules);
+  expect_floor_consistency(tm, rules);
+}
+
+TEST(TupleMerge, MergingUsesFewerTablesThanTss) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 5000, 8);
+  TupleMerge tm;
+  TupleSpaceSearch tss;
+  tm.build(rules);
+  tss.build(rules);
+  EXPECT_LT(tm.num_tables(), tss.num_tables());
+  EXPECT_GT(tm.num_tables(), 0u);
+}
+
+TEST(TupleMerge, InsertThenMatch) {
+  RuleSet rules = generate_classbench(AppClass::kAcl, 1, 500, 9);
+  TupleMerge tm;
+  tm.build(rules);
+  Rule fresh;
+  for (int f = 0; f < kNumFields; ++f) fresh.field[static_cast<size_t>(f)] = full_range(f);
+  fresh.field[kDstIp] = Range{0x01020304, 0x01020304};
+  fresh.id = 100000;
+  fresh.priority = -5;  // best priority
+  ASSERT_TRUE(tm.insert(fresh));
+  Packet p{};
+  p.field[kDstIp] = 0x01020304;
+  EXPECT_EQ(tm.match(p).rule_id, 100000);
+  EXPECT_EQ(tm.size(), rules.size() + 1);
+}
+
+TEST(TupleMerge, EraseRemovesOnlyTarget) {
+  RuleSet rules = generate_classbench(AppClass::kFw, 2, 800, 10);
+  TupleMerge tm;
+  tm.build(rules);
+  LinearSearch oracle;
+  oracle.build(rules);
+  // Erase 50 random rules from both, then compare.
+  Rng rng{11};
+  for (int i = 0; i < 50; ++i) {
+    const auto victim = static_cast<uint32_t>(rng.below(rules.size()));
+    const bool a = tm.erase(victim);
+    const bool b = oracle.erase(victim);
+    EXPECT_EQ(a, b);
+  }
+  // Compare the two post-erase instances directly on a trace drawn from the
+  // original set (erased rules' packets now hit their next-best match).
+  TraceConfig tc;
+  tc.n_packets = 1500;
+  tc.seed = 13;
+  for (const Packet& p : generate_trace(rules, tc))
+    EXPECT_EQ(tm.match(p).rule_id, oracle.match(p).rule_id);
+}
+
+TEST(TupleMerge, SupportsUpdatesFlag) {
+  TupleMerge tm;
+  EXPECT_TRUE(tm.supports_updates());
+}
+
+TEST(TupleMerge, MemoryGrowsWithRules) {
+  TupleMerge small;
+  TupleMerge big;
+  small.build(generate_classbench(AppClass::kAcl, 1, 500, 14));
+  big.build(generate_classbench(AppClass::kAcl, 1, 5000, 14));
+  EXPECT_GT(big.memory_bytes(), small.memory_bytes());
+}
+
+TEST(TupleMerge, EmptyRuleSet) {
+  TupleMerge tm;
+  tm.build({});
+  EXPECT_FALSE(tm.match(Packet{}).hit());
+  EXPECT_EQ(tm.size(), 0u);
+}
+
+TEST(TupleMerge, CollisionLimitTriggersSplit) {
+  // Many rules sharing one relaxed tuple but distinct exact tuples: the
+  // collision limit must spill them into exact tables.
+  RuleSet rules;
+  for (uint32_t i = 0; i < 200; ++i) {
+    Rule r;
+    for (int f = 0; f < kNumFields; ++f) r.field[static_cast<size_t>(f)] = full_range(f);
+    // Same /24 block -> same masked key in a /24-relaxed table.
+    r.field[kDstIp] = Range{0x0A0A0A00u + i, 0x0A0A0A00u + i};
+    rules.push_back(r);
+  }
+  canonicalize(rules);
+  TupleMergeConfig cfg;
+  cfg.collision_limit = 8;
+  cfg.ip_len_granularity = 8;
+  TupleMerge tm{cfg};
+  tm.build(rules);
+  expect_matches_oracle(tm, rules, 1000, 15);
+}
+
+}  // namespace
+}  // namespace nuevomatch

@@ -1,0 +1,141 @@
+// Rule updates (paper §3.9): deletions tombstone iSet rules, additions land
+// in the remainder, matching-set changes are delete+insert, and periodic
+// rebuild() restores the trained state. Results must stay oracle-exact
+// through arbitrary update sequences.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "classbench/generator.hpp"
+#include "classifiers/linear.hpp"
+#include "common/rng.hpp"
+#include "nuevomatch/nuevomatch.hpp"
+#include "trace/trace.hpp"
+#include "tuplemerge/tuplemerge.hpp"
+
+namespace nuevomatch {
+namespace {
+
+NuevoMatch make_nm() {
+  NuevoMatchConfig cfg;
+  cfg.remainder_factory = [] { return std::make_unique<TupleMerge>(); };
+  cfg.min_iset_coverage = 0.05;
+  return NuevoMatch{cfg};
+}
+
+void expect_equal_on_trace(Classifier& a, Classifier& b, const RuleSet& rules,
+                           uint64_t seed) {
+  TraceConfig tc;
+  tc.n_packets = 2500;
+  tc.seed = seed;
+  for (const Packet& p : generate_trace(rules, tc))
+    ASSERT_EQ(a.match(p).rule_id, b.match(p).rule_id) << to_string(p);
+}
+
+TEST(Updates, DeletionsStayExact) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 3000, 1);
+  NuevoMatch nm = make_nm();
+  LinearSearch oracle;
+  nm.build(rules);
+  oracle.build(rules);
+  Rng rng{2};
+  for (int i = 0; i < 300; ++i) {
+    const auto victim = static_cast<uint32_t>(rng.below(rules.size()));
+    EXPECT_EQ(nm.erase(victim), oracle.erase(victim)) << "victim " << victim;
+  }
+  expect_equal_on_trace(nm, oracle, rules, 3);
+}
+
+TEST(Updates, InsertionsGoToRemainderAndStayExact) {
+  const RuleSet rules = generate_classbench(AppClass::kFw, 1, 2000, 4);
+  NuevoMatch nm = make_nm();
+  LinearSearch oracle;
+  nm.build(rules);
+  oracle.build(rules);
+  const size_t rem_before = nm.remainder_size();
+  RuleSet extra = generate_classbench(AppClass::kFw, 2, 200, 5);
+  for (size_t i = 0; i < extra.size(); ++i) {
+    extra[i].id = static_cast<uint32_t>(100'000 + i);
+    extra[i].priority = -static_cast<int32_t>(i) - 1;  // new rules on top
+    ASSERT_TRUE(nm.insert(extra[i]));
+    ASSERT_TRUE(oracle.insert(extra[i]));
+  }
+  EXPECT_EQ(nm.remainder_size(), rem_before + extra.size());
+  RuleSet all = rules;
+  all.insert(all.end(), extra.begin(), extra.end());
+  expect_equal_on_trace(nm, oracle, all, 6);
+}
+
+TEST(Updates, MatchingSetChangeIsDeletePlusInsert) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 2, 1500, 7);
+  NuevoMatch nm = make_nm();
+  LinearSearch oracle;
+  nm.build(rules);
+  oracle.build(rules);
+  // Narrow rule 10's dst port (a matching-set change, §3.9 type iii).
+  Rule changed = rules[10];
+  changed.field[kDstPort] = Range{80, 80};
+  ASSERT_TRUE(nm.erase(10));
+  ASSERT_TRUE(nm.insert(changed));
+  ASSERT_TRUE(oracle.erase(10));
+  ASSERT_TRUE(oracle.insert(changed));
+  expect_equal_on_trace(nm, oracle, rules, 8);
+}
+
+TEST(Updates, PressureTracksMigratedFraction) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 1000, 9);
+  NuevoMatch nm = make_nm();
+  nm.build(rules);
+  EXPECT_DOUBLE_EQ(nm.update_pressure(), 0.0);
+  Rule r = rules[0];
+  r.id = 50'000;
+  nm.insert(r);
+  EXPECT_NEAR(nm.update_pressure(), 1.0 / 1000.0, 1e-9);
+}
+
+TEST(Updates, RebuildResetsPressureAndStaysExact) {
+  const RuleSet rules = generate_classbench(AppClass::kIpc, 1, 2000, 10);
+  NuevoMatch nm = make_nm();
+  LinearSearch oracle;
+  nm.build(rules);
+  oracle.build(rules);
+  Rng rng{11};
+  for (int i = 0; i < 100; ++i) {
+    Rule r = rules[rng.below(rules.size())];
+    r.id = static_cast<uint32_t>(200'000 + i);
+    r.priority = 100'000 + i;  // lowest priority: purely additive
+    nm.insert(r);
+    oracle.insert(r);
+  }
+  EXPECT_GT(nm.update_pressure(), 0.0);
+  nm.rebuild();  // the paper's periodic retraining
+  EXPECT_DOUBLE_EQ(nm.update_pressure(), 0.0);
+  expect_equal_on_trace(nm, oracle, rules, 12);
+}
+
+TEST(Updates, EraseUnknownIdFails) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 300, 13);
+  NuevoMatch nm = make_nm();
+  nm.build(rules);
+  EXPECT_FALSE(nm.erase(0xDEAD0000));
+  EXPECT_EQ(nm.size(), rules.size());
+}
+
+TEST(Updates, ActionChangeNeedsNoStructuralUpdate) {
+  // §3.9 type (i): the action lives in the value array; rule bodies are
+  // shared. Verify lookup is unaffected by action rewrite.
+  RuleSet rules = generate_classbench(AppClass::kAcl, 3, 500, 14);
+  NuevoMatch nm = make_nm();
+  nm.build(rules);
+  TraceConfig tc;
+  tc.n_packets = 300;
+  const auto before = generate_trace(rules, tc);
+  std::vector<int32_t> ids;
+  for (const Packet& p : before) ids.push_back(nm.match(p).rule_id);
+  for (Rule& r : rules) r.action ^= 0x7;  // rewrite actions only
+  size_t i = 0;
+  for (const Packet& p : before) EXPECT_EQ(nm.match(p).rule_id, ids[i++]);
+}
+
+}  // namespace
+}  // namespace nuevomatch

@@ -1,0 +1,219 @@
+// Long-field (Section 4) machinery: 128-bit value arithmetic, prefix
+// construction, the two encodings' key functions, partitioning invariants,
+// and end-to-end oracle equivalence of WideClassifier under BOTH encodings —
+// the float encoding must stay exact even where its keys collapse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "wide/wide.hpp"
+#include "wide/wide_index.hpp"
+
+namespace nuevomatch::wide {
+namespace {
+
+TEST(WideValue, OrderingIsLexicographic) {
+  WideValue a, b;
+  a.limb = {1, 0, 0, 0};
+  b.limb = {0, 0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu};
+  EXPECT_TRUE(b < a);
+  EXPECT_TRUE(a > b);
+  EXPECT_EQ(a, a);
+}
+
+TEST(WideValue, NextCarriesAcrossLimbs) {
+  WideValue v;
+  v.limb = {0, 0, 0, 0xFFFFFFFFu};
+  const WideValue n = v.next();
+  EXPECT_EQ(n.limb[2], 1u);
+  EXPECT_EQ(n.limb[3], 0u);
+  EXPECT_EQ(WideValue::max().next(), WideValue::max()) << "saturates, never wraps";
+}
+
+TEST(WideValue, FromU64LandsInLowLimbs) {
+  const WideValue v = WideValue::from_u64(0x1122334455667788ull);
+  EXPECT_EQ(v.limb[0], 0u);
+  EXPECT_EQ(v.limb[1], 0u);
+  EXPECT_EQ(v.limb[2], 0x11223344u);
+  EXPECT_EQ(v.limb[3], 0x55667788u);
+}
+
+TEST(WidePrefix, CoversExactlyTheBlock) {
+  WideValue base;
+  base.limb = {0x20010db8u, 0x12345678u, 0xAAAAAAAAu, 0x55555555u};
+  const WideRange p48 = wide_prefix(base, 48);
+  EXPECT_EQ(p48.lo.limb[0], 0x20010db8u);
+  EXPECT_EQ(p48.lo.limb[1], 0x12340000u);
+  EXPECT_EQ(p48.lo.limb[2], 0u);
+  EXPECT_EQ(p48.hi.limb[1], 0x1234FFFFu);
+  EXPECT_EQ(p48.hi.limb[3], 0xFFFFFFFFu);
+  EXPECT_TRUE(p48.contains(base));
+  const WideRange p0 = wide_prefix(base, 0);
+  EXPECT_EQ(p0, WideRange::full());
+  const WideRange p128 = wide_prefix(base, 128);
+  EXPECT_TRUE(p128.is_exact());
+  EXPECT_EQ(p128.lo, base);
+}
+
+TEST(SubfieldRange, InformativeOnlyBelowExactLimbs) {
+  WideRule r;
+  r.field.resize(1);
+  WideValue base;
+  base.limb = {0xAABBCCDDu, 0x11220000u, 0, 0};
+  r.field[0] = wide_prefix(base, 48);  // limb0 exact, limb1 = [0x11220000, 0x1122FFFF]
+  EXPECT_EQ(subfield_range(r, 0, 0), (Range{0xAABBCCDDu, 0xAABBCCDDu}));
+  EXPECT_EQ(subfield_range(r, 0, 1), (Range{0x11220000u, 0x1122FFFFu}));
+  // limb1 ranges, so limbs 2..3 carry no usable constraint.
+  EXPECT_EQ(subfield_range(r, 0, 2), (Range{0u, 0xFFFFFFFFu}));
+  EXPECT_EQ(subfield_range(r, 0, 3), (Range{0u, 0xFFFFFFFFu}));
+}
+
+TEST(NormalizeWide, MonotoneAndUnitRange) {
+  Rng rng{3};
+  double prev = -1.0;
+  WideValue v;
+  for (int i = 0; i < 1000; ++i) {
+    // Ascending random values: bump a random limb.
+    v.limb[static_cast<size_t>(rng.below(2)) + 2] += rng.next_u32() >> 8;
+    v.limb[0] += static_cast<uint32_t>(i);
+    const double k = normalize_wide(v);
+    EXPECT_GE(k, 0.0);
+    EXPECT_LT(k, 1.0);
+    EXPECT_GE(k, prev) << "must be monotone non-decreasing";
+    prev = k;
+  }
+  EXPECT_DOUBLE_EQ(normalize_wide(WideValue{}), 0.0);
+}
+
+TEST(NormalizeWide, CollapsesBeyondMantissa) {
+  // Two values differing only in the last limb of a shared high prefix
+  // collapse — this is the IPv6 failure mode of Section 4.
+  WideValue a, b;
+  a.limb = {0x20010db8u, 0x00010000u, 0, 1};
+  b.limb = {0x20010db8u, 0x00010000u, 0, 2};
+  EXPECT_EQ(normalize_wide(a), normalize_wide(b));
+  // ...while 48-bit MACs (low limbs, high limbs zero) stay distinct.
+  const WideValue m1 = WideValue::from_u64(0x0000AABBCCDD0001ull);
+  const WideValue m2 = WideValue::from_u64(0x0000AABBCCDD0002ull);
+  EXPECT_NE(normalize_wide(m1), normalize_wide(m2));
+}
+
+// --- partitioning ------------------------------------------------------------
+
+void check_partition_invariants(const WideRuleSet& rules, const WidePartition& part,
+                                Encoding enc) {
+  std::multiset<uint32_t> seen;
+  for (const auto& is : part.isets)
+    for (const auto& r : is.rules) seen.insert(r.id);
+  for (const auto& r : part.remainder) seen.insert(r.id);
+  ASSERT_EQ(seen.size(), rules.size());
+  for (const auto& r : rules) EXPECT_EQ(seen.count(r.id), 1u);
+  // Disjointness in each iSet's own key space.
+  for (const auto& is : part.isets) {
+    for (size_t i = 1; i < is.rules.size(); ++i) {
+      if (enc == Encoding::kSplit) {
+        const Range a = subfield_range(is.rules[i - 1], is.field, is.limb);
+        const Range b = subfield_range(is.rules[i], is.field, is.limb);
+        EXPECT_LT(a.hi, b.lo);
+      }
+    }
+  }
+}
+
+TEST(WidePartition, InvariantsHoldOnBothWorkloadsAndEncodings) {
+  for (auto enc : {Encoding::kSplit, Encoding::kFloat}) {
+    for (bool mac : {true, false}) {
+      const WideRuleSet rules =
+          mac ? generate_mac_rules(3000, 5) : generate_ipv6_rules(3000, 5);
+      WidePartitionConfig cfg;
+      cfg.encoding = enc;
+      const WidePartition part = partition_wide(rules, cfg);
+      check_partition_invariants(rules, part, enc);
+    }
+  }
+}
+
+TEST(WidePartition, SplitBeatsFloatOnIpv6) {
+  // Paper Section 4: "with IPv6, splitting into multiple fields worked
+  // better" — the float keys collapse under the shared /32, so one iSet can
+  // hold at most one rule per distinct double.
+  const WideRuleSet rules = generate_ipv6_rules(5000, 9);
+  WidePartitionConfig split_cfg, float_cfg;
+  split_cfg.encoding = Encoding::kSplit;
+  float_cfg.encoding = Encoding::kFloat;
+  const double split_cov = partition_wide(rules, split_cfg).coverage();
+  const double float_cov = partition_wide(rules, float_cfg).coverage();
+  EXPECT_GT(split_cov, float_cov + 0.10)
+      << "split=" << split_cov << " float=" << float_cov;
+  EXPECT_GT(split_cov, 0.5);
+}
+
+TEST(WidePartition, EncodingsComparableOnMac) {
+  // "The two showed similar results for iSet partitioning with MAC
+  // addresses" — 48-bit keys fit the double mantissa exactly.
+  const WideRuleSet rules = generate_mac_rules(5000, 9);
+  WidePartitionConfig split_cfg, float_cfg;
+  split_cfg.encoding = Encoding::kSplit;
+  float_cfg.encoding = Encoding::kFloat;
+  const double split_cov = partition_wide(rules, split_cfg).coverage();
+  const double float_cov = partition_wide(rules, float_cfg).coverage();
+  EXPECT_NEAR(split_cov, float_cov, 0.05);
+  EXPECT_GT(float_cov, 0.8);
+}
+
+// --- end-to-end oracle equivalence -------------------------------------------
+
+struct WideCase {
+  bool mac;
+  Encoding enc;
+  size_t n;
+  uint64_t seed;
+  friend std::ostream& operator<<(std::ostream& os, const WideCase& c) {
+    return os << (c.mac ? "mac" : "ipv6") << "_" << to_string(c.enc) << "_n" << c.n
+              << "_s" << c.seed;
+  }
+};
+
+class WideOracle : public ::testing::TestWithParam<WideCase> {};
+
+TEST_P(WideOracle, ClassifierMatchesLinearSearch) {
+  const auto& c = GetParam();
+  const WideRuleSet rules =
+      c.mac ? generate_mac_rules(c.n, c.seed) : generate_ipv6_rules(c.n, c.seed);
+  WideClassifier::Config cfg;
+  cfg.encoding = c.enc;
+  cfg.seed = c.seed;
+  WideClassifier cls;
+  cls.build(rules, cfg);
+  WideLinearSearch oracle;
+  oracle.build(rules);
+  const auto trace = generate_wide_trace(rules, 5000, c.seed ^ 0xBEE);
+  for (const WidePacket& p : trace) {
+    const auto got = cls.match(p);
+    const auto want = oracle.match(p);
+    ASSERT_EQ(got.rule_id, want.rule_id);
+    ASSERT_EQ(got.priority, want.priority);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WideOracle,
+    ::testing::Values(WideCase{true, Encoding::kSplit, 2000, 1},
+                      WideCase{true, Encoding::kFloat, 2000, 2},
+                      WideCase{false, Encoding::kSplit, 2000, 3},
+                      WideCase{false, Encoding::kFloat, 2000, 4},
+                      WideCase{true, Encoding::kFloat, 8000, 5},
+                      WideCase{false, Encoding::kSplit, 8000, 6},
+                      WideCase{false, Encoding::kFloat, 8000, 7}));
+
+TEST(WideClassifier, EmptyRuleSet) {
+  WideClassifier cls;
+  cls.build({}, WideClassifier::Config{});
+  EXPECT_FALSE(cls.match(WidePacket{WideValue{}}).hit());
+  EXPECT_DOUBLE_EQ(cls.coverage(), 0.0);
+}
+
+}  // namespace
+}  // namespace nuevomatch::wide
