@@ -163,6 +163,70 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
   std::printf("==============================================================\n");
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable results (BENCH_<name>.json)
+// ---------------------------------------------------------------------------
+
+/// Minimal row-oriented JSON emitter for bench result files. Usage:
+///   BenchJson j{"table1"};
+///   j.row().set("level", "avx(8)").set("mode", "batched").set("kps", 1e8);
+///   j.write("BENCH_table1.json");
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  BenchJson& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  BenchJson& set(const std::string& key, const std::string& v) {
+    rows_.back().emplace_back(key, "\"" + escape(v) + "\"");
+    return *this;
+  }
+  BenchJson& set(const std::string& key, const char* v) {
+    return set(key, std::string{v});
+  }
+  BenchJson& set(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    rows_.back().emplace_back(key, buf);
+    return *this;
+  }
+  BenchJson& set(const std::string& key, size_t v) {
+    rows_.back().emplace_back(key, std::to_string(v));
+    return *this;
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", escape(bench_).c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {");
+      for (size_t k = 0; k < rows_[i].size(); ++k)
+        std::fprintf(f, "%s\"%s\": %s", k != 0 ? ", " : "",
+                     escape(rows_[i][k].first).c_str(), rows_[i][k].second.c_str());
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
 inline std::string human_bytes(size_t b) {
   char buf[32];
   if (b >= 1024 * 1024) {

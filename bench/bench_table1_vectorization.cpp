@@ -1,6 +1,12 @@
 // Table 1: submodel inference time per lookup with serial / SSE / AVX
 // kernels ("Submodel acceleration via vectorization", paper §4).
 // Paper reports 126 / 62 / 49 ns per full RQ-RMI lookup on Xeon Silver 4116.
+//
+// Extended beyond the paper: the per-key kernels vectorize *within* one
+// submodel, the batched kernels (rqrmi/kernel.hpp) vectorize *across*
+// packets — one SIMD lane per key. The serial/SSE/AVX x per-key/batched-8/
+// batched-32 grid below measures the cross-packet speedup on the same
+// trained 100K-interval model and records it in BENCH_table1.json.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
@@ -38,38 +44,177 @@ const RqRmi& shared_model() {
   return model;
 }
 
+constexpr size_t kKeyPool = 4096;  // power of two; wraps with a mask
+
+std::vector<float> make_keys() {
+  Rng rng{7};
+  std::vector<float> keys(kKeyPool);
+  for (float& k : keys) k = static_cast<float>(rng.next_double());
+  return keys;
+}
+
 void bench_lookup(benchmark::State& state, SimdLevel level) {
   if (!simd_level_available(level)) {
     state.SkipWithError("SIMD level not available on this CPU/build");
     return;
   }
   const RqRmi& model = shared_model();
-  Rng rng{7};
-  std::vector<float> keys(4096);
-  for (float& k : keys) k = static_cast<float>(rng.next_double());
+  const auto keys = make_keys();
   size_t i = 0;
   for (auto _ : state) {
     const auto pred = model.lookup(keys[i], level);
     benchmark::DoNotOptimize(pred);
-    i = (i + 1) & 4095;
+    i = (i + 1) & (kKeyPool - 1);
   }
-  state.SetLabel("full 3-stage RQ-RMI lookup");
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("full 3-stage RQ-RMI lookup, per-key");
+}
+
+void bench_lookup_batch(benchmark::State& state, SimdLevel level, size_t batch) {
+  if (!simd_level_available(level)) {
+    state.SkipWithError("SIMD level not available on this CPU/build");
+    return;
+  }
+  if (batch_level(level) != level) {
+    // e.g. kAvx on an AVX-without-AVX2 CPU would silently measure the SSE2
+    // kernel; skip rather than record a mislabeled row.
+    state.SkipWithError("batch kernel for this level not available; would "
+                        "degrade to a narrower kernel");
+    return;
+  }
+  const RqRmi& model = shared_model();
+  const auto keys = make_keys();
+  std::vector<Prediction> preds(batch);
+  size_t i = 0;
+  for (auto _ : state) {
+    model.lookup_batch(std::span<const float>{keys.data() + i, batch},
+                       std::span<Prediction>{preds}, level);
+    benchmark::DoNotOptimize(preds.data());
+    i = (i + batch) & (kKeyPool - 1);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * static_cast<int64_t>(batch)));
+  state.SetLabel("cross-packet lanes, batch=" + std::to_string(batch));
 }
 
 void BM_Inference_Serial(benchmark::State& s) { bench_lookup(s, SimdLevel::kSerial); }
 void BM_Inference_SSE(benchmark::State& s) { bench_lookup(s, SimdLevel::kSse); }
 void BM_Inference_AVX(benchmark::State& s) { bench_lookup(s, SimdLevel::kAvx); }
+void BM_Batch8_Serial(benchmark::State& s) { bench_lookup_batch(s, SimdLevel::kSerial, 8); }
+void BM_Batch8_SSE(benchmark::State& s) { bench_lookup_batch(s, SimdLevel::kSse, 8); }
+void BM_Batch8_AVX(benchmark::State& s) { bench_lookup_batch(s, SimdLevel::kAvx, 8); }
+void BM_Batch32_Serial(benchmark::State& s) { bench_lookup_batch(s, SimdLevel::kSerial, 32); }
+void BM_Batch32_SSE(benchmark::State& s) { bench_lookup_batch(s, SimdLevel::kSse, 32); }
+void BM_Batch32_AVX(benchmark::State& s) { bench_lookup_batch(s, SimdLevel::kAvx, 32); }
 
 BENCHMARK(BM_Inference_Serial);
 BENCHMARK(BM_Inference_SSE);
 BENCHMARK(BM_Inference_AVX);
+BENCHMARK(BM_Batch8_Serial);
+BENCHMARK(BM_Batch8_SSE);
+BENCHMARK(BM_Batch8_AVX);
+BENCHMARK(BM_Batch32_Serial);
+BENCHMARK(BM_Batch32_SSE);
+BENCHMARK(BM_Batch32_AVX);
+
+// ---------------------------------------------------------------------------
+// JSON emission: one steady-clock measurement per grid cell, written as
+// BENCH_table1.json (keys/sec + speedup of each batched mode over the
+// per-key kernel at the same SIMD level).
+// ---------------------------------------------------------------------------
+
+double measure_keys_per_sec(SimdLevel level, size_t batch) {
+  const RqRmi& model = shared_model();
+  const auto keys = make_keys();
+  std::vector<Prediction> preds(batch > 0 ? batch : 1);
+  constexpr uint64_t kMinNs = 200'000'000;  // 0.2 s per cell
+  uint64_t keys_done = 0;
+  // Warm-up pass.
+  for (size_t i = 0; i < kKeyPool; ++i) benchmark::DoNotOptimize(model.lookup(keys[i], level));
+  const uint64_t t0 = bench::now_ns();
+  uint64_t t1 = t0;
+  size_t i = 0;
+  while (t1 - t0 < kMinNs) {
+    for (int rep = 0; rep < 64; ++rep) {
+      if (batch == 0) {
+        const auto pred = model.lookup(keys[i], level);
+        benchmark::DoNotOptimize(pred);
+        keys_done += 1;
+        i = (i + 1) & (kKeyPool - 1);
+      } else {
+        model.lookup_batch(std::span<const float>{keys.data() + i, batch},
+                           std::span<Prediction>{preds}, level);
+        benchmark::DoNotOptimize(preds.data());
+        keys_done += batch;
+        i = (i + batch) & (kKeyPool - 1);
+      }
+    }
+    t1 = bench::now_ns();
+  }
+  return static_cast<double>(keys_done) / (static_cast<double>(t1 - t0) * 1e-9);
+}
+
+void emit_json() {
+  const std::vector<SimdLevel> levels{SimdLevel::kSerial, SimdLevel::kSse,
+                                      SimdLevel::kAvx};
+  const std::vector<size_t> batches{0, 8, 32};  // 0 = per-key
+  bench::BenchJson json{"table1_vectorization"};
+  std::printf("\n%-12s %-12s %14s %12s %10s\n", "level", "mode", "keys/sec",
+              "ns/key", "vs perkey");
+  for (const SimdLevel level : levels) {
+    if (!simd_level_available(level)) continue;
+    double perkey_kps = 0.0;
+    for (const size_t batch : batches) {
+      // Don't record a row labelled with a kernel that would not actually
+      // run (kAvx batching needs AVX2; AVX-only CPUs degrade to SSE2).
+      if (batch != 0 && batch_level(level) != level) continue;
+      const double kps = measure_keys_per_sec(level, batch);
+      if (batch == 0) perkey_kps = kps;
+      const std::string mode = batch == 0 ? "per-key" : "batched-" + std::to_string(batch);
+      const double speedup = batch == 0 ? 1.0 : kps / perkey_kps;
+      std::printf("%-12s %-12s %14.3e %12.2f %9.2fx\n", to_string(level).c_str(),
+                  mode.c_str(), kps, 1e9 / kps, speedup);
+      json.row()
+          .set("level", to_string(level))
+          .set("mode", mode)
+          .set("batch", batch)
+          .set("keys_per_sec", kps)
+          .set("ns_per_key", 1e9 / kps)
+          .set("speedup_vs_perkey", speedup);
+    }
+  }
+  if (json.write("BENCH_table1.json")) {
+    std::printf("\nwrote BENCH_table1.json\n");
+  } else {
+    std::fprintf(stderr, "failed to write BENCH_table1.json\n");
+  }
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  nuevomatch::bench::print_header("Table 1: submodel vectorization",
-                                  "paper Table 1 (126/62/49 ns serial/SSE/AVX)");
+  // --table_only: skip the google-benchmark loops, measure the grid and
+  // write BENCH_table1.json only. Conversely, an interactive
+  // --benchmark_filter/--benchmark_list_tests inspection run must not spend
+  // ~2s on the grid nor clobber an existing BENCH_table1.json.
+  bool table_only = false;
+  bool inspecting = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a{argv[i]};
+    if (a == "--table_only") table_only = true;
+    if (a.rfind("--benchmark_filter", 0) == 0 ||
+        a.rfind("--benchmark_list_tests", 0) == 0)
+      inspecting = true;
+  }
+  nuevomatch::bench::print_header(
+      "Table 1: submodel vectorization (+ cross-packet batching)",
+      "paper Table 1 (126/62/49 ns serial/SSE/AVX) + batched extension");
+  if (table_only) {
+    emit_json();
+    return 0;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (!inspecting) emit_json();
   return 0;
 }

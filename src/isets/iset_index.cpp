@@ -46,6 +46,7 @@ size_t count_leq(const uint32_t* begin, size_t count, uint32_t v) noexcept {
 
 void IsetIndex::index_rules() {
   domain_ = kFieldDomain[static_cast<size_t>(field_)];
+  inv_domain_ = rqrmi::normalize_reciprocal(domain_);
   live_ = rules_.size();
   lo_.resize(rules_.size());
   hi_.resize(rules_.size());
@@ -93,11 +94,29 @@ void IsetIndex::restore(int field, std::vector<Rule> rules, rqrmi::RqRmi model) 
 }
 
 rqrmi::Prediction IsetIndex::predict(uint32_t v, rqrmi::SimdLevel level) const noexcept {
-  return model_.lookup(rqrmi::normalize_key(v, domain_), level);
+  return model_.lookup(rqrmi::normalize_key_mul(v, inv_domain_), level);
 }
 
 rqrmi::Prediction IsetIndex::predict(uint32_t v) const noexcept {
-  return model_.lookup(rqrmi::normalize_key(v, domain_));
+  return model_.lookup(rqrmi::normalize_key_mul(v, inv_domain_));
+}
+
+void IsetIndex::predict_batch(std::span<const uint32_t> values,
+                              std::span<rqrmi::Prediction> out,
+                              rqrmi::SimdLevel level) const noexcept {
+  constexpr size_t kChunk = 64;
+  float keys[kChunk];
+  for (size_t base = 0; base < values.size(); base += kChunk) {
+    const size_t m = std::min(kChunk, values.size() - base);
+    for (size_t t = 0; t < m; ++t)
+      keys[t] = rqrmi::normalize_key_mul(values[base + t], inv_domain_);
+    model_.lookup_batch(std::span<const float>{keys, m}, out.subspan(base, m), level);
+  }
+}
+
+void IsetIndex::predict_batch(std::span<const uint32_t> values,
+                              std::span<rqrmi::Prediction> out) const noexcept {
+  predict_batch(values, out, rqrmi::best_simd_level());
 }
 
 int32_t IsetIndex::search(uint32_t v, const rqrmi::Prediction& pred) const noexcept {
@@ -115,6 +134,20 @@ int32_t IsetIndex::search(uint32_t v, const rqrmi::Prediction& pred) const noexc
   if (leq == 0) return -1;
   const auto pos = static_cast<int32_t>(static_cast<size_t>(first) + leq - 1);
   return hi_[static_cast<size_t>(pos)] >= v ? pos : -1;
+}
+
+void IsetIndex::search_batch(std::span<const uint32_t> values,
+                             std::span<const rqrmi::Prediction> preds,
+                             std::span<int32_t> out) const noexcept {
+  // One wave of windows is prefetched ahead of the one being walked, so the
+  // bounded searches overlap their DRAM accesses instead of serializing.
+  constexpr size_t kWave = 4;
+  const size_t n = values.size();
+  for (size_t i = 0; i < n && i < kWave; ++i) prefetch_window(preds[i]);
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kWave < n) prefetch_window(preds[i + kWave]);
+    out[i] = search(values[i], preds[i]);
+  }
 }
 
 void IsetIndex::prefetch_window(const rqrmi::Prediction& pred) const noexcept {

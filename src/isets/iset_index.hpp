@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -34,14 +35,29 @@ class IsetIndex {
   [[nodiscard]] MatchResult lookup_with_floor(const Packet& p,
                                               int32_t priority_floor) const noexcept;
 
-  // --- staged API (used by the Figure 14 runtime-breakdown bench) --------
+  // --- staged API (used by the Figure 14 runtime-breakdown bench and the
+  // --- batch pipeline) ---------------------------------------------------
   [[nodiscard]] rqrmi::Prediction predict(uint32_t field_value) const noexcept;
   [[nodiscard]] rqrmi::Prediction predict(uint32_t field_value,
                                           rqrmi::SimdLevel level) const noexcept;
+  /// Cross-packet batched prediction: normalizes the values (reciprocal
+  /// multiply, no divide) and runs the RQ-RMI lane-per-packet kernels.
+  /// Writes values.size() predictions to `out`.
+  void predict_batch(std::span<const uint32_t> values,
+                     std::span<rqrmi::Prediction> out) const noexcept;
+  void predict_batch(std::span<const uint32_t> values,
+                     std::span<rqrmi::Prediction> out,
+                     rqrmi::SimdLevel level) const noexcept;
   /// Bounded binary search around the prediction; -1 when no stored range
   /// contains the value.
   [[nodiscard]] int32_t search(uint32_t field_value,
                                const rqrmi::Prediction& pred) const noexcept;
+  /// Batched bounded secondary search: interleaves the per-packet windows,
+  /// prefetching one wave ahead so a window's cache lines are in flight
+  /// while earlier packets are still being searched.
+  void search_batch(std::span<const uint32_t> values,
+                    std::span<const rqrmi::Prediction> preds,
+                    std::span<int32_t> out) const noexcept;
   /// Hint the cache that `pred`'s search window is about to be walked
   /// (the batch pipeline issues these one stage ahead).
   void prefetch_window(const rqrmi::Prediction& pred) const noexcept;
@@ -77,6 +93,7 @@ class IsetIndex {
 
   int field_ = 0;
   uint64_t domain_ = 0;
+  double inv_domain_ = 0.0;  // 1/(domain_+1): multiply, don't divide, per key
   std::vector<uint32_t> lo_;      // SoA: range starts, sorted
   std::vector<uint32_t> hi_;      // SoA: range ends
   std::vector<int32_t> prio_;     // SoA: rule priorities

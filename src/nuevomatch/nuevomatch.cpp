@@ -59,30 +59,40 @@ MatchResult NuevoMatch::match_isets(const Packet& p) const {
 
 void NuevoMatch::match_batch(std::span<const Packet> packets,
                              std::span<MatchResult> out) const {
-  constexpr size_t kTile = 16;
+  // Three-stage software pipeline per tile (DESIGN.md "Batched inference
+  // engine"). Stage 1 runs whole tiles through the lane-per-packet RQ-RMI
+  // kernels — one predict_batch call per iSet instead of a scalar predict
+  // per packet x iSet. Stage 2 walks the bounded search windows with
+  // wave-ahead prefetch. Stage 3 validates per packet in iSet order so the
+  // cross-iSet early-termination floor behaves exactly like match().
+  constexpr size_t kTile = 32;
   constexpr size_t kMaxIsets = 8;
   const size_t n_isets = std::min(isets_.size(), kMaxIsets);
+  std::array<uint32_t, kTile * kMaxIsets> vals;
   std::array<rqrmi::Prediction, kTile * kMaxIsets> preds;
+  std::array<int32_t, kTile * kMaxIsets> pos;
 
   for (size_t base = 0; base < packets.size(); base += kTile) {
     const size_t tile = std::min(kTile, packets.size() - base);
-    // Stage 1: model inference for the whole tile; prefetch search windows.
-    for (size_t t = 0; t < tile; ++t) {
-      const Packet& p = packets[base + t];
-      for (size_t s = 0; s < n_isets; ++s) {
-        const rqrmi::Prediction pr = isets_[s].predict(p[isets_[s].field()]);
-        preds[t * kMaxIsets + s] = pr;
-        isets_[s].prefetch_window(pr);
-      }
+    // Stage 1: batched model inference, one iSet (= one model) at a time.
+    for (size_t s = 0; s < n_isets; ++s) {
+      uint32_t* v = vals.data() + s * kTile;
+      for (size_t t = 0; t < tile; ++t) v[t] = packets[base + t][isets_[s].field()];
+      isets_[s].predict_batch({v, tile}, {preds.data() + s * kTile, tile});
     }
-    // Stage 2: bounded search + validation + remainder per packet.
+    // Stage 2: batched bounded secondary search (windows prefetched a wave
+    // ahead inside search_batch).
+    for (size_t s = 0; s < n_isets; ++s) {
+      isets_[s].search_batch({vals.data() + s * kTile, tile},
+                             {preds.data() + s * kTile, tile},
+                             {pos.data() + s * kTile, tile});
+    }
+    // Stage 3: validation + remainder per packet.
     for (size_t t = 0; t < tile; ++t) {
       const Packet& p = packets[base + t];
       MatchResult best;
       for (size_t s = 0; s < n_isets; ++s) {
-        const IsetIndex& is = isets_[s];
-        const int32_t pos = is.search(p[is.field()], preds[t * kMaxIsets + s]);
-        const MatchResult r = is.validate(pos, p, best.priority);
+        const MatchResult r = isets_[s].validate(pos[s * kTile + t], p, best.priority);
         if (r.beats(best)) best = r;
       }
       // Any iSets beyond the pipeline width take the scalar path.

@@ -52,10 +52,12 @@ class NuevoMatch final : public Classifier {
   [[nodiscard]] MatchResult match_isets(const Packet& p) const;
 
   /// Batched lookup (paper §5.1 processes packets in batches of 128): a
-  /// software pipeline computes all RQ-RMI predictions for a tile of packets
-  /// first — prefetching each search window — then runs search + validation
-  /// + remainder. Results are written per packet; out.size() must equal
-  /// packets.size().
+  /// software pipeline feeds whole tiles through the cross-packet RQ-RMI
+  /// kernels (one SIMD lane per packet, see rqrmi/kernel.hpp) per iSet, then
+  /// runs the bounded searches with wave-ahead window prefetch, then
+  /// validation + remainder per packet. Early-termination semantics are
+  /// identical to match(). Results are written per packet; out.size() must
+  /// equal packets.size().
   void match_batch(std::span<const Packet> packets, std::span<MatchResult> out) const;
 
   // --- updates (paper §3.9) ---------------------------------------------

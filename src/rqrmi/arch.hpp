@@ -1,0 +1,13 @@
+// Single definition of "does this build ship the x86 SIMD kernels?" shared
+// by the per-key kernels (nn.cpp) and the batch engine (kernel.cpp), so the
+// compiled-kernel set can never diverge from what the runtime dispatch layer
+// (cpu_supports / dispatch_ceiling) claims. The kernels use function-level
+// target attributes, which GCC and Clang support on x86-64; anything else
+// falls back to scalar everywhere.
+#pragma once
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define NM_X86_KERNELS 1
+#else
+#define NM_X86_KERNELS 0
+#endif

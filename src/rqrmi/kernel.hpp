@@ -1,0 +1,142 @@
+// Cross-packet batched RQ-RMI inference (DESIGN.md "Batched inference
+// engine").
+//
+// The per-key kernels in nn.cpp vectorize *within* one submodel: the 8 hidden
+// neurons of a single key fill one AVX register. That caps throughput at one
+// key per serial walk of the stages. The batch engine flips the vectorization
+// axis — one SIMD *lane per packet* — so 8 (AVX2) or 4 (SSE2) keys traverse
+// the stages together, each lane gathering the weights of the submodel it was
+// routed to.
+//
+// Two pieces live here:
+//
+//  * FlatArena — a single cache-aligned SoA buffer holding all stage weights
+//    transposed for lane-parallel access (element (neuron k, submodel j) of a
+//    stage sits at `w1 + k*width + j`, so a per-lane gather with index j
+//    fetches neuron k's weight for every lane at once) plus the leaf-error
+//    table. Built once after training/restore; the hot path never touches
+//    std::vector<std::vector<Submodel>>.
+//
+//  * lookup_batch — the lane-per-packet kernels (AVX2 / SSE2 / scalar),
+//    selected by runtime CPUID dispatch, not compile flags: the SIMD variants
+//    are compiled with function-level target attributes, so a baseline -O2
+//    build still ships them and picks the widest one the running CPU
+//    supports. `NM_SIMD_MAX=serial|sse|avx` in the environment caps the
+//    default dispatch (CI uses it to exercise the narrow paths).
+//
+// Kernel contract: every lane computes bit-for-bit the arithmetic of the
+// scalar serial reference (same summation order, mul+add kept unfused, same
+// clamp semantics), so lookup_batch at ANY SIMD level returns Predictions
+// byte-identical to RqRmi::lookup(key, SimdLevel::kSerial). The certified
+// search-error guarantee therefore transfers to the batch path unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rqrmi/nn.hpp"
+
+namespace nuevomatch::rqrmi {
+
+struct Prediction;  // defined in model.hpp
+
+/// Float storage aligned to a cache line (the arena's backing memory).
+class AlignedFloats {
+ public:
+  AlignedFloats() = default;
+  explicit AlignedFloats(size_t n) { resize(n); }
+  AlignedFloats(const AlignedFloats& o) { assign(o.p_.get(), o.n_); }
+  AlignedFloats(AlignedFloats&& o) noexcept = default;
+  AlignedFloats& operator=(const AlignedFloats& o) {
+    if (this != &o) assign(o.p_.get(), o.n_);
+    return *this;
+  }
+  AlignedFloats& operator=(AlignedFloats&& o) noexcept = default;
+
+  void resize(size_t n);
+  void clear() {
+    p_.reset();
+    n_ = 0;
+  }
+  [[nodiscard]] float* data() noexcept { return p_.get(); }
+  [[nodiscard]] const float* data() const noexcept { return p_.get(); }
+  [[nodiscard]] size_t size() const noexcept { return n_; }
+
+ private:
+  void assign(const float* src, size_t n);
+
+  struct Deleter {
+    void operator()(float* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+  std::unique_ptr<float[], Deleter> p_;
+  size_t n_ = 0;
+};
+
+/// Flat SoA weight arena for one RQ-RMI (see file comment for the layout).
+class FlatArena {
+ public:
+  struct Stage {
+    size_t w1 = 0;  ///< transposed input weights: (k, j) at w1 + k*width + j
+    size_t b1 = 0;  ///< transposed hidden biases, same indexing
+    size_t w2 = 0;  ///< transposed output weights, same indexing
+    size_t b2 = 0;  ///< output biases: submodel j at b2 + j
+    uint32_t width = 0;
+  };
+
+  /// (Re)build from trained stages. `leaf_errors` may be empty (treated as
+  /// all-zero). Called by RqRmi::build and RqRmi::restore.
+  void build(const std::vector<std::vector<Submodel>>& stages,
+             const std::vector<uint32_t>& leaf_errors, size_t n_values);
+  void clear();
+
+  [[nodiscard]] bool empty() const noexcept { return stages_.empty(); }
+  [[nodiscard]] size_t num_stages() const noexcept { return stages_.size(); }
+  [[nodiscard]] const Stage& stage(size_t s) const noexcept { return stages_[s]; }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] const uint32_t* leaf_errors() const noexcept {
+    return leaf_errors_.data();
+  }
+  [[nodiscard]] uint32_t n_values() const noexcept { return n_values_; }
+  /// float(n_values), the single conversion shared with the scalar path.
+  [[nodiscard]] float n_scale() const noexcept { return n_scale_; }
+  /// Bytes of the flat buffer + leaf table (the transposed cache copy).
+  [[nodiscard]] size_t memory_bytes() const noexcept;
+
+ private:
+  std::vector<Stage> stages_;
+  AlignedFloats data_;
+  std::vector<uint32_t> leaf_errors_;  // always sized to the last stage width
+  uint32_t n_values_ = 0;
+  float n_scale_ = 0.0f;
+};
+
+// --- runtime dispatch ------------------------------------------------------
+
+/// Does the *running CPU* support the per-key kernel for `level`?
+/// (Independent of compile flags; SIMD kernels are compiled via function
+/// target attributes whenever the toolchain allows.)
+[[nodiscard]] bool cpu_supports(SimdLevel level) noexcept;
+
+/// Highest level the default dispatch may use: min(compiled, CPUID,
+/// NM_SIMD_MAX environment cap). Computed once and cached.
+[[nodiscard]] SimdLevel dispatch_ceiling() noexcept;
+
+/// The batch kernel family that would actually run for a requested level on
+/// this CPU: kAvx needs AVX2 (gathers) and degrades to kSse on AVX-only
+/// CPUs; kSse needs SSE2. Benches use this to label measurements with the
+/// kernel that really executed.
+[[nodiscard]] SimdLevel batch_level(SimdLevel requested) noexcept;
+
+/// Batched lookup over the arena. Writes keys.size() Predictions to `out`.
+/// `level` requests a kernel family: kAvx -> AVX2 lanes (needs AVX2 for the
+/// gathers; falls back to SSE2 on AVX-only CPUs — see batch_level), kSse ->
+/// SSE2 lanes, kSerial -> scalar. Results are identical at every level.
+void lookup_batch(const FlatArena& arena, std::span<const float> keys,
+                  Prediction* out, SimdLevel level) noexcept;
+
+}  // namespace nuevomatch::rqrmi

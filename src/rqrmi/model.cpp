@@ -200,6 +200,7 @@ void RqRmi::build(std::vector<KeyInterval> intervals, const RqRmiConfig& cfg) {
   leaf_errors_.clear();
   leaf_resp_.clear();
   training_rounds_ = 0;
+  arena_.clear();
   n_values_ = intervals.size();
   if (cfg.stage_widths.empty() || cfg.stage_widths.front() != 1)
     throw std::invalid_argument{"RqRmiConfig: stage_widths must start with 1"};
@@ -268,6 +269,7 @@ void RqRmi::build(std::vector<KeyInterval> intervals, const RqRmiConfig& cfg) {
     }
     if (!last) cur_resp = std::move(next_resp);
   }
+  arena_.build(stages_, leaf_errors_, n_values_);
 }
 
 void RqRmi::restore(std::vector<std::vector<Submodel>> stages,
@@ -280,6 +282,7 @@ void RqRmi::restore(std::vector<std::vector<Submodel>> stages,
     stages_.clear();
     leaf_errors_.clear();
     leaf_resp_.clear();
+    arena_.clear();
     n_values_ = 0;
     training_rounds_ = 0;
     return;
@@ -294,6 +297,9 @@ void RqRmi::restore(std::vector<std::vector<Submodel>> stages,
   leaf_resp_ = std::move(leaf_resp);
   n_values_ = n_values;
   training_rounds_ = 0;
+  // The serializer stores only the nested weights; the flat inference arena
+  // is derived state and is rebuilt on every load.
+  arena_.build(stages_, leaf_errors_, n_values_);
 }
 
 Prediction RqRmi::lookup(float key, SimdLevel level) const noexcept {
@@ -316,6 +322,20 @@ Prediction RqRmi::lookup(float key, SimdLevel level) const noexcept {
 
 Prediction RqRmi::lookup(float key) const noexcept {
   return lookup(key, best_simd_level());
+}
+
+void RqRmi::lookup_batch(std::span<const float> keys, std::span<Prediction> out,
+                         SimdLevel level) const noexcept {
+  if (arena_.empty()) {
+    for (size_t i = 0; i < keys.size(); ++i) out[i] = Prediction{};
+    return;
+  }
+  rqrmi::lookup_batch(arena_, keys, out.data(), level);
+}
+
+void RqRmi::lookup_batch(std::span<const float> keys,
+                         std::span<Prediction> out) const noexcept {
+  lookup_batch(keys, out, best_simd_level());
 }
 
 uint32_t RqRmi::max_search_error() const noexcept {

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "rqrmi/kernel.hpp"
 #include "rqrmi/nn.hpp"
 
 namespace nuevomatch::rqrmi {
@@ -59,11 +60,23 @@ class RqRmi {
   /// Same, forcing a specific SIMD kernel (Table 1 benchmarking).
   [[nodiscard]] Prediction lookup(float key, SimdLevel level) const noexcept;
 
+  /// Cross-packet batched lookup over the flat weight arena: one SIMD lane
+  /// per key (AVX2 8 / SSE2 4 / scalar, runtime-dispatched). Writes
+  /// keys.size() predictions to `out` (out.size() >= keys.size()). Every
+  /// kernel returns predictions byte-identical to lookup(key, kSerial) —
+  /// see kernel.hpp for the contract.
+  void lookup_batch(std::span<const float> keys, std::span<Prediction> out) const noexcept;
+  void lookup_batch(std::span<const float> keys, std::span<Prediction> out,
+                    SimdLevel level) const noexcept;
+
   /// Worst case over all leaves (the paper's epsilon).
   [[nodiscard]] uint32_t max_search_error() const noexcept;
 
   /// Model weights + error table (the bytes that must stay cache-resident).
   [[nodiscard]] size_t memory_bytes() const noexcept;
+  /// The transposed SoA copy used by lookup_batch (rebuilt on build/restore).
+  [[nodiscard]] const FlatArena& arena() const noexcept { return arena_; }
+  [[nodiscard]] size_t arena_bytes() const noexcept { return arena_.memory_bytes(); }
 
   [[nodiscard]] size_t num_intervals() const noexcept { return n_values_; }
   [[nodiscard]] size_t num_submodels() const noexcept;
@@ -97,6 +110,7 @@ class RqRmi {
   std::vector<std::vector<Submodel>> stages_;
   std::vector<uint32_t> leaf_errors_;                  // per leaf submodel
   std::vector<std::vector<DomainInterval>> leaf_resp_; // per leaf submodel
+  FlatArena arena_;          // transposed weights for lookup_batch
   size_t n_values_ = 0;
   int training_rounds_ = 0;  // total submodel fits incl. retraining
 };
@@ -108,6 +122,18 @@ class RqRmi {
 }
 [[nodiscard]] inline double normalize_key_exact(uint64_t key, uint64_t domain_max) noexcept {
   return static_cast<double>(key) / static_cast<double>(domain_max + 1);
+}
+
+/// Hot-path variant of normalize_key: multiply by a precomputed reciprocal of
+/// (domain_max + 1) instead of dividing per lookup (IsetIndex caches the
+/// reciprocal). The reciprocal adds <= 1 ulp of *double* error (~1e-16)
+/// before the float rounding, far inside the normalization margin the
+/// training analysis budgets (DESIGN.md "Key design decisions").
+[[nodiscard]] inline double normalize_reciprocal(uint64_t domain_max) noexcept {
+  return 1.0 / static_cast<double>(domain_max + 1);
+}
+[[nodiscard]] inline float normalize_key_mul(uint32_t key, double inv_domain) noexcept {
+  return static_cast<float>(static_cast<double>(key) * inv_domain);
 }
 
 }  // namespace nuevomatch::rqrmi

@@ -1,6 +1,9 @@
 #include "rqrmi/nn.hpp"
 
-#if defined(__SSE2__) || defined(__AVX__)
+#include "rqrmi/arch.hpp"
+#include "rqrmi/kernel.hpp"
+
+#if NM_X86_KERNELS
 #include <immintrin.h>
 #endif
 
@@ -23,8 +26,15 @@ float eval_serial_impl(const Submodel& m, float x) noexcept {
   return clamp_unit(acc);
 }
 
-#if defined(__SSE2__)
-float eval_sse_impl(const Submodel& m, float x) noexcept {
+#if NM_X86_KERNELS
+
+// The SIMD kernels are compiled with function-level target attributes, so
+// they exist in every build regardless of -m flags; runtime CPUID dispatch
+// (kernel.cpp) decides which one actually runs (DESIGN.md "Runtime SIMD
+// dispatch").
+
+__attribute__((target("sse2"))) float eval_sse_impl(const Submodel& m,
+                                                    float x) noexcept {
   const __m128 vx = _mm_set1_ps(x);
   const __m128 zero = _mm_setzero_ps();
   float acc = m.b2;
@@ -41,10 +51,9 @@ float eval_sse_impl(const Submodel& m, float x) noexcept {
   }
   return clamp_unit(acc);
 }
-#endif
 
-#if defined(__AVX__)
-float eval_avx_impl(const Submodel& m, float x) noexcept {
+__attribute__((target("avx"))) float eval_avx_impl(const Submodel& m,
+                                                   float x) noexcept {
   const __m256 vx = _mm256_set1_ps(x);
   __m256 z = _mm256_add_ps(_mm256_mul_ps(_mm256_load_ps(m.w1.data()), vx),
                            _mm256_load_ps(m.b1.data()));
@@ -58,7 +67,8 @@ float eval_avx_impl(const Submodel& m, float x) noexcept {
   sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 0x1));
   return clamp_unit(_mm_cvtss_f32(sum) + m.b2);
 }
-#endif
+
+#endif  // NM_X86_KERNELS
 
 }  // namespace
 
@@ -72,55 +82,30 @@ std::string to_string(SimdLevel level) {
 }
 
 bool simd_level_available(SimdLevel level) noexcept {
-  switch (level) {
-    case SimdLevel::kSerial:
-      return true;
-    case SimdLevel::kSse:
-#if defined(__SSE2__)
-      return true;
+#if NM_X86_KERNELS
+  // Compiled in every build (target attributes); availability is a pure
+  // run-time property of the CPU.
+  return cpu_supports(level);
 #else
-      return false;
+  return level == SimdLevel::kSerial;
 #endif
-    case SimdLevel::kAvx:
-#if defined(__AVX__)
-      return true;
-#else
-      return false;
-#endif
-  }
-  return false;
 }
 
-SimdLevel best_simd_level() noexcept {
-#if defined(__AVX__)
-  return SimdLevel::kAvx;
-#elif defined(__SSE2__)
-  return SimdLevel::kSse;
-#else
-  return SimdLevel::kSerial;
-#endif
-}
+SimdLevel best_simd_level() noexcept { return dispatch_ceiling(); }
 
 float eval(const Submodel& m, float x, SimdLevel level) noexcept {
-  switch (level) {
-#if defined(__AVX__)
-    case SimdLevel::kAvx: return eval_avx_impl(m, x);
+#if NM_X86_KERNELS
+  if (level == SimdLevel::kAvx && cpu_supports(SimdLevel::kAvx))
+    return eval_avx_impl(m, x);
+  if (level >= SimdLevel::kSse && cpu_supports(SimdLevel::kSse))
+    return eval_sse_impl(m, x);
 #endif
-#if defined(__SSE2__)
-    case SimdLevel::kSse: return eval_sse_impl(m, x);
-#endif
-    default: return eval_serial_impl(m, x);
-  }
+  (void)level;
+  return eval_serial_impl(m, x);
 }
 
 float eval(const Submodel& m, float x) noexcept {
-#if defined(__AVX__)
-  return eval_avx_impl(m, x);
-#elif defined(__SSE2__)
-  return eval_sse_impl(m, x);
-#else
-  return eval_serial_impl(m, x);
-#endif
+  return eval(m, x, dispatch_ceiling());
 }
 
 double eval_raw(const Submodel& m, double x) noexcept {

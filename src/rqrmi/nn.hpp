@@ -50,8 +50,13 @@ enum class SimdLevel { kSerial, kSse, kAvx };
 
 [[nodiscard]] std::string to_string(SimdLevel level);
 
-/// Highest kernel compiled into this binary and supported by the CPU.
+/// Highest kernel the default dispatch will use at run time: the SIMD
+/// kernels are compiled via function target attributes in every build, so
+/// this is min(CPUID capability, NM_SIMD_MAX environment cap) — see
+/// DESIGN.md "Runtime SIMD dispatch".
 [[nodiscard]] SimdLevel best_simd_level() noexcept;
+/// Can `level` be forced explicitly on this machine? (Pure CPUID check; the
+/// NM_SIMD_MAX cap only lowers the *default* dispatch, never this.)
 [[nodiscard]] bool simd_level_available(SimdLevel level) noexcept;
 
 /// Clamped model output M(x) via the requested kernel (float arithmetic —

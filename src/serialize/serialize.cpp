@@ -51,6 +51,8 @@ void put_model_body(ByteWriter& w, const rqrmi::RqRmi& model) {
   }
 }
 
+// Only the nested stage weights travel on the wire; the flat inference arena
+// used by lookup_batch is derived state that RqRmi::restore rebuilds on load.
 [[nodiscard]] std::optional<rqrmi::RqRmi> get_model_body(ByteReader& r) {
   const uint64_t n_values = r.get_u64();
   const uint32_t n_stages = r.get_u32();

@@ -3,6 +3,8 @@
 // allowed to change timing only, never results.
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "classbench/generator.hpp"
 #include "cutsplit/cutsplit.hpp"
 #include "nuevomatch/nuevomatch.hpp"
@@ -58,6 +60,65 @@ INSTANTIATE_TEST_SUITE_P(Sweep, BatchEquivalence,
                                            BatchCase{AppClass::kFw, 5000, true, 3},
                                            BatchCase{AppClass::kIpc, 5000, false, 4},
                                            BatchCase{AppClass::kAcl, 20000, true, 5}));
+
+// The batch pipeline handles ragged tails at every layer (AVX2 groups of 8,
+// SSE2 groups of 4, scalar tail, partial final tile): every trace length
+// 1..17 plus a just-past-one-tile length must equal per-packet match().
+TEST(Batch, RaggedTraceLengthsEqualScalarMatch) {
+  const RuleSet rules = generate_classbench(AppClass::kFw, 1, 2000, 6);
+  NuevoMatchConfig cfg;
+  cfg.remainder_factory = [] { return std::make_unique<CutSplit>(); };
+  NuevoMatch nm(cfg);
+  nm.build(rules);
+
+  TraceConfig tc;
+  tc.n_packets = 64 + 17;
+  tc.seed = 77;
+  const auto trace = generate_trace(rules, tc);
+  for (size_t len = 1; len <= 17; ++len) {
+    std::vector<MatchResult> out(len);
+    nm.match_batch(std::span<const Packet>{trace.data(), len}, out);
+    for (size_t i = 0; i < len; ++i) {
+      const MatchResult want = nm.match(trace[i]);
+      ASSERT_EQ(out[i].rule_id, want.rule_id) << "len " << len << " packet " << i;
+    }
+  }
+  std::vector<MatchResult> out(trace.size());
+  nm.match_batch(trace, out);
+  for (size_t i = 0; i < trace.size(); ++i)
+    ASSERT_EQ(out[i].rule_id, nm.match(trace[i]).rule_id) << "packet " << i;
+}
+
+// Staged batch API consistency: predict_batch/search_batch must agree with
+// the scalar staged calls element-for-element (the batch pipeline's building
+// blocks, exercised directly).
+TEST(Batch, StagedBatchApiEqualsScalarStages) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 4000, 8);
+  NuevoMatchConfig cfg;
+  cfg.remainder_factory = [] { return std::make_unique<CutSplit>(); };
+  NuevoMatch nm(cfg);
+  nm.build(rules);
+  ASSERT_FALSE(nm.isets().empty());
+
+  TraceConfig tc;
+  tc.n_packets = 257;
+  tc.seed = 21;
+  const auto trace = generate_trace(rules, tc);
+  for (const IsetIndex& is : nm.isets()) {
+    std::vector<uint32_t> vals(trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) vals[i] = trace[i][is.field()];
+    std::vector<rqrmi::Prediction> preds(vals.size());
+    is.predict_batch(vals, preds);
+    std::vector<int32_t> pos(vals.size());
+    is.search_batch(vals, preds, pos);
+    for (size_t i = 0; i < vals.size(); ++i) {
+      const rqrmi::Prediction want = is.predict(vals[i], rqrmi::SimdLevel::kSerial);
+      ASSERT_EQ(preds[i].index, want.index) << "packet " << i;
+      ASSERT_EQ(preds[i].search_error, want.search_error) << "packet " << i;
+      ASSERT_EQ(pos[i], is.search(vals[i], preds[i])) << "packet " << i;
+    }
+  }
+}
 
 TEST(Batch, EmptyAndTinyInputs) {
   NuevoMatchConfig cfg;
