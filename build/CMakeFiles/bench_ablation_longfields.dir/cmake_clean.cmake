@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_longfields.dir/bench/bench_ablation_longfields.cpp.o"
+  "CMakeFiles/bench_ablation_longfields.dir/bench/bench_ablation_longfields.cpp.o.d"
+  "bench_ablation_longfields"
+  "bench_ablation_longfields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_longfields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

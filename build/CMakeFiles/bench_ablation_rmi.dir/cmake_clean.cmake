@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rmi.dir/bench/bench_ablation_rmi.cpp.o"
+  "CMakeFiles/bench_ablation_rmi.dir/bench/bench_ablation_rmi.cpp.o.d"
+  "bench_ablation_rmi"
+  "bench_ablation_rmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rqrmi.dir/bench/bench_ablation_rqrmi.cpp.o"
+  "CMakeFiles/bench_ablation_rqrmi.dir/bench/bench_ablation_rqrmi.cpp.o.d"
+  "bench_ablation_rqrmi"
+  "bench_ablation_rqrmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rqrmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

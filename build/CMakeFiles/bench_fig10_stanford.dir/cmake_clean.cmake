@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_stanford.dir/bench/bench_fig10_stanford.cpp.o"
+  "CMakeFiles/bench_fig10_stanford.dir/bench/bench_fig10_stanford.cpp.o.d"
+  "bench_fig10_stanford"
+  "bench_fig10_stanford.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_stanford.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_small_rulesets.dir/bench/bench_fig17_small_rulesets.cpp.o"
+  "CMakeFiles/bench_fig17_small_rulesets.dir/bench/bench_fig17_small_rulesets.cpp.o.d"
+  "bench_fig17_small_rulesets"
+  "bench_fig17_small_rulesets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_small_rulesets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_classbench_singlecore.dir/bench/bench_fig9_classbench_singlecore.cpp.o"
+  "CMakeFiles/bench_fig9_classbench_singlecore.dir/bench/bench_fig9_classbench_singlecore.cpp.o.d"
+  "bench_fig9_classbench_singlecore"
+  "bench_fig9_classbench_singlecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_classbench_singlecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_classbench_singlecore.
+# This may be replaced when dependencies are built.

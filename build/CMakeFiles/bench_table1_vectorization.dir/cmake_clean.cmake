@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_vectorization.dir/bench/bench_table1_vectorization.cpp.o"
+  "CMakeFiles/bench_table1_vectorization.dir/bench/bench_table1_vectorization.cpp.o.d"
+  "bench_table1_vectorization"
+  "bench_table1_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_diversity.dir/bench/bench_table3_diversity.cpp.o"
+  "CMakeFiles/bench_table3_diversity.dir/bench/bench_table3_diversity.cpp.o.d"
+  "bench_table3_diversity"
+  "bench_table3_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_updates.dir/bench/bench_updates.cpp.o"
+  "CMakeFiles/bench_updates.dir/bench/bench_updates.cpp.o.d"
+  "bench_updates"
+  "bench_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_fields.dir/bench/bench_validation_fields.cpp.o"
+  "CMakeFiles/bench_validation_fields.dir/bench/bench_validation_fields.cpp.o.d"
+  "bench_validation_fields"
+  "bench_validation_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_acl_firewall.dir/examples/acl_firewall.cpp.o"
+  "CMakeFiles/example_acl_firewall.dir/examples/acl_firewall.cpp.o.d"
+  "example_acl_firewall"
+  "example_acl_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_acl_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ipv6_forwarding.dir/examples/ipv6_forwarding.cpp.o"
+  "CMakeFiles/example_ipv6_forwarding.dir/examples/ipv6_forwarding.cpp.o.d"
+  "example_ipv6_forwarding"
+  "example_ipv6_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ipv6_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

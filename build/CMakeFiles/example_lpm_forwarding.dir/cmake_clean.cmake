@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lpm_forwarding.dir/examples/lpm_forwarding.cpp.o"
+  "CMakeFiles/example_lpm_forwarding.dir/examples/lpm_forwarding.cpp.o.d"
+  "example_lpm_forwarding"
+  "example_lpm_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lpm_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

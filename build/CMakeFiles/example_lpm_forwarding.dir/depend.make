@@ -1,0 +1,2 @@
+# Empty dependencies file for example_lpm_forwarding.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_deploy.dir/examples/model_deploy.cpp.o"
+  "CMakeFiles/example_model_deploy.dir/examples/model_deploy.cpp.o.d"
+  "example_model_deploy"
+  "example_model_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

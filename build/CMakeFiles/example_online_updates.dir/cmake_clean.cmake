@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_online_updates.dir/examples/online_updates.cpp.o"
+  "CMakeFiles/example_online_updates.dir/examples/online_updates.cpp.o.d"
+  "example_online_updates"
+  "example_online_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_online_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

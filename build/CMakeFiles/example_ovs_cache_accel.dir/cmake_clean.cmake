@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ovs_cache_accel.dir/examples/ovs_cache_accel.cpp.o"
+  "CMakeFiles/example_ovs_cache_accel.dir/examples/ovs_cache_accel.cpp.o.d"
+  "example_ovs_cache_accel"
+  "example_ovs_cache_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ovs_cache_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

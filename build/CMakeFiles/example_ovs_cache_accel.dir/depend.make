@@ -1,0 +1,2 @@
+# Empty dependencies file for example_ovs_cache_accel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classbench/generator.cpp" "CMakeFiles/nuevomatch.dir/src/classbench/generator.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/classbench/generator.cpp.o.d"
+  "/root/repo/src/classbench/parser.cpp" "CMakeFiles/nuevomatch.dir/src/classbench/parser.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/classbench/parser.cpp.o.d"
+  "/root/repo/src/classbench/stanford.cpp" "CMakeFiles/nuevomatch.dir/src/classbench/stanford.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/classbench/stanford.cpp.o.d"
+  "/root/repo/src/classifiers/linear.cpp" "CMakeFiles/nuevomatch.dir/src/classifiers/linear.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/classifiers/linear.cpp.o.d"
+  "/root/repo/src/common/prefix.cpp" "CMakeFiles/nuevomatch.dir/src/common/prefix.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/common/prefix.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/nuevomatch.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "CMakeFiles/nuevomatch.dir/src/common/types.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/common/types.cpp.o.d"
+  "/root/repo/src/common/zipf.cpp" "CMakeFiles/nuevomatch.dir/src/common/zipf.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/common/zipf.cpp.o.d"
+  "/root/repo/src/cutsplit/cut_tree.cpp" "CMakeFiles/nuevomatch.dir/src/cutsplit/cut_tree.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/cutsplit/cut_tree.cpp.o.d"
+  "/root/repo/src/cutsplit/cutsplit.cpp" "CMakeFiles/nuevomatch.dir/src/cutsplit/cutsplit.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/cutsplit/cutsplit.cpp.o.d"
+  "/root/repo/src/isets/interval_scheduling.cpp" "CMakeFiles/nuevomatch.dir/src/isets/interval_scheduling.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/isets/interval_scheduling.cpp.o.d"
+  "/root/repo/src/isets/iset_index.cpp" "CMakeFiles/nuevomatch.dir/src/isets/iset_index.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/isets/iset_index.cpp.o.d"
+  "/root/repo/src/isets/partition.cpp" "CMakeFiles/nuevomatch.dir/src/isets/partition.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/isets/partition.cpp.o.d"
+  "/root/repo/src/neurocuts/neurocuts.cpp" "CMakeFiles/nuevomatch.dir/src/neurocuts/neurocuts.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/neurocuts/neurocuts.cpp.o.d"
+  "/root/repo/src/nuevomatch/nuevomatch.cpp" "CMakeFiles/nuevomatch.dir/src/nuevomatch/nuevomatch.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/nuevomatch/nuevomatch.cpp.o.d"
+  "/root/repo/src/nuevomatch/parallel.cpp" "CMakeFiles/nuevomatch.dir/src/nuevomatch/parallel.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/nuevomatch/parallel.cpp.o.d"
+  "/root/repo/src/rmi/rmi.cpp" "CMakeFiles/nuevomatch.dir/src/rmi/rmi.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/rmi/rmi.cpp.o.d"
+  "/root/repo/src/rqrmi/kernel.cpp" "CMakeFiles/nuevomatch.dir/src/rqrmi/kernel.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/rqrmi/kernel.cpp.o.d"
+  "/root/repo/src/rqrmi/model.cpp" "CMakeFiles/nuevomatch.dir/src/rqrmi/model.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/rqrmi/model.cpp.o.d"
+  "/root/repo/src/rqrmi/nn.cpp" "CMakeFiles/nuevomatch.dir/src/rqrmi/nn.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/rqrmi/nn.cpp.o.d"
+  "/root/repo/src/rqrmi/pwl.cpp" "CMakeFiles/nuevomatch.dir/src/rqrmi/pwl.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/rqrmi/pwl.cpp.o.d"
+  "/root/repo/src/rqrmi/trainer.cpp" "CMakeFiles/nuevomatch.dir/src/rqrmi/trainer.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/rqrmi/trainer.cpp.o.d"
+  "/root/repo/src/serialize/serialize.cpp" "CMakeFiles/nuevomatch.dir/src/serialize/serialize.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/serialize/serialize.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "CMakeFiles/nuevomatch.dir/src/trace/trace.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/trace/trace.cpp.o.d"
+  "/root/repo/src/tuplemerge/tuple_space_search.cpp" "CMakeFiles/nuevomatch.dir/src/tuplemerge/tuple_space_search.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/tuplemerge/tuple_space_search.cpp.o.d"
+  "/root/repo/src/tuplemerge/tuple_table.cpp" "CMakeFiles/nuevomatch.dir/src/tuplemerge/tuple_table.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/tuplemerge/tuple_table.cpp.o.d"
+  "/root/repo/src/tuplemerge/tuplemerge.cpp" "CMakeFiles/nuevomatch.dir/src/tuplemerge/tuplemerge.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/tuplemerge/tuplemerge.cpp.o.d"
+  "/root/repo/src/wide/wide.cpp" "CMakeFiles/nuevomatch.dir/src/wide/wide.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/wide/wide.cpp.o.d"
+  "/root/repo/src/wide/wide_index.cpp" "CMakeFiles/nuevomatch.dir/src/wide/wide_index.cpp.o" "gcc" "CMakeFiles/nuevomatch.dir/src/wide/wide_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classbench.dir/tests/test_classbench.cpp.o"
+  "CMakeFiles/test_classbench.dir/tests/test_classbench.cpp.o.d"
+  "test_classbench"
+  "test_classbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

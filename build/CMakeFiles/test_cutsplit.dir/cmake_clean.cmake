@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cutsplit.dir/tests/test_cutsplit.cpp.o"
+  "CMakeFiles/test_cutsplit.dir/tests/test_cutsplit.cpp.o.d"
+  "test_cutsplit"
+  "test_cutsplit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cutsplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hardening.dir/tests/test_hardening.cpp.o"
+  "CMakeFiles/test_hardening.dir/tests/test_hardening.cpp.o.d"
+  "test_hardening"
+  "test_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_scheduling.dir/tests/test_interval_scheduling.cpp.o"
+  "CMakeFiles/test_interval_scheduling.dir/tests/test_interval_scheduling.cpp.o.d"
+  "test_interval_scheduling"
+  "test_interval_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iset_index.dir/tests/test_iset_index.cpp.o"
+  "CMakeFiles/test_iset_index.dir/tests/test_iset_index.cpp.o.d"
+  "test_iset_index"
+  "test_iset_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iset_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neurocuts.dir/tests/test_neurocuts.cpp.o"
+  "CMakeFiles/test_neurocuts.dir/tests/test_neurocuts.cpp.o.d"
+  "test_neurocuts"
+  "test_neurocuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neurocuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

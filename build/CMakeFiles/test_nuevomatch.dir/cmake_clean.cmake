@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nuevomatch.dir/tests/test_nuevomatch.cpp.o"
+  "CMakeFiles/test_nuevomatch.dir/tests/test_nuevomatch.cpp.o.d"
+  "test_nuevomatch"
+  "test_nuevomatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nuevomatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pwl.dir/tests/test_pwl.cpp.o"
+  "CMakeFiles/test_pwl.dir/tests/test_pwl.cpp.o.d"
+  "test_pwl"
+  "test_pwl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pwl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmi.dir/tests/test_rmi.cpp.o"
+  "CMakeFiles/test_rmi.dir/tests/test_rmi.cpp.o.d"
+  "test_rmi"
+  "test_rmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

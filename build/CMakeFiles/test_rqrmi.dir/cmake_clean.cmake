@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rqrmi.dir/tests/test_rqrmi.cpp.o"
+  "CMakeFiles/test_rqrmi.dir/tests/test_rqrmi.cpp.o.d"
+  "test_rqrmi"
+  "test_rqrmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rqrmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rqrmi_batch.dir/tests/test_rqrmi_batch.cpp.o"
+  "CMakeFiles/test_rqrmi_batch.dir/tests/test_rqrmi_batch.cpp.o.d"
+  "test_rqrmi_batch"
+  "test_rqrmi_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rqrmi_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stanford.dir/tests/test_stanford.cpp.o"
+  "CMakeFiles/test_stanford.dir/tests/test_stanford.cpp.o.d"
+  "test_stanford"
+  "test_stanford.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stanford.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_stanford.
+# This may be replaced when dependencies are built.

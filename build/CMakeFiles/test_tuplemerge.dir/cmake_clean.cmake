@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuplemerge.dir/tests/test_tuplemerge.cpp.o"
+  "CMakeFiles/test_tuplemerge.dir/tests/test_tuplemerge.cpp.o.d"
+  "test_tuplemerge"
+  "test_tuplemerge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuplemerge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tuplemerge.
+# This may be replaced when dependencies are built.
