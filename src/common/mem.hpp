@@ -1,0 +1,19 @@
+// Shared memory-accounting helpers for Classifier::memory_bytes()
+// implementations (paper Figure 13 convention: index structures only).
+#pragma once
+
+#include <cstddef>
+
+namespace nuevomatch {
+
+/// Approximate heap footprint of a node-based hash map (the id→position
+/// maps the update path adds): one node per entry — key/value pair plus a
+/// bucket-chain pointer. Bucket-array overhead is deliberately ignored; the
+/// estimate is a floor, consistent across every engine that carries such a
+/// map.
+template <typename Map>
+[[nodiscard]] constexpr size_t map_overhead_bytes(const Map& m) noexcept {
+  return m.size() * (sizeof(typename Map::value_type) + sizeof(void*));
+}
+
+}  // namespace nuevomatch

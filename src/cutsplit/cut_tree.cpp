@@ -1,5 +1,7 @@
 #include "cutsplit/cut_tree.hpp"
 
+#include "common/mem.hpp"
+
 #include <algorithm>
 #include <limits>
 #include <unordered_set>
@@ -22,6 +24,9 @@ void CutTree::build(std::span<const Rule> rules, const CutTreeConfig& cfg) {
   nodes_.clear();
   leaf_rules_.clear();
   n_rules_ = rules_.size();
+  pos_by_id_.clear();
+  pos_by_id_.reserve(rules_.size());
+  for (uint32_t i = 0; i < rules_.size(); ++i) pos_by_id_.emplace(rules_[i].id, i);
 
   // Every rule-set must at least fit in one root leaf; beyond that the
   // budget scales linearly so replication stays <= ref_budget_factor.
@@ -271,6 +276,15 @@ void CutTree::build_node(uint32_t node_idx, std::vector<uint32_t>&& rule_idx,
   make_leaf(rule_idx);  // no effective refinement possible
 }
 
+bool CutTree::erase(uint32_t rule_id) noexcept {
+  const auto it = pos_by_id_.find(rule_id);
+  if (it == pos_by_id_.end()) return false;
+  // Range{1, 0} contains no value, so every leaf probe of this body fails.
+  rules_[it->second].field[0] = Range{1, 0};
+  pos_by_id_.erase(it);
+  return true;
+}
+
 MatchResult CutTree::match(const Packet& p) const noexcept {
   return match_with_floor(p, std::numeric_limits<int32_t>::max());
 }
@@ -306,7 +320,8 @@ MatchResult CutTree::match_with_floor(const Packet& p, int32_t priority_floor) c
 }
 
 size_t CutTree::memory_bytes() const noexcept {
-  return nodes_.size() * sizeof(Node) + leaf_rules_.size() * sizeof(uint32_t);
+  return nodes_.size() * sizeof(Node) + leaf_rules_.size() * sizeof(uint32_t) +
+         map_overhead_bytes(pos_by_id_);
 }
 
 CutTree::Stats CutTree::stats() const noexcept {

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "classifiers/classifier.hpp"
@@ -54,6 +55,14 @@ class CutTree {
   [[nodiscard]] MatchResult match_with_floor(const Packet& p,
                                              int32_t priority_floor) const noexcept;
 
+  /// §3.9 deletion path: tombstone by rewriting the stored rule body to an
+  /// unmatchable range. Tree shape, leaf refs and cached subtree
+  /// best-priorities are untouched — a stale (too-good) bound only costs
+  /// extra probes, never a wrong result — so the lookup hot path carries no
+  /// liveness check at all. Returns false when the id is not (or no longer)
+  /// live in this tree.
+  bool erase(uint32_t rule_id) noexcept;
+
   [[nodiscard]] size_t memory_bytes() const noexcept;
   [[nodiscard]] size_t num_rules() const noexcept { return n_rules_; }
   [[nodiscard]] size_t num_nodes() const noexcept { return nodes_.size(); }
@@ -96,6 +105,7 @@ class CutTree {
 
   CutTreeConfig cfg_;
   std::vector<Rule> rules_;          // rule bodies (shared, unreplicated)
+  std::unordered_map<uint32_t, uint32_t> pos_by_id_;  // live ids only
   std::vector<Node> nodes_;
   std::vector<uint32_t> leaf_rules_; // replicated refs, leaf-contiguous
   size_t n_rules_ = 0;

@@ -19,6 +19,7 @@ CutSplit::CutSplit(CutSplitConfig cfg) : cfg_(cfg) {}
 
 void CutSplit::build(std::span<const Rule> rules) {
   trees_.clear();
+  overflow_.clear();
   n_rules_ = rules.size();
   CutTreeConfig tc = cfg_.tree;
   tc.binth = cfg_.binth;
@@ -44,12 +45,48 @@ MatchResult CutSplit::match_with_floor(const Packet& p, int32_t priority_floor) 
       floor = best.priority;  // later trees prune against the running best
     }
   }
+  // Overflow probe: bound by the CALLER's floor (strict, per the
+  // match_with_floor contract), but ties against the running best are
+  // broken by smaller id via beats() — the (priority, id) order the
+  // LinearSearch oracle uses — so equal-priority rules cannot make CutSplit
+  // diverge from it.
+  for (const Rule& r : overflow_) {
+    if (r.priority >= priority_floor) continue;
+    const MatchResult cand{static_cast<int32_t>(r.id), r.priority};
+    if (cand.beats(best) && r.matches(p)) best = cand;
+  }
   return best;
+}
+
+bool CutSplit::insert(const Rule& r) {
+  overflow_.push_back(r);
+  ++n_rules_;
+  return true;
+}
+
+bool CutSplit::erase(uint32_t rule_id) {
+  for (size_t i = 0; i < overflow_.size(); ++i) {
+    if (overflow_[i].id == rule_id) {
+      overflow_[i] = overflow_.back();
+      overflow_.pop_back();
+      --n_rules_;
+      return true;
+    }
+  }
+  for (CutTree& t : trees_) {
+    if (t.erase(rule_id)) {
+      --n_rules_;
+      return true;
+    }
+  }
+  return false;
 }
 
 size_t CutSplit::memory_bytes() const {
   size_t bytes = 0;
   for (const CutTree& t : trees_) bytes += t.memory_bytes();
+  // The overflow list is itself the index for inserted rules.
+  bytes += overflow_.size() * sizeof(Rule);
   return bytes;
 }
 

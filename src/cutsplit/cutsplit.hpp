@@ -32,6 +32,19 @@ class CutSplit final : public Classifier {
   [[nodiscard]] MatchResult match_with_floor(const Packet& p,
                                              int32_t priority_floor) const override;
 
+  /// --- incremental updates (paper §3.9) --------------------------------
+  /// Decision trees cannot absorb arbitrary inserts without re-cutting, so
+  /// insertions land in a small linear-scan overflow list probed after the
+  /// trees (the CutSplit paper's own update story is a partial rebuild; the
+  /// overflow list is what makes cs usable as NuevoMatch's updatable
+  /// remainder, where a background retrain folds it back in periodically).
+  /// Deletions tombstone in the owning tree (CutTree::erase) or drop the
+  /// rule from the overflow list.
+  [[nodiscard]] bool supports_updates() const override { return true; }
+  bool insert(const Rule& r) override;
+  bool erase(uint32_t rule_id) override;
+  [[nodiscard]] size_t overflow_size() const noexcept { return overflow_.size(); }
+
   [[nodiscard]] size_t memory_bytes() const override;
   [[nodiscard]] size_t size() const override { return n_rules_; }
   [[nodiscard]] std::string name() const override { return "cutsplit"; }
@@ -41,6 +54,7 @@ class CutSplit final : public Classifier {
  private:
   CutSplitConfig cfg_;
   std::vector<CutTree> trees_;
+  std::vector<Rule> overflow_;  // inserted since build, linear probe
   size_t n_rules_ = 0;
 };
 

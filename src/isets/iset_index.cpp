@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/mem.hpp"
+
 #if defined(__AVX2__)
 #include <immintrin.h>
 #endif
@@ -54,6 +56,8 @@ void IsetIndex::index_rules() {
   id_.resize(rules_.size());
   wild_rest_.resize(rules_.size());
   alive_.assign(rules_.size(), 1);
+  pos_by_id_.clear();
+  pos_by_id_.reserve(rules_.size());
   for (size_t i = 0; i < rules_.size(); ++i) {
     const Range& r = rules_[i].field[static_cast<size_t>(field_)];
     lo_[i] = r.lo;
@@ -64,6 +68,7 @@ void IsetIndex::index_rules() {
     for (int f = 0; f < kNumFields; ++f)
       if (f != field_ && !rules_[i].is_wildcard(f)) wild = false;
     wild_rest_[i] = wild ? 1 : 0;
+    pos_by_id_.emplace(rules_[i].id, static_cast<uint32_t>(i));
     if (i > 0 && lo_[i] <= hi_[i - 1])
       throw std::invalid_argument{"IsetIndex: rules must be disjoint and sorted in field"};
   }
@@ -195,20 +200,18 @@ MatchResult IsetIndex::lookup_with_floor(const Packet& p,
 }
 
 bool IsetIndex::erase(uint32_t rule_id) noexcept {
-  for (size_t i = 0; i < rules_.size(); ++i) {
-    if (rules_[i].id == rule_id && alive_[i]) {
-      alive_[i] = 0;
-      --live_;
-      return true;
-    }
-  }
-  return false;
+  const auto it = pos_by_id_.find(rule_id);
+  if (it == pos_by_id_.end() || !alive_[it->second]) return false;
+  alive_[it->second] = 0;
+  --live_;
+  return true;
 }
 
 size_t IsetIndex::rule_storage_bytes() const noexcept {
   return lo_.size() * sizeof(uint32_t) + hi_.size() * sizeof(uint32_t) +
          prio_.size() * sizeof(int32_t) + id_.size() * sizeof(uint32_t) +
-         wild_rest_.size() + rules_.size() * sizeof(Rule) + alive_.size();
+         wild_rest_.size() + rules_.size() * sizeof(Rule) + alive_.size() +
+         map_overhead_bytes(pos_by_id_);
 }
 
 }  // namespace nuevomatch

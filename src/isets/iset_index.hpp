@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -71,7 +72,14 @@ class IsetIndex {
                                      int32_t priority_floor) const noexcept;
 
   /// Tombstone a rule (paper §3.9 deletion path). Returns false if absent.
+  /// O(1) via the id→position map; the sorted arrays and the trained model
+  /// are untouched, so the §3.3 error certification stays valid.
   bool erase(uint32_t rule_id) noexcept;
+
+  /// Whether position `i` is live (not tombstoned). Serializer support: the
+  /// full rule array must travel with the model, so deletions are encoded as
+  /// dead ids on the side.
+  [[nodiscard]] bool alive(size_t i) const noexcept { return alive_[i] != 0; }
 
   [[nodiscard]] int field() const noexcept { return field_; }
   [[nodiscard]] size_t size() const noexcept { return rules_.size(); }
@@ -101,6 +109,7 @@ class IsetIndex {
   std::vector<uint8_t> wild_rest_;  // 1 = wildcard in every non-indexed field
   std::vector<Rule> rules_;       // same order as lo_/hi_
   std::vector<uint8_t> alive_;    // tombstones
+  std::unordered_map<uint32_t, uint32_t> pos_by_id_;  // O(1) erase
   size_t live_ = 0;
   rqrmi::RqRmi model_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace nuevomatch {
 
@@ -23,8 +24,15 @@ rqrmi::RqRmiConfig NuevoMatch::rqrmi_config(size_t iset_size) const {
   return rc;
 }
 
+void NuevoMatch::rebuild_pos_map() {
+  pos_by_id_.clear();
+  pos_by_id_.reserve(rules_.size());
+  for (size_t i = 0; i < rules_.size(); ++i) pos_by_id_.emplace(rules_[i].id, i);
+}
+
 void NuevoMatch::build(std::span<const Rule> rules) {
   rules_.assign(rules.begin(), rules.end());
+  rebuild_pos_map();
   isets_.clear();
   built_size_ = rules_.size();
   migrated_ = 0;
@@ -128,41 +136,54 @@ MatchResult NuevoMatch::match_with_floor(const Packet& p, int32_t priority_floor
 bool NuevoMatch::supports_updates() const { return remainder_->supports_updates(); }
 
 bool NuevoMatch::insert(const Rule& r) {
+  if (pos_by_id_.contains(r.id)) return false;  // ids are unique; see header
   if (!remainder_->insert(r)) return false;
+  pos_by_id_.emplace(r.id, rules_.size());
   rules_.push_back(r);
   ++migrated_;
   return true;
 }
 
 bool NuevoMatch::erase(uint32_t rule_id) {
-  const auto it = std::find_if(rules_.begin(), rules_.end(),
-                               [&](const Rule& r) { return r.id == rule_id; });
-  if (it == rules_.end()) return false;
+  const auto it = pos_by_id_.find(rule_id);
+  if (it == pos_by_id_.end()) return false;
+  bool removed = false;
   for (IsetIndex& is : isets_) {
     if (is.erase(rule_id)) {
-      rules_.erase(it);
-      return true;
+      removed = true;
+      break;
     }
   }
-  if (!remainder_->erase(rule_id)) return false;
-  rules_.erase(it);
+  if (!removed && !remainder_->erase(rule_id)) return false;
+  // Swap-and-pop: the logical rule list is unordered (partitioning re-sorts
+  // on rebuild), so erasure stays O(1).
+  const size_t pos = it->second;
+  const size_t last = rules_.size() - 1;
+  if (pos != last) {
+    rules_[pos] = std::move(rules_[last]);
+    pos_by_id_[rules_[pos].id] = pos;
+  }
+  rules_.pop_back();
+  pos_by_id_.erase(rule_id);
   return true;
 }
 
 std::vector<Rule> NuevoMatch::remainder_rules() const {
-  // rules_ is the logical rule list; subtract live iSet membership. Rules
-  // erased from an iSet are tombstoned there and absent from rules_.
-  std::vector<uint8_t> in_iset;
+  // rules_ is the logical rule list; subtract live iSet membership (a hash
+  // set, NOT an id-indexed array: update ids are caller-chosen uint32s, so
+  // indexing by id would let one large id force a multi-GB allocation).
+  // Rules erased from an iSet are tombstoned there and absent from rules_ —
+  // and must not mark their id here: the id may have been reinserted since,
+  // and that reincarnation lives in the remainder.
+  std::unordered_set<uint32_t> in_iset;
   for (const IsetIndex& is : isets_) {
     for (size_t i = 0; i < is.rules().size(); ++i) {
-      const Rule& r = is.rules()[i];
-      if (r.id >= in_iset.size()) in_iset.resize(r.id + 1, 0);
-      in_iset[r.id] = 1;
+      if (is.alive(i)) in_iset.insert(is.rules()[i].id);
     }
   }
   std::vector<Rule> out;
   for (const Rule& r : rules_) {
-    if (r.id >= in_iset.size() || !in_iset[r.id]) out.push_back(r);
+    if (!in_iset.contains(r.id)) out.push_back(r);
   }
   return out;
 }
@@ -178,13 +199,33 @@ void NuevoMatch::rebuild() {
 }
 
 void NuevoMatch::restore(std::vector<IsetIndex> isets, std::vector<Rule> remainder_rules) {
+  restore(std::move(isets), std::move(remainder_rules), {}, kAutoBuiltSize, 0);
+}
+
+void NuevoMatch::restore(std::vector<IsetIndex> isets, std::vector<Rule> remainder_rules,
+                         std::span<const uint32_t> erased_ids, size_t built_size,
+                         size_t migrated) {
   isets_ = std::move(isets);
+  // Deletions applied after the last (re)build live as tombstones inside the
+  // iSet arrays (the model needs the full array); re-apply them FIRST, so
+  // the logical rule list below contains only live rules — in particular,
+  // an id that was erased from an iSet and later reinserted (now living in
+  // the remainder) must appear exactly once.
+  for (const uint32_t id : erased_ids) {
+    for (IsetIndex& is : isets_) {
+      if (is.erase(id)) break;
+    }
+  }
   rules_.clear();
-  for (const IsetIndex& is : isets_)
-    rules_.insert(rules_.end(), is.rules().begin(), is.rules().end());
+  for (const IsetIndex& is : isets_) {
+    for (size_t i = 0; i < is.rules().size(); ++i) {
+      if (is.alive(i)) rules_.push_back(is.rules()[i]);
+    }
+  }
   rules_.insert(rules_.end(), remainder_rules.begin(), remainder_rules.end());
-  built_size_ = rules_.size();
-  migrated_ = 0;
+  rebuild_pos_map();
+  built_size_ = built_size == kAutoBuiltSize ? rules_.size() : built_size;
+  migrated_ = migrated;
   remainder_ = cfg_.remainder_factory();
   remainder_->build(remainder_rules);
 }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "classifiers/classifier.hpp"
@@ -61,9 +62,17 @@ class NuevoMatch final : public Classifier {
   void match_batch(std::span<const Packet> packets, std::span<MatchResult> out) const;
 
   // --- updates (paper §3.9) ---------------------------------------------
+  // Synchronous, single-threaded update primitives. The concurrent wrapper
+  // (OnlineNuevoMatch, nuevomatch/online.hpp) layers reader/writer exclusion
+  // and background retraining on top of these.
   [[nodiscard]] bool supports_updates() const override;
-  bool insert(const Rule& r) override;   ///< new rules go to the remainder
-  bool erase(uint32_t rule_id) override; ///< tombstone in iSet or remainder
+  /// New rules are absorbed by the remainder classifier (§3.9 insertion
+  /// path). Rule ids must be unique across the live rule-set; inserting a
+  /// duplicate id fails. O(1) plus the remainder engine's insert cost.
+  bool insert(const Rule& r) override;
+  /// Tombstone in the owning iSet, or remove from the remainder. O(1) id
+  /// lookup plus the owning structure's erase cost.
+  bool erase(uint32_t rule_id) override;
   /// Fraction of rules that have migrated to the remainder since build.
   [[nodiscard]] double update_pressure() const noexcept;
   /// Retrain from the current rule-set (the paper's periodic retraining).
@@ -74,6 +83,15 @@ class NuevoMatch final : public Classifier {
   /// rebuilt from `remainder_rules` via the configured factory — external
   /// engines build fast; only model training is expensive.
   void restore(std::vector<IsetIndex> isets, std::vector<Rule> remainder_rules);
+
+  /// Serializer v2 load path: additionally re-applies iSet tombstones
+  /// (`erased_ids`) and reinstates the update-pressure counters, so a
+  /// classifier with pending updates round-trips exactly. Pass
+  /// `built_size == kAutoBuiltSize` to derive it from the restored rules.
+  static constexpr size_t kAutoBuiltSize = static_cast<size_t>(-1);
+  void restore(std::vector<IsetIndex> isets, std::vector<Rule> remainder_rules,
+               std::span<const uint32_t> erased_ids, size_t built_size,
+               size_t migrated);
 
   [[nodiscard]] size_t memory_bytes() const override;
   [[nodiscard]] size_t size() const override { return rules_.size(); }
@@ -88,14 +106,23 @@ class NuevoMatch final : public Classifier {
   /// The logical rule-set of the remainder engine (everything not covered by
   /// an iSet, including rules migrated there by updates). Serializer input.
   [[nodiscard]] std::vector<Rule> remainder_rules() const;
+  /// Current logical rule-set (live iSet rules + remainder, including rules
+  /// migrated by updates). Retrain snapshots copy this.
+  [[nodiscard]] const std::vector<Rule>& rules() const noexcept { return rules_; }
+  /// Rules at the last (re)build and updates absorbed since — the inputs to
+  /// update_pressure(); serialized so pressure survives a round-trip.
+  [[nodiscard]] size_t built_size() const noexcept { return built_size_; }
+  [[nodiscard]] size_t migrated() const noexcept { return migrated_; }
   [[nodiscard]] uint32_t max_search_error() const noexcept;
   [[nodiscard]] const NuevoMatchConfig& config() const noexcept { return cfg_; }
 
  private:
   [[nodiscard]] rqrmi::RqRmiConfig rqrmi_config(size_t iset_size) const;
+  void rebuild_pos_map();
 
   NuevoMatchConfig cfg_;
   std::vector<Rule> rules_;          // current logical rule-set
+  std::unordered_map<uint32_t, size_t> pos_by_id_;  // id → index in rules_
   std::vector<IsetIndex> isets_;
   std::unique_ptr<Classifier> remainder_;
   size_t built_size_ = 0;            // rules at last (re)build

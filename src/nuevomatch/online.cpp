@@ -1,0 +1,231 @@
+#include "nuevomatch/online.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace nuevomatch {
+
+OnlineNuevoMatch::OnlineNuevoMatch(OnlineConfig cfg) : cfg_(std::move(cfg)) {
+  // An empty generation up front means match() never needs a null check.
+  gen_ = std::make_shared<Generation>(cfg_.base);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+OnlineNuevoMatch::~OnlineNuevoMatch() {
+  {
+    std::lock_guard lk{wk_mu_};
+    stop_ = true;
+  }
+  wk_cv_.notify_all();
+  worker_.join();
+}
+
+void OnlineNuevoMatch::build(std::span<const Rule> rules) {
+  auto fresh = std::make_shared<Generation>(cfg_.base);
+  // Train before cancelling the worker: the long part needs no exclusion.
+  fresh->nm.build(rules);
+  publish_fresh(std::move(fresh));
+}
+
+void OnlineNuevoMatch::adopt(NuevoMatch nm) {
+  publish_fresh(std::make_shared<Generation>(std::move(nm)));
+}
+
+void OnlineNuevoMatch::publish_fresh(std::shared_ptr<Generation> fresh) {
+  // Cancel any pending retrain and wait out a running one, so a stale
+  // generation trained on pre-build rules can never swap over this one.
+  {
+    std::unique_lock lk{wk_mu_};
+    retrain_requested_ = false;
+    wk_cv_.wait(lk, [&] { return !retrain_running_; });
+  }
+  std::lock_guard ug{upd_mu_};
+  journal_.clear();
+  snapshot_taken_ = false;
+  publish(std::move(fresh));
+}
+
+MatchResult OnlineNuevoMatch::match(const Packet& p) const {
+  const auto g = live();
+  std::shared_lock lk{g->mu};
+  return g->nm.match(p);
+}
+
+MatchResult OnlineNuevoMatch::match_with_floor(const Packet& p,
+                                               int32_t priority_floor) const {
+  const auto g = live();
+  std::shared_lock lk{g->mu};
+  return g->nm.match_with_floor(p, priority_floor);
+}
+
+void OnlineNuevoMatch::match_batch(std::span<const Packet> packets,
+                                   std::span<MatchResult> out) const {
+  const auto g = live();
+  std::shared_lock lk{g->mu};
+  g->nm.match_batch(packets, out);
+}
+
+bool OnlineNuevoMatch::insert(const Rule& r) {
+  double pressure = 0.0;
+  {
+    std::lock_guard ug{upd_mu_};
+    const auto g = live();
+    {
+      std::unique_lock lk{g->mu};
+      if (!g->nm.insert(r)) return false;
+      pressure = g->nm.update_pressure();
+    }
+    if (snapshot_taken_)
+      journal_.push_back(Op{Op::Kind::kInsert, r, r.id});
+  }
+  if (cfg_.auto_retrain && pressure >= cfg_.retrain_threshold)
+    request_retrain(/*forced=*/false);
+  return true;
+}
+
+bool OnlineNuevoMatch::erase(uint32_t rule_id) {
+  std::lock_guard ug{upd_mu_};
+  const auto g = live();
+  {
+    std::unique_lock lk{g->mu};
+    if (!g->nm.erase(rule_id)) return false;
+  }
+  if (snapshot_taken_)
+    journal_.push_back(Op{Op::Kind::kErase, Rule{}, rule_id});
+  return true;
+}
+
+double OnlineNuevoMatch::absorption() const {
+  const auto g = live();
+  std::shared_lock lk{g->mu};
+  return g->nm.update_pressure();
+}
+
+bool OnlineNuevoMatch::retrain_in_progress() const {
+  std::lock_guard lk{wk_mu_};
+  return retrain_requested_ || retrain_running_;
+}
+
+void OnlineNuevoMatch::retrain_now() { request_retrain(/*forced=*/true); }
+
+void OnlineNuevoMatch::request_retrain(bool forced) {
+  {
+    std::lock_guard lk{wk_mu_};
+    if (stop_) return;
+    retrain_requested_ = true;
+    retrain_forced_ |= forced;
+  }
+  wk_cv_.notify_all();
+}
+
+void OnlineNuevoMatch::quiesce() const {
+  std::unique_lock lk{wk_mu_};
+  wk_cv_.wait(lk, [&] { return !retrain_requested_ && !retrain_running_; });
+}
+
+void OnlineNuevoMatch::with_stable_view(
+    const std::function<void(const NuevoMatch&)>& fn) const {
+  const auto g = live();
+  std::shared_lock lk{g->mu};  // excludes writers while fn reads
+  fn(g->nm);
+}
+
+size_t OnlineNuevoMatch::memory_bytes() const {
+  const auto g = live();
+  std::shared_lock lk{g->mu};
+  return g->nm.memory_bytes();
+}
+
+size_t OnlineNuevoMatch::size() const {
+  const auto g = live();
+  std::shared_lock lk{g->mu};
+  return g->nm.size();
+}
+
+std::string OnlineNuevoMatch::name() const {
+  const auto g = live();
+  std::shared_lock lk{g->mu};
+  return "online-" + g->nm.name();
+}
+
+void OnlineNuevoMatch::worker_loop() {
+  for (;;) {
+    bool forced = false;
+    {
+      std::unique_lock lk{wk_mu_};
+      wk_cv_.wait(lk, [&] { return retrain_requested_ || stop_; });
+      if (stop_) return;
+      retrain_requested_ = false;
+      forced = retrain_forced_;
+      retrain_forced_ = false;
+      retrain_running_ = true;
+    }
+    // Auto-triggered requests re-arm on every insert past the threshold, so
+    // a burst overlapping a running retrain leaves a pending request whose
+    // work the swap already absorbed (journal replay). Skip the redundant
+    // seconds-long cycle unless the live pressure still warrants it; an
+    // explicit retrain_now() always runs.
+    if (forced || absorption() >= cfg_.retrain_threshold) retrain_cycle();
+    {
+      std::lock_guard lk{wk_mu_};
+      retrain_running_ = false;
+    }
+    wk_cv_.notify_all();  // wake quiesce()rs
+  }
+}
+
+void OnlineNuevoMatch::retrain_cycle() {
+  // 1) Snapshot the logical rule-set and open the journal. Writers are
+  //    excluded only for the duration of one vector copy.
+  std::vector<Rule> snapshot;
+  {
+    std::lock_guard ug{upd_mu_};
+    const auto g = live();
+    std::shared_lock lk{g->mu};
+    snapshot = g->nm.rules();
+    journal_.clear();
+    snapshot_taken_ = true;
+  }
+
+  // 2) Train with no locks held — this is the seconds-long part, and the
+  //    data path runs at full speed against the old generation throughout.
+  auto fresh = std::make_shared<Generation>(cfg_.base);
+  try {
+    fresh->nm.build(snapshot);
+  } catch (const std::exception&) {
+    // Training failure keeps the old generation serving; the journal is
+    // dropped because every journaled update was also applied to the live
+    // generation — nothing is lost.
+    std::lock_guard ug{upd_mu_};
+    journal_.clear();
+    snapshot_taken_ = false;
+    return;
+  }
+
+  // 3) Replay updates that raced the training onto the fresh generation,
+  //    then publish it. Writers are excluded during the replay, so an
+  //    update lands either in the journal (and is replayed here) or on the
+  //    fresh generation after the swap — never lost, never duplicated.
+  //    Readers are untouched: in-flight lookups finish on the old
+  //    generation, which the shared_ptr refcount keeps alive until the last
+  //    one drops it (the RCU grace period).
+  {
+    std::lock_guard ug{upd_mu_};
+    // A concurrent build()/adopt() invalidates this cycle by clearing
+    // snapshot_taken_ (publish_fresh): the snapshot predates the explicit
+    // reset, so publishing it would resurrect pre-build rules. Discard.
+    if (!snapshot_taken_) return;
+    for (const Op& op : journal_) {
+      if (op.kind == Op::Kind::kInsert) {
+        fresh->nm.insert(op.rule);
+      } else {
+        fresh->nm.erase(op.id);
+      }
+    }
+    journal_.clear();
+    snapshot_taken_ = false;
+    publish(std::move(fresh));
+  }
+}
+
+}  // namespace nuevomatch

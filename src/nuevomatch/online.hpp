@@ -1,0 +1,189 @@
+// Online rule-update subsystem (paper §3.9, "Handling rule-set updates"):
+// NuevoMatch stays practical under churn by absorbing inserted rules into
+// the remainder classifier and periodically retraining the RQ-RMI index in
+// the background. OnlineNuevoMatch packages that deployment loop:
+//
+//   * insert()/erase() route updates into the live generation — additions
+//     are absorbed by the remainder engine, deletions tombstone the owning
+//     iSet — and track the absorption ratio;
+//   * when the ratio crosses `retrain_threshold`, a background worker
+//     retrains a fresh NuevoMatch on a snapshot of the rule-set and
+//     atomically swaps it in (RCU-style shared_ptr publication) without
+//     stalling match()/match_batch();
+//   * updates that arrive while a retrain is running are journaled and
+//     replayed onto the fresh generation just before the swap, so no update
+//     is ever lost to the race between snapshot and publication.
+//
+// Concurrency model (see DESIGN.md "Update path" for the full rationale):
+//
+//   * the live generation is a shared_ptr swapped atomically (via the
+//     std::atomic_load/atomic_store free functions — see live() below for
+//     why not std::atomic<std::shared_ptr>); readers load it and keep the
+//     generation alive for the duration of their lookup (the shared_ptr
+//     refcount is the RCU grace period — a superseded generation is
+//     destroyed when its last in-flight reader drops it);
+//   * each generation carries a shared_mutex: lookups take it shared,
+//     insert()/erase() take it unique (updates mutate the remainder's hash
+//     tables and iSet tombstones in place). Retraining takes NO lock while
+//     training — only the brief snapshot and swap sections serialize with
+//     writers via the update mutex, which readers never touch;
+//   * lock order is always update-mutex → generation-mutex; readers take
+//     only the latter, writers take both, the worker takes them in the same
+//     order. No cycle, no reader-induced stall of the swap.
+//
+// The certified §3.3 error margins are untouched by all of this: between
+// swaps the trained index is immutable (tombstones only mask validation
+// results), and a swap installs a freshly certified model.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "nuevomatch/nuevomatch.hpp"
+
+namespace nuevomatch {
+
+struct OnlineConfig {
+  /// Configuration of every generation (initial build and each retrain).
+  /// base.remainder_factory must build an updatable engine (e.g. TupleMerge
+  /// or CutSplit) or insert() will fail.
+  NuevoMatchConfig base;
+
+  /// Absorption ratio — rules routed to the remainder since the last swap
+  /// over the rules the live index was trained on (update_pressure()) — at
+  /// which a background retrain is triggered. The paper sizes this so the
+  /// remainder stays small enough to keep the speedup (§5: throughput
+  /// degrades roughly linearly in the migrated fraction, Figure 7).
+  double retrain_threshold = 0.05;
+
+  /// Trigger retrains automatically from insert(). When false, the caller
+  /// schedules retrains itself via retrain_now() (e.g. off-peak).
+  bool auto_retrain = true;
+};
+
+class OnlineNuevoMatch final : public Classifier {
+ public:
+  explicit OnlineNuevoMatch(OnlineConfig cfg);
+  ~OnlineNuevoMatch() override;
+  OnlineNuevoMatch(const OnlineNuevoMatch&) = delete;
+  OnlineNuevoMatch& operator=(const OnlineNuevoMatch&) = delete;
+
+  /// Synchronous initial train. NOT safe against concurrent updates or
+  /// lookups — call once at setup (a pending background retrain is cancelled
+  /// and waited out first, so build() can also reset a long-running system).
+  void build(std::span<const Rule> rules) override;
+
+  /// Install an already-built classifier as the live generation without
+  /// retraining (the serializer's load path). Same caveats as build().
+  void adopt(NuevoMatch nm);
+
+  // --- data path (safe from any number of threads) ------------------------
+  [[nodiscard]] MatchResult match(const Packet& p) const override;
+  [[nodiscard]] MatchResult match_with_floor(const Packet& p,
+                                             int32_t priority_floor) const override;
+  /// Batched lookup; out.size() must equal packets.size(). The whole batch
+  /// runs against one generation — a swap mid-batch affects only later
+  /// batches.
+  void match_batch(std::span<const Packet> packets, std::span<MatchResult> out) const;
+
+  // --- update path (safe from any number of threads) ----------------------
+  [[nodiscard]] bool supports_updates() const override { return true; }
+  bool insert(const Rule& r) override;
+  bool erase(uint32_t rule_id) override;
+
+  // --- retraining ---------------------------------------------------------
+  /// Absorption ratio of the live generation (== its update_pressure()).
+  [[nodiscard]] double absorption() const;
+  /// True while the background worker is training or swapping.
+  [[nodiscard]] bool retrain_in_progress() const;
+  /// Number of generations published so far (initial build() counts).
+  [[nodiscard]] uint64_t generations() const noexcept {
+    return generation_count_.load(std::memory_order_relaxed);
+  }
+  /// Request a background retrain now (idempotent while one is pending).
+  void retrain_now();
+  /// Block until no retrain is pending or running. Tests, benchmarks and
+  /// serialization use this to reach a stable state.
+  void quiesce() const;
+
+  /// Run `fn` against an update-stable view of the live generation: writers
+  /// are excluded while fn runs, so the view is consistent even with
+  /// concurrent churn or a retrain in flight (journaled updates are already
+  /// applied to the live generation, so nothing pending is missing from the
+  /// view). Deliberately does NOT quiesce — under sustained churn a retrain
+  /// may always be pending, and a checkpoint must stay bounded.
+  /// Serialization entry point.
+  void with_stable_view(const std::function<void(const NuevoMatch&)>& fn) const;
+
+  // --- Classifier plumbing ------------------------------------------------
+  [[nodiscard]] size_t memory_bytes() const override;
+  [[nodiscard]] size_t size() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  /// One immutable-between-swaps trained index plus its reader/writer gate.
+  struct Generation {
+    NuevoMatch nm;
+    /// Lookups shared, insert()/erase() unique. Never held across training.
+    mutable std::shared_mutex mu;
+    explicit Generation(NuevoMatchConfig c) : nm(std::move(c)) {}
+    explicit Generation(NuevoMatch m) : nm(std::move(m)) {}
+  };
+
+  /// Journal entry for updates concurrent with a retrain.
+  struct Op {
+    enum class Kind : uint8_t { kInsert, kErase };
+    Kind kind;
+    Rule rule;    // kInsert payload
+    uint32_t id;  // kErase payload
+  };
+
+  // Atomic shared_ptr access via the std::atomic_load/store free functions
+  // rather than std::atomic<std::shared_ptr>: libstdc++ 12's _Sp_atomic
+  // releases its reader spin-lock with a relaxed RMW, which ThreadSanitizer
+  // (correctly, per the formal model) reports as a read/write race against
+  // the next store — GCC 13 papers over it with TSAN annotations. The free
+  // functions use a mutex pool, which is modeled exactly and costs about
+  // the same on this lock-per-lookup design. Semantics are identical:
+  // seq_cst load/store of the pointer, refcounted lifetime.
+  [[nodiscard]] std::shared_ptr<Generation> live() const {
+    return std::atomic_load(&gen_);
+  }
+  void publish(std::shared_ptr<Generation> fresh) {
+    std::atomic_store(&gen_, std::move(fresh));
+    generation_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void worker_loop();
+  void retrain_cycle();
+  void publish_fresh(std::shared_ptr<Generation> fresh);
+  void request_retrain(bool forced);
+
+  OnlineConfig cfg_;
+  std::shared_ptr<Generation> gen_;
+  std::atomic<uint64_t> generation_count_{0};
+
+  /// Serializes writers and the snapshot/swap sections; readers never take
+  /// it. Guards journal_ and snapshot_taken_.
+  mutable std::mutex upd_mu_;
+  std::vector<Op> journal_;
+  bool snapshot_taken_ = false;
+
+  /// Worker signalling (guards the three flags below).
+  mutable std::mutex wk_mu_;
+  mutable std::condition_variable wk_cv_;
+  bool retrain_requested_ = false;
+  bool retrain_forced_ = false;  // explicit retrain_now(): never skipped
+  bool retrain_running_ = false;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace nuevomatch

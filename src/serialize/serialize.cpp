@@ -174,8 +174,18 @@ std::vector<uint8_t> save_classifier(const NuevoMatch& nm) {
     w.put_u32(static_cast<uint32_t>(is.field()));
     put_rules_body(w, is.rules());
     put_model_body(w, is.model());
+    // v2: deletions since the last (re)build are tombstones in the array
+    // above (the model is trained on the full array); ship their ids so the
+    // load path can re-apply them instead of resurrecting the rules.
+    w.put_u32(static_cast<uint32_t>(is.size() - is.live_rules()));
+    for (size_t i = 0; i < is.size(); ++i)
+      if (!is.alive(i)) w.put_u32(is.rules()[i].id);
   }
   put_rules_body(w, nm.remainder_rules());
+  // v2: update-pressure counters, so absorption tracking (and with it the
+  // retrain policy) survives a checkpoint round-trip.
+  w.put_u64(nm.built_size());
+  w.put_u64(nm.migrated());
   return std::move(w).finish();
 }
 
@@ -189,6 +199,7 @@ std::optional<NuevoMatch> load_classifier(std::span<const uint8_t> bytes,
   if (!r.can_hold(n_isets, 4)) return std::nullopt;
   std::vector<IsetIndex> isets;
   isets.reserve(n_isets);
+  std::vector<uint32_t> erased_ids;
   for (uint32_t i = 0; i < n_isets; ++i) {
     const uint32_t field = r.get_u32();
     if (field >= static_cast<uint32_t>(kNumFields)) return std::nullopt;
@@ -196,6 +207,9 @@ std::optional<NuevoMatch> load_classifier(std::span<const uint8_t> bytes,
     if (!rules) return std::nullopt;
     auto model = get_model_body(r);
     if (!model) return std::nullopt;
+    const uint32_t n_dead = r.get_u32();
+    if (n_dead > rules->size() || !r.can_hold(n_dead, 4)) return std::nullopt;
+    for (uint32_t d = 0; d < n_dead; ++d) erased_ids.push_back(r.get_u32());
     IsetIndex idx;
     try {
       idx.restore(static_cast<int>(field), std::move(*rules), std::move(*model));
@@ -205,10 +219,30 @@ std::optional<NuevoMatch> load_classifier(std::span<const uint8_t> bytes,
     isets.push_back(std::move(idx));
   }
   auto remainder = get_rules_body(r);
-  if (!remainder || !r.at_end()) return std::nullopt;
+  if (!remainder) return std::nullopt;
+  const uint64_t built_size = r.get_u64();
+  const uint64_t migrated = r.get_u64();
+  if (!r.at_end()) return std::nullopt;
   NuevoMatch nm{std::move(cfg)};
-  nm.restore(std::move(isets), std::move(*remainder));
+  nm.restore(std::move(isets), std::move(*remainder), erased_ids,
+             static_cast<size_t>(built_size), static_cast<size_t>(migrated));
   return nm;
+}
+
+std::vector<uint8_t> save_online(const OnlineNuevoMatch& online) {
+  std::vector<uint8_t> bytes;
+  online.with_stable_view(
+      [&](const NuevoMatch& nm) { bytes = save_classifier(nm); });
+  return bytes;
+}
+
+std::unique_ptr<OnlineNuevoMatch> load_online(std::span<const uint8_t> bytes,
+                                              OnlineConfig cfg) {
+  auto nm = load_classifier(bytes, cfg.base);
+  if (!nm) return nullptr;
+  auto online = std::make_unique<OnlineNuevoMatch>(std::move(cfg));
+  online->adopt(std::move(*nm));
+  return online;
 }
 
 bool write_file(const std::string& path, std::span<const uint8_t> bytes) {

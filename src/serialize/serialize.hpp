@@ -21,11 +21,17 @@
 #include <vector>
 
 #include "nuevomatch/nuevomatch.hpp"
+#include "nuevomatch/online.hpp"
 #include "rqrmi/model.hpp"
 
 namespace nuevomatch::serialize {
 
-inline constexpr uint32_t kFormatVersion = 1;
+/// v2 adds the updatable state to classifier checkpoints: per-iSet tombstone
+/// (dead-id) lists and the update-pressure counters, so a classifier with
+/// pending remainder rules round-trips exactly. Version mismatches are
+/// rejected outright — no compatibility shims until a release has shipped
+/// artifacts worth migrating.
+inline constexpr uint32_t kFormatVersion = 2;
 
 /// --- RQ-RMI model ----------------------------------------------------------
 [[nodiscard]] std::vector<uint8_t> save_model(const rqrmi::RqRmi& model);
@@ -36,16 +42,29 @@ inline constexpr uint32_t kFormatVersion = 1;
 [[nodiscard]] std::optional<RuleSet> load_rules(std::span<const uint8_t> bytes);
 
 /// --- full classifier --------------------------------------------------------
-/// Serialized: every iSet (field, rules, trained model) + remainder rules.
-/// Contract: serialize freshly built (or rebuilt) classifiers. Rules erased
-/// after the last (re)build are tombstones inside the iSet arrays and would
-/// be resurrected by a round-trip — call rebuild() first if updates were
-/// applied (matching the paper's periodic-retraining deployment, §3.9).
+/// Serialized: every iSet (field, rules, trained model, dead ids) + remainder
+/// rules (including rules migrated there by updates) + update-pressure
+/// counters. A classifier with pending updates — tombstoned deletions and
+/// rules absorbed by the remainder since the last (re)build — round-trips
+/// exactly; rebuild() before saving is no longer required.
 [[nodiscard]] std::vector<uint8_t> save_classifier(const NuevoMatch& nm);
 /// `cfg` supplies the remainder factory (and runtime knobs); the trained
 /// state comes from `bytes`.
 [[nodiscard]] std::optional<NuevoMatch> load_classifier(std::span<const uint8_t> bytes,
                                                         NuevoMatchConfig cfg);
+
+/// --- online classifier -------------------------------------------------------
+/// Checkpoint the live generation of an online classifier. Snapshots with
+/// writers excluded (but without waiting out churn or an in-flight retrain
+/// — see OnlineNuevoMatch::with_stable_view), so the bytes are a consistent
+/// view and the call is bounded even under sustained updates.
+[[nodiscard]] std::vector<uint8_t> save_online(const OnlineNuevoMatch& nm);
+/// Restore into a fresh online classifier: the journal starts empty, the
+/// absorption counters resume where the checkpoint left them. Returns
+/// nullptr on malformed input (the class is not movable, so this is the one
+/// loader that hands back a pointer instead of an optional).
+[[nodiscard]] std::unique_ptr<OnlineNuevoMatch> load_online(
+    std::span<const uint8_t> bytes, OnlineConfig cfg);
 
 /// --- files -------------------------------------------------------------------
 [[nodiscard]] bool write_file(const std::string& path, std::span<const uint8_t> bytes);

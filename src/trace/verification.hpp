@@ -1,0 +1,40 @@
+// Stable-core verification workload, shared by the update tests and
+// bench_updates: packets drawn from a rule-set that HIT some rule, paired
+// with the linear-search oracle's answer. As long as churn only ever
+// touches rules with strictly worse priority than every base rule, these
+// expected answers are invariant — which is what lets lookups be verified
+// packet-by-packet while concurrent updates and background retrains race
+// them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "classifiers/linear.hpp"
+#include "trace/trace.hpp"
+
+namespace nuevomatch {
+
+struct StableCore {
+  std::vector<Packet> packets;
+  std::vector<int32_t> expected;  // oracle rule id per packet
+};
+
+inline StableCore make_stable_core(const RuleSet& rules, size_t n_packets,
+                                   uint64_t seed) {
+  LinearSearch oracle;
+  oracle.build(rules);
+  TraceConfig tc;
+  tc.n_packets = n_packets;
+  tc.seed = seed;
+  StableCore core;
+  for (const Packet& p : generate_trace(rules, tc)) {
+    const MatchResult r = oracle.match(p);
+    if (!r.hit()) continue;
+    core.packets.push_back(p);
+    core.expected.push_back(r.rule_id);
+  }
+  return core;
+}
+
+}  // namespace nuevomatch

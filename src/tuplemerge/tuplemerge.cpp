@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/mem.hpp"
+
 namespace nuevomatch {
 
 TupleMerge::TupleMerge(TupleMergeConfig cfg) : cfg_(cfg) {}
@@ -30,6 +32,9 @@ void TupleMerge::build(std::span<const Rule> rules) {
   rules_.assign(rules.begin(), rules.end());
   alive_.assign(rules_.size(), 1);
   live_rules_ = rules_.size();
+  pos_by_id_.clear();
+  pos_by_id_.reserve(rules_.size());
+  for (uint32_t i = 0; i < rules_.size(); ++i) pos_by_id_.emplace(rules_[i].id, i);
   tables_.clear();
   // Priority order makes early termination effective from the start.
   std::vector<uint32_t> order(rules_.size());
@@ -99,22 +104,32 @@ bool TupleMerge::insert(const Rule& r) {
   rules_.push_back(r);
   alive_.push_back(1);
   ++live_rules_;
-  insert_into_tables(static_cast<uint32_t>(rules_.size() - 1));
+  const auto pos = static_cast<uint32_t>(rules_.size() - 1);
+  pos_by_id_.emplace(r.id, pos);  // emplace keeps the oldest on dup ids
+  insert_into_tables(pos);
   sort_tables();
   return true;
 }
 
 bool TupleMerge::erase(uint32_t rule_id) {
-  for (uint32_t pos = 0; pos < rules_.size(); ++pos) {
-    if (rules_[pos].id == rule_id && alive_[pos]) {
-      for (auto& tbl : tables_) {
-        if (tbl->erase(pos, rules_[pos])) {
-          alive_[pos] = 0;
-          --live_rules_;
-          return true;
-        }
-      }
-      return false;
+  uint32_t pos = 0;
+  const auto it = pos_by_id_.find(rule_id);
+  if (it != pos_by_id_.end()) {
+    pos = it->second;
+  } else {
+    // Not mapped: either absent, already erased, or a duplicate id whose
+    // mapped occurrence was erased earlier. Match the legacy semantics
+    // (first *alive* occurrence) with a scan.
+    while (pos < rules_.size() && !(rules_[pos].id == rule_id && alive_[pos])) ++pos;
+    if (pos == rules_.size()) return false;
+  }
+  if (!alive_[pos]) return false;
+  for (auto& tbl : tables_) {
+    if (tbl->erase(pos, rules_[pos])) {
+      alive_[pos] = 0;
+      --live_rules_;
+      if (it != pos_by_id_.end()) pos_by_id_.erase(it);
+      return true;
     }
   }
   return false;
@@ -123,6 +138,7 @@ bool TupleMerge::erase(uint32_t rule_id) {
 size_t TupleMerge::memory_bytes() const {
   size_t bytes = tables_.size() * sizeof(TupleTable);
   for (const auto& t : tables_) bytes += t->memory_bytes();
+  bytes += map_overhead_bytes(pos_by_id_);
   return bytes;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "classifiers/classifier.hpp"
@@ -43,7 +44,11 @@ class TupleMerge : public Classifier {
                                              int32_t priority_floor) const override;
 
   [[nodiscard]] bool supports_updates() const override { return true; }
+  /// O(1) hash insert (plus a possible table split) — the property that
+  /// makes tm the paper's updatable remainder backend (§3.9).
   bool insert(const Rule& r) override;
+  /// O(1) id lookup + hash-bucket removal. Falls back to a linear scan when
+  /// the id is not in the map (duplicate-id inserts keep first-wins there).
   bool erase(uint32_t rule_id) override;
 
   [[nodiscard]] size_t memory_bytes() const override;
@@ -65,6 +70,7 @@ class TupleMerge : public Classifier {
   TupleMergeConfig cfg_;
   std::vector<Rule> rules_;                // rule bodies (not counted as index)
   std::vector<uint8_t> alive_;
+  std::unordered_map<uint32_t, uint32_t> pos_by_id_;  // first-wins on dup ids
   size_t live_rules_ = 0;
   std::vector<std::unique_ptr<TupleTable>> tables_;  // sorted by best priority
 };

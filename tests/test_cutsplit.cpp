@@ -115,14 +115,59 @@ TEST(CutTree, EmptyAndSingleRule) {
   EXPECT_EQ(single.match(Packet{}).rule_id, 0);
 }
 
-TEST(CutSplit, MemoryAccountedAndNoUpdateSupport) {
+TEST(CutSplit, MemoryAccountedAndUpdateSupport) {
   const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 1000, 13);
   CutSplit cs;
   cs.build(rules);
   EXPECT_GT(cs.memory_bytes(), 0u);
-  EXPECT_FALSE(cs.supports_updates());
+  EXPECT_TRUE(cs.supports_updates());
   EXPECT_EQ(cs.name(), "cutsplit");
   EXPECT_EQ(cs.size(), rules.size());
+}
+
+TEST(CutSplit, InsertLandsInOverflowEraseTombstonesTree) {
+  // §3.9 on the decision-tree backend: inserts go to the overflow list
+  // (probed after the trees), deletions tombstone inside the owning tree.
+  const RuleSet rules = generate_classbench(AppClass::kFw, 1, 800, 17);
+  CutSplit cs;
+  cs.build(rules);
+
+  Rule extra = rules[3];
+  extra.id = 50'000;
+  extra.priority = -1;  // on top of everything
+  ASSERT_TRUE(cs.insert(extra));
+  EXPECT_EQ(cs.overflow_size(), 1u);
+  ASSERT_TRUE(cs.erase(7));
+  EXPECT_FALSE(cs.erase(7)) << "double-erase must fail";
+  EXPECT_EQ(cs.size(), rules.size());  // +1 insert, -1 erase
+
+  RuleSet expected;  // the logical post-update rule-set, for a fresh oracle
+  for (const Rule& r : rules)
+    if (r.id != 7) expected.push_back(r);
+  expected.push_back(extra);
+  expect_matches_oracle(cs, expected);
+}
+
+TEST(CutSplit, OverflowTiesBreakBySmallerIdLikeTheOracle) {
+  // Two equal-priority overflow rules matching the same packet: the
+  // (priority, id) order of types.hpp must pick the smaller id, exactly as
+  // LinearSearch does — insertion order must not matter.
+  RuleSet rules = generate_classbench(AppClass::kAcl, 1, 200, 19);
+  CutSplit cs;
+  cs.build(rules);
+  Packet p;
+  for (int f = 0; f < kNumFields; ++f) p.field[static_cast<size_t>(f)] = 2u;
+  Rule a, b;
+  for (int f = 0; f < kNumFields; ++f) {
+    a.field[static_cast<size_t>(f)] = Range{2, 2};
+    b.field[static_cast<size_t>(f)] = Range{2, 2};
+  }
+  a.id = 9'200;
+  b.id = 9'100;  // smaller id, inserted second
+  a.priority = b.priority = -5;
+  ASSERT_TRUE(cs.insert(a));
+  ASSERT_TRUE(cs.insert(b));
+  EXPECT_EQ(cs.match(p).rule_id, 9'100);
 }
 
 }  // namespace

@@ -4,13 +4,19 @@
 // through arbitrary update sequences.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "classbench/generator.hpp"
 #include "classifiers/linear.hpp"
 #include "common/rng.hpp"
 #include "nuevomatch/nuevomatch.hpp"
+#include "nuevomatch/online.hpp"
+#include "serialize/serialize.hpp"
 #include "trace/trace.hpp"
+#include "trace/verification.hpp"
 #include "tuplemerge/tuplemerge.hpp"
 
 namespace nuevomatch {
@@ -121,6 +127,14 @@ TEST(Updates, EraseUnknownIdFails) {
   EXPECT_EQ(nm.size(), rules.size());
 }
 
+TEST(Updates, DuplicateIdInsertFails) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 400, 15);
+  NuevoMatch nm = make_nm();
+  nm.build(rules);
+  EXPECT_FALSE(nm.insert(rules[5])) << "ids are unique across the rule-set";
+  EXPECT_EQ(nm.size(), rules.size());
+}
+
 TEST(Updates, ActionChangeNeedsNoStructuralUpdate) {
   // §3.9 type (i): the action lives in the value array; rule bodies are
   // shared. Verify lookup is unaffected by action rewrite.
@@ -135,6 +149,211 @@ TEST(Updates, ActionChangeNeedsNoStructuralUpdate) {
   for (Rule& r : rules) r.action ^= 0x7;  // rewrite actions only
   size_t i = 0;
   for (const Packet& p : before) EXPECT_EQ(nm.match(p).rule_id, ids[i++]);
+}
+
+// ---------------------------------------------------------------------------
+// OnlineNuevoMatch: the concurrent update subsystem (remainder absorption +
+// background retrain + RCU generation swap). Stable-core methodology: churn
+// only ever adds/removes rules with strictly *worse* priority than every
+// base rule, and verification packets are pre-filtered to ones that hit a
+// base rule — so their expected answer is invariant under churn and every
+// lookup can be checked against a static linear-search oracle while updates
+// and retrains race it.
+// ---------------------------------------------------------------------------
+
+OnlineConfig make_online_cfg(double threshold = 0.05, bool auto_retrain = true) {
+  OnlineConfig cfg;
+  cfg.base.remainder_factory = [] { return std::make_unique<TupleMerge>(); };
+  cfg.base.min_iset_coverage = 0.05;
+  cfg.retrain_threshold = threshold;
+  cfg.auto_retrain = auto_retrain;
+  return cfg;
+}
+
+TEST(OnlineUpdates, InsertThenMatchIsImmediatelyVisible) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 1500, 21);
+  OnlineNuevoMatch nm{make_online_cfg(/*threshold=*/1.0)};  // no auto retrain
+  nm.build(rules);
+
+  // A top-priority rule matching one specific packet.
+  Packet p;
+  for (int f = 0; f < kNumFields; ++f) p.field[static_cast<size_t>(f)] = 1u;
+  Rule r;
+  for (int f = 0; f < kNumFields; ++f) r.field[static_cast<size_t>(f)] = Range{1, 1};
+  r.id = 77'000;
+  r.priority = -100;
+  ASSERT_TRUE(nm.insert(r));
+  EXPECT_EQ(nm.match(p).rule_id, 77'000);
+  EXPECT_GT(nm.absorption(), 0.0);
+}
+
+TEST(OnlineUpdates, RemoveThenMatchDropsRule) {
+  const RuleSet rules = generate_classbench(AppClass::kFw, 1, 1500, 22);
+  OnlineNuevoMatch nm{make_online_cfg(/*threshold=*/1.0)};
+  LinearSearch oracle;
+  nm.build(rules);
+  oracle.build(rules);
+  const StableCore core = make_stable_core(rules, 1500, 23);
+  ASSERT_FALSE(core.packets.empty());
+  // Erase the rule answering the first core packet; both must agree after.
+  const auto victim = static_cast<uint32_t>(core.expected[0]);
+  ASSERT_TRUE(nm.erase(victim));
+  ASSERT_TRUE(oracle.erase(victim));
+  for (size_t i = 0; i < core.packets.size(); ++i) {
+    ASSERT_EQ(nm.match(core.packets[i]).rule_id, oracle.match(core.packets[i]).rule_id)
+        << "packet " << i;
+  }
+}
+
+TEST(OnlineUpdates, RetrainSwapUnderConcurrentLookups) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 2, 2500, 24);
+  OnlineNuevoMatch nm{make_online_cfg(/*threshold=*/0.02)};
+  nm.build(rules);
+  const uint64_t gen0 = nm.generations();
+  const StableCore core = make_stable_core(rules, 2500, 25);
+  ASSERT_GT(core.packets.size(), 100u);
+
+  // Readers hammer the stable core while the updater pushes absorption past
+  // the threshold; the auto-triggered background retrain swaps generations
+  // underneath them.
+  std::atomic<bool> run{true};
+  std::atomic<uint64_t> lookups{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      size_t i = 0;
+      while (run.load(std::memory_order_relaxed)) {
+        const size_t k = i++ % core.packets.size();
+        if (nm.match(core.packets[k]).rule_id != core.expected[k])
+          mismatches.fetch_add(1);
+        lookups.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Rng rng{26};
+  for (int i = 0; i < 200; ++i) {  // 200/2500 = 8% absorption >> 2% threshold
+    Rule r = rules[rng.below(rules.size())];
+    r.id = static_cast<uint32_t>(300'000 + i);
+    r.priority = 500'000 + i;  // strictly worse than every base rule
+    ASSERT_TRUE(nm.insert(r));
+  }
+  nm.quiesce();
+  run.store(false);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0) << "lookups diverged during retrain/swap";
+  EXPECT_GT(nm.generations(), gen0) << "background retrain never swapped";
+  EXPECT_LT(nm.absorption(), 0.02) << "swap should reset absorption";
+  EXPECT_GT(lookups.load(), 0u);
+
+  // Batched path agrees with the scalar path post-swap.
+  std::vector<MatchResult> out(core.packets.size());
+  nm.match_batch(core.packets, out);
+  for (size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(out[i].rule_id, core.expected[i]) << "batch packet " << i;
+}
+
+TEST(OnlineUpdates, JournalReplayPreservesUpdatesDuringRetrain) {
+  const RuleSet rules = generate_classbench(AppClass::kIpc, 1, 2000, 27);
+  OnlineNuevoMatch nm{make_online_cfg(/*threshold=*/1.0, /*auto=*/false)};
+  nm.build(rules);
+  const StableCore core = make_stable_core(rules, 1000, 28);
+  ASSERT_FALSE(core.packets.empty());
+
+  // Kick a manual retrain, then race updates against it. Wherever each
+  // update lands relative to the snapshot — before it, in the journal, or
+  // after the swap — the final state must contain all of them.
+  nm.retrain_now();
+  Packet hit;
+  for (int f = 0; f < kNumFields; ++f) hit.field[static_cast<size_t>(f)] = 3u;
+  Rule add;
+  for (int f = 0; f < kNumFields; ++f) add.field[static_cast<size_t>(f)] = Range{3, 3};
+  add.id = 400'000;
+  add.priority = -200;
+  ASSERT_TRUE(nm.insert(add));
+  const auto victim = static_cast<uint32_t>(core.expected[0]);
+  ASSERT_TRUE(nm.erase(victim));
+  nm.quiesce();
+
+  EXPECT_EQ(nm.match(hit).rule_id, 400'000) << "insert lost across the swap";
+  LinearSearch oracle;
+  oracle.build(rules);
+  ASSERT_TRUE(oracle.erase(victim));
+  for (size_t i = 0; i < core.packets.size(); ++i) {
+    ASSERT_EQ(nm.match(core.packets[i]).rule_id, oracle.match(core.packets[i]).rule_id)
+        << "erase lost across the swap, packet " << i;
+  }
+}
+
+TEST(OnlineUpdates, SerializeRoundTripAfterEraseThenReinsertSameId) {
+  // Regression: an id erased from an iSet and reinserted (the §3.9
+  // matching-set change) lives in the remainder while its tombstone stays
+  // in the iSet array. The checkpoint must keep exactly the live copy —
+  // neither resurrect the dead one nor drop the reincarnation.
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 3, 1500, 33);
+  OnlineNuevoMatch nm{make_online_cfg(/*threshold=*/1.0)};
+  nm.build(rules);
+
+  size_t changed = 0;
+  for (uint32_t id = 0; id < 50; ++id) {
+    Rule moved = rules[id];
+    ASSERT_TRUE(nm.erase(id));
+    moved.field[kDstPort] = full_range(kDstPort);
+    if (nm.insert(moved)) ++changed;  // same id, new matching set
+  }
+  ASSERT_EQ(changed, 50u);
+  ASSERT_EQ(nm.size(), rules.size());
+
+  const auto bytes = serialize::save_online(nm);
+  auto back = serialize::load_online(bytes, make_online_cfg(/*threshold=*/1.0));
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->size(), rules.size()) << "reinserted rules were dropped";
+
+  RuleSet logical = rules;  // the post-update rule-set, for trace generation
+  for (uint32_t id = 0; id < 50; ++id)
+    logical[id].field[kDstPort] = full_range(kDstPort);
+  TraceConfig tc;
+  tc.n_packets = 3000;
+  tc.seed = 34;
+  for (const Packet& p : generate_trace(logical, tc))
+    ASSERT_EQ(back->match(p).rule_id, nm.match(p).rule_id) << to_string(p);
+
+  // The loaded copy must stay updatable on those ids: exactly one live
+  // incarnation each.
+  EXPECT_TRUE(back->erase(3));
+  EXPECT_FALSE(back->erase(3));
+}
+
+TEST(OnlineUpdates, SerializeRoundTripWithPendingRemainderRules) {
+  const RuleSet rules = generate_classbench(AppClass::kFw, 2, 1800, 29);
+  OnlineNuevoMatch nm{make_online_cfg(/*threshold=*/1.0)};  // keep updates pending
+  nm.build(rules);
+
+  Rng rng{30};
+  for (int i = 0; i < 40; ++i) {  // pending inserts → remainder absorption
+    Rule r = rules[rng.below(rules.size())];
+    r.id = static_cast<uint32_t>(600'000 + i);
+    r.priority = 700'000 + i;
+    ASSERT_TRUE(nm.insert(r));
+  }
+  for (uint32_t id = 0; id < 30; ++id) ASSERT_TRUE(nm.erase(id));  // tombstones
+  const double pressure = nm.absorption();
+  ASSERT_GT(pressure, 0.0);
+
+  const auto bytes = serialize::save_online(nm);
+  ASSERT_FALSE(bytes.empty());
+  auto back = serialize::load_online(bytes, make_online_cfg(/*threshold=*/1.0));
+  ASSERT_NE(back, nullptr);
+
+  EXPECT_EQ(back->size(), nm.size());
+  EXPECT_DOUBLE_EQ(back->absorption(), pressure) << "pressure must survive";
+  TraceConfig tc;
+  tc.n_packets = 3000;
+  tc.seed = 31;
+  for (const Packet& p : generate_trace(rules, tc))
+    ASSERT_EQ(back->match(p).rule_id, nm.match(p).rule_id) << to_string(p);
 }
 
 }  // namespace
