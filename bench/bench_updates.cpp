@@ -10,9 +10,20 @@
 //       background retrain-swap. Lookup answers are verified differentially
 //       against LinearSearch on a stable core (churn rules carry strictly
 //       worse priorities, so core answers are invariant under churn).
+//       Includes a TupleMerge-alone update-rate row: the raw rate of the
+//       update-native engine NuevoMatch wraps, as competitor context for
+//       the headline updates/sec number (ROADMAP "churn benchmarks vs
+//       update-native baselines");
+//   (d) the sharded multi-writer update path: W writer threads over W
+//       journal shards while reader threads drive the ONLINE parallel
+//       engine (per-batch generation pinning) and verify every lookup.
+//       Updates/sec should scale with writer shards on a multi-core host;
+//       this container has one hardware core, so the numbers here record
+//       contention behavior (no serialization collapse), not core scaling.
 // Paper: ~4k updates/sec sustainable on 500K rules at ~half the update-free
 // speedup, assuming minute-long (TF) training.
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -22,6 +33,7 @@
 #include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "nuevomatch/online.hpp"
+#include "nuevomatch/parallel.hpp"
 #include "trace/verification.hpp"
 
 using namespace nuevomatch;
@@ -179,6 +191,7 @@ int main() {
 
   BenchJson j{"updates_online"};
   j.row()
+      .set("section", "online_single")
       .set("rules", base.size())
       .set("updates_per_sec", static_cast<double>(total_ops) / churn_secs)
       .set("mpps_before", mpps(before_ns))
@@ -186,9 +199,159 @@ int main() {
       .set("mpps_after", mpps(after_ns))
       .set("swaps", static_cast<size_t>(swaps))
       .set("mismatches", static_cast<size_t>(mismatches.load()));
+
+  // TupleMerge-alone update rate: the raw insert/erase throughput of the
+  // update-native engine NuevoMatch wraps, on the same rule-set — the
+  // competitor context for the row above (an online classifier can at best
+  // approach this; the gap is the price of the learned index's retraining).
+  std::printf("\n-- competitor context: TupleMerge-alone update rate --\n");
+  {
+    TupleMerge tm_upd;
+    tm_upd.build(base);
+    Rng urng{55};
+    std::deque<uint32_t> backlog;
+    uint32_t next_id = 5'000'000;
+    uint64_t done = 0;
+    const size_t kOps = 100'000;
+    const uint64_t u0 = now_ns();
+    for (size_t i = 0; i < kOps; ++i) {
+      Rule r = base[urng.below(base.size())];
+      r.id = next_id++;
+      r.priority = 2'000'000 + static_cast<int32_t>(i);
+      if (tm_upd.insert(r)) {
+        backlog.push_back(r.id);
+        ++done;
+      }
+      if (backlog.size() > 256) {
+        if (tm_upd.erase(backlog.front())) ++done;
+        backlog.pop_front();
+      }
+    }
+    const double secs = static_cast<double>(now_ns() - u0) / 1e9;
+    std::printf("tuplemerge alone: %.0f updates/s (%zu rules)\n",
+                static_cast<double>(done) / secs, base.size());
+    j.row()
+        .set("section", "competitor")
+        .set("engine", "tuplemerge")
+        .set("rules", base.size())
+        .set("updates_per_sec", static_cast<double>(done) / secs);
+  }
+
+  // (d) sharded multi-writer update path + online parallel engine readers:
+  // W writer threads over W journal shards churn while 2 reader threads
+  // drive BatchParallelEngine in online mode (per-batch generation pinning)
+  // and verify every lookup against the stable core. On a multi-core host
+  // updates/s should scale with writers; this container has one hardware
+  // core, so these rows demonstrate no-serialization-collapse rather than
+  // core scaling (see DESIGN.md "Substitutions").
+  std::printf("\n-- (d) sharded multi-writer updates + online parallel engine --\n");
+  std::printf("%-8s %-7s | %12s %10s %12s %7s %6s\n", "writers", "shards",
+              "updates/s", "vs 1w", "lookups", "swaps", "mism");
+  const RuleSet mw_base = generate_classbench(
+      AppClass::kAcl, 1, std::min<size_t>(s.large_n, 30'000), 61);
+  const StableCore mw_core = make_stable_core(mw_base, s.trace_len / 2, 62);
+  uint64_t mw_bad_total = 0;
+  double upd_1w = 0.0;
+  for (const int writers : {1, 2, 4}) {
+    OnlineConfig mcfg;
+    mcfg.base.remainder_factory = [] { return std::make_unique<TupleMerge>(); };
+    mcfg.base.min_iset_coverage = 0.05;
+    mcfg.retrain_threshold = 0.05;
+    mcfg.update_shards = writers;
+    OnlineNuevoMatch mw{mcfg};
+    mw.build(mw_base);
+    const uint64_t g0 = mw.generations();
+
+    std::atomic<bool> halt_writers{false};
+    std::atomic<bool> halt_readers{false};
+    std::atomic<uint64_t> mw_ops{0};
+    std::atomic<uint64_t> mw_lookups{0};
+    std::atomic<uint64_t> mw_bad{0};
+    std::vector<std::thread> rd;
+    for (int t = 0; t < 2; ++t) {
+      rd.emplace_back([&, t] {
+        BatchParallelEngine engine{mw};
+        std::vector<MatchResult> out(kDefaultBatchSize);
+        size_t off = static_cast<size_t>(t) * 64 % mw_core.packets.size();
+        while (!halt_readers.load(std::memory_order_relaxed)) {
+          const size_t len =
+              std::min(kDefaultBatchSize, mw_core.packets.size() - off);
+          engine.classify({mw_core.packets.data() + off, len}, {out.data(), len});
+          for (size_t i = 0; i < len; ++i) {
+            if (out[i].rule_id != mw_core.expected[off + i]) mw_bad.fetch_add(1);
+          }
+          mw_lookups.fetch_add(len, std::memory_order_relaxed);
+          off = (off + len) % mw_core.packets.size();
+          // Sub-saturation duty cycle: back-to-back pins from two readers
+          // leave no unlocked window, and glibc's reader-preferring rwlock
+          // then starves writers outright (updates/s collapses to ~0 — a
+          // real effect worth knowing about, see ROADMAP "Generation-lock-
+          // free readers"). A short gap between batches models a loaded but
+          // not lock-saturated data path.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      });
+    }
+    std::vector<std::thread> wr;
+    const uint64_t w0 = now_ns();
+    for (int w = 0; w < writers; ++w) {
+      wr.emplace_back([&, w] {
+        Rng rng{static_cast<uint64_t>(100 + w)};
+        std::deque<uint32_t> backlog;
+        uint32_t next_id = 10'000'000 + static_cast<uint32_t>(w) * 100'000'000;
+        while (!halt_writers.load(std::memory_order_relaxed)) {
+          Rule r = mw_base[rng.below(mw_base.size())];
+          r.id = next_id++;
+          r.priority = 2'000'000 + static_cast<int32_t>(r.id & 0xFFFFF);
+          if (mw.insert(r)) {
+            backlog.push_back(r.id);
+            mw_ops.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (backlog.size() > 256) {
+            if (mw.erase(backlog.front()))
+              mw_ops.fetch_add(1, std::memory_order_relaxed);
+            backlog.pop_front();
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    halt_writers.store(true);
+    for (auto& th : wr) th.join();
+    const double w_secs = static_cast<double>(now_ns() - w0) / 1e9;
+    halt_readers.store(true);
+    for (auto& th : rd) th.join();
+    mw.quiesce();
+
+    const double upd_rate = static_cast<double>(mw_ops.load()) / w_secs;
+    if (writers == 1) upd_1w = upd_rate;
+    const uint64_t mw_swaps = mw.generations() - g0;
+    mw_bad_total += mw_bad.load();
+    std::printf("%-8d %-7d | %12.0f %9.2fx %12llu %7llu %6llu\n", writers,
+                mw.update_shards(), upd_rate,
+                upd_1w > 0.0 ? upd_rate / upd_1w : 1.0,
+                static_cast<unsigned long long>(mw_lookups.load()),
+                static_cast<unsigned long long>(mw_swaps),
+                static_cast<unsigned long long>(mw_bad.load()));
+    std::fflush(stdout);
+    j.row()
+        .set("section", "multi_writer")
+        .set("writers", static_cast<size_t>(writers))
+        .set("shards", static_cast<size_t>(mw.update_shards()))
+        .set("rules", mw_base.size())
+        .set("updates_per_sec", upd_rate)
+        .set("scaling_vs_1w", upd_1w > 0.0 ? upd_rate / upd_1w : 1.0)
+        .set("verified_lookups", static_cast<size_t>(mw_lookups.load()))
+        .set("swaps", static_cast<size_t>(mw_swaps))
+        .set("mismatches", static_cast<size_t>(mw_bad.load()));
+  }
+  std::printf("note: one hardware core on this container — writer threads "
+              "timeshare, so\ncore scaling is only observable on multi-core "
+              "hosts; shards remove the lock\nserialization either way\n");
+
   j.write("BENCH_updates.json");
 
-  if (mismatches.load() != 0) {
+  if (mismatches.load() != 0 || mw_bad_total != 0) {
     std::fprintf(stderr, "FAIL: lookups diverged from the linear oracle\n");
     return 1;
   }

@@ -65,55 +65,77 @@ MatchResult NuevoMatch::match_isets(const Packet& p) const {
   return best;
 }
 
-void NuevoMatch::match_batch(std::span<const Packet> packets,
-                             std::span<MatchResult> out) const {
-  // Three-stage software pipeline per tile (DESIGN.md "Batched inference
-  // engine"). Stage 1 runs whole tiles through the lane-per-packet RQ-RMI
+namespace {
+constexpr size_t kTile = 32;  ///< batch pipeline tile width
+}
+
+void NuevoMatch::match_isets_tile(const Packet* packets, size_t tile,
+                                  MatchResult* out) const {
+  // Three-stage software pipeline for one tile (DESIGN.md "Batched inference
+  // engine"). Stage 1 runs the whole tile through the lane-per-packet RQ-RMI
   // kernels — one predict_batch call per iSet instead of a scalar predict
   // per packet x iSet. Stage 2 walks the bounded search windows with
   // wave-ahead prefetch. Stage 3 validates per packet in iSet order so the
-  // cross-iSet early-termination floor behaves exactly like match().
-  constexpr size_t kTile = 32;
+  // cross-iSet early-termination floor behaves exactly like match_isets().
   constexpr size_t kMaxIsets = 8;
   const size_t n_isets = std::min(isets_.size(), kMaxIsets);
   std::array<uint32_t, kTile * kMaxIsets> vals;
   std::array<rqrmi::Prediction, kTile * kMaxIsets> preds;
   std::array<int32_t, kTile * kMaxIsets> pos;
 
+  // Stage 1: batched model inference, one iSet (= one model) at a time.
+  for (size_t s = 0; s < n_isets; ++s) {
+    uint32_t* v = vals.data() + s * kTile;
+    for (size_t t = 0; t < tile; ++t) v[t] = packets[t][isets_[s].field()];
+    isets_[s].predict_batch({v, tile}, {preds.data() + s * kTile, tile});
+  }
+  // Stage 2: batched bounded secondary search (windows prefetched a wave
+  // ahead inside search_batch).
+  for (size_t s = 0; s < n_isets; ++s) {
+    isets_[s].search_batch({vals.data() + s * kTile, tile},
+                           {preds.data() + s * kTile, tile},
+                           {pos.data() + s * kTile, tile});
+  }
+  // Stage 3: validation per packet.
+  for (size_t t = 0; t < tile; ++t) {
+    const Packet& p = packets[t];
+    MatchResult best;
+    for (size_t s = 0; s < n_isets; ++s) {
+      const MatchResult r = isets_[s].validate(pos[s * kTile + t], p, best.priority);
+      if (r.beats(best)) best = r;
+    }
+    // Any iSets beyond the pipeline width take the scalar path.
+    for (size_t s = n_isets; s < isets_.size(); ++s) {
+      const MatchResult r = isets_[s].lookup_with_floor(p, best.priority);
+      if (r.beats(best)) best = r;
+    }
+    out[t] = best;
+  }
+}
+
+void NuevoMatch::match_batch(std::span<const Packet> packets,
+                             std::span<MatchResult> out) const {
   for (size_t base = 0; base < packets.size(); base += kTile) {
     const size_t tile = std::min(kTile, packets.size() - base);
-    // Stage 1: batched model inference, one iSet (= one model) at a time.
-    for (size_t s = 0; s < n_isets; ++s) {
-      uint32_t* v = vals.data() + s * kTile;
-      for (size_t t = 0; t < tile; ++t) v[t] = packets[base + t][isets_[s].field()];
-      isets_[s].predict_batch({v, tile}, {preds.data() + s * kTile, tile});
-    }
-    // Stage 2: batched bounded secondary search (windows prefetched a wave
-    // ahead inside search_batch).
-    for (size_t s = 0; s < n_isets; ++s) {
-      isets_[s].search_batch({vals.data() + s * kTile, tile},
-                             {preds.data() + s * kTile, tile},
-                             {pos.data() + s * kTile, tile});
-    }
-    // Stage 3: validation + remainder per packet.
+    match_isets_tile(packets.data() + base, tile, out.data() + base);
+    // Remainder merge per packet, still within the tile for locality.
     for (size_t t = 0; t < tile; ++t) {
       const Packet& p = packets[base + t];
-      MatchResult best;
-      for (size_t s = 0; s < n_isets; ++s) {
-        const MatchResult r = isets_[s].validate(pos[s * kTile + t], p, best.priority);
-        if (r.beats(best)) best = r;
-      }
-      // Any iSets beyond the pipeline width take the scalar path.
-      for (size_t s = n_isets; s < isets_.size(); ++s) {
-        const MatchResult r = isets_[s].lookup_with_floor(p, best.priority);
-        if (r.beats(best)) best = r;
-      }
+      MatchResult best = out[base + t];
       const MatchResult rem = cfg_.early_termination && best.hit()
                                   ? remainder_->match_with_floor(p, best.priority)
                                   : remainder_->match(p);
       if (rem.beats(best)) best = rem;
       out[base + t] = best;
     }
+  }
+}
+
+void NuevoMatch::match_isets_batch(std::span<const Packet> packets,
+                                   std::span<MatchResult> out) const {
+  for (size_t base = 0; base < packets.size(); base += kTile) {
+    const size_t tile = std::min(kTile, packets.size() - base);
+    match_isets_tile(packets.data() + base, tile, out.data() + base);
   }
 }
 

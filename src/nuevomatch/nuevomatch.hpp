@@ -61,6 +61,14 @@ class NuevoMatch final : public Classifier {
   /// equal packets.size().
   void match_batch(std::span<const Packet> packets, std::span<MatchResult> out) const;
 
+  /// Batched iSet-only path: the first two pipeline stages of match_batch
+  /// plus validation, without the remainder merge. Element-for-element
+  /// identical to match_isets(). The parallel engine's calling core runs
+  /// this so the iSet half of the two-core split gets the SIMD batch
+  /// kernels too.
+  void match_isets_batch(std::span<const Packet> packets,
+                         std::span<MatchResult> out) const;
+
   // --- updates (paper §3.9) ---------------------------------------------
   // Synchronous, single-threaded update primitives. The concurrent wrapper
   // (OnlineNuevoMatch, nuevomatch/online.hpp) layers reader/writer exclusion
@@ -119,6 +127,10 @@ class NuevoMatch final : public Classifier {
  private:
   [[nodiscard]] rqrmi::RqRmiConfig rqrmi_config(size_t iset_size) const;
   void rebuild_pos_map();
+  /// One tile (≤ kTile packets) of the batched iSet pipeline: stage 1 model
+  /// inference, stage 2 bounded search, stage 3 validation. Shared by
+  /// match_batch and match_isets_batch.
+  void match_isets_tile(const Packet* packets, size_t tile, MatchResult* out) const;
 
   NuevoMatchConfig cfg_;
   std::vector<Rule> rules_;          // current logical rule-set

@@ -1,5 +1,6 @@
 #include "nuevomatch/online.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
@@ -8,6 +9,9 @@ namespace nuevomatch {
 OnlineNuevoMatch::OnlineNuevoMatch(OnlineConfig cfg) : cfg_(std::move(cfg)) {
   // An empty generation up front means match() never needs a null check.
   gen_ = std::make_shared<Generation>(cfg_.base);
+  const int n_shards = std::clamp(cfg_.update_shards, 1, 256);
+  shards_.reserve(static_cast<size_t>(n_shards));
+  for (int i = 0; i < n_shards; ++i) shards_.push_back(std::make_unique<Shard>());
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -18,6 +22,13 @@ OnlineNuevoMatch::~OnlineNuevoMatch() {
   }
   wk_cv_.notify_all();
   worker_.join();
+}
+
+std::vector<std::unique_lock<std::mutex>> OnlineNuevoMatch::lock_all_shards() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& sh : shards_) locks.emplace_back(sh->mu);
+  return locks;
 }
 
 void OnlineNuevoMatch::build(std::span<const Rule> rules) {
@@ -31,7 +42,25 @@ void OnlineNuevoMatch::adopt(NuevoMatch nm) {
   publish_fresh(std::make_shared<Generation>(std::move(nm)));
 }
 
-void OnlineNuevoMatch::publish_fresh(std::shared_ptr<Generation> fresh) {
+void OnlineNuevoMatch::adopt(NuevoMatch nm, std::span<const uint64_t> shard_ops) {
+  std::vector<uint64_t> counts(shards_.size(), 0);
+  if (shard_ops.size() == shards_.size()) {
+    counts.assign(shard_ops.begin(), shard_ops.end());
+  } else {
+    // Shard count changed between save and load: id→shard assignment is
+    // recomputed from the hash anyway, so only the aggregate count is
+    // meaningful. Spread it evenly.
+    uint64_t total = 0;
+    for (const uint64_t c : shard_ops) total += c;
+    const auto n = static_cast<uint64_t>(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i)
+      counts[i] = total / n + (i < total % n ? 1 : 0);
+  }
+  publish_fresh(std::make_shared<Generation>(std::move(nm)), &counts);
+}
+
+void OnlineNuevoMatch::publish_fresh(std::shared_ptr<Generation> fresh,
+                                     const std::vector<uint64_t>* shard_ops) {
   // Cancel any pending retrain and wait out a running one, so a stale
   // generation trained on pre-build rules can never swap over this one.
   {
@@ -39,9 +68,18 @@ void OnlineNuevoMatch::publish_fresh(std::shared_ptr<Generation> fresh) {
     retrain_requested_ = false;
     wk_cv_.wait(lk, [&] { return !retrain_running_; });
   }
-  std::lock_guard ug{upd_mu_};
-  journal_.clear();
-  snapshot_taken_ = false;
+  // A retrain requested between the wait above and the locks below loses
+  // either way: its snapshot section runs after this swap (fresh rules), or
+  // it already ran and the snapshot_open reset here discards it at replay.
+  // Counter reset/install happens inside the same all-shard-lock section as
+  // the publication, so a concurrent writer's op can never land between the
+  // swap and the counter write (its count would be silently overwritten).
+  const auto locks = lock_all_shards();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->journal.clear();
+    shards_[i]->snapshot_open = false;
+    shards_[i]->ops = shard_ops != nullptr ? (*shard_ops)[i] : 0;
+  }
   publish(std::move(fresh));
 }
 
@@ -66,17 +104,25 @@ void OnlineNuevoMatch::match_batch(std::span<const Packet> packets,
 }
 
 bool OnlineNuevoMatch::insert(const Rule& r) {
+  Shard& sh = shard_for(r.id);
   double pressure = 0.0;
   {
-    std::lock_guard ug{upd_mu_};
+    std::lock_guard sg{sh.mu};
+    // Holding a shard lock pins the swap out (snapshot/swap/publish take ALL
+    // shard locks), so the generation loaded here is live for the whole
+    // critical section.
     const auto g = live();
+    uint64_t seq = 0;
     {
       std::unique_lock lk{g->mu};
       if (!g->nm.insert(r)) return false;
       pressure = g->nm.update_pressure();
+      // Sequenced under the generation lock: journal-merge order at swap
+      // time is exactly the order the live generation absorbed the ops.
+      seq = op_seq_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (snapshot_taken_)
-      journal_.push_back(Op{Op::Kind::kInsert, r, r.id});
+    ++sh.ops;
+    if (sh.snapshot_open) sh.journal.push_back(Op{Op::Kind::kInsert, r, r.id, seq});
   }
   if (cfg_.auto_retrain && pressure >= cfg_.retrain_threshold)
     request_retrain(/*forced=*/false);
@@ -84,14 +130,17 @@ bool OnlineNuevoMatch::insert(const Rule& r) {
 }
 
 bool OnlineNuevoMatch::erase(uint32_t rule_id) {
-  std::lock_guard ug{upd_mu_};
+  Shard& sh = shard_for(rule_id);
+  std::lock_guard sg{sh.mu};
   const auto g = live();
+  uint64_t seq = 0;
   {
     std::unique_lock lk{g->mu};
     if (!g->nm.erase(rule_id)) return false;
+    seq = op_seq_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (snapshot_taken_)
-    journal_.push_back(Op{Op::Kind::kErase, Rule{}, rule_id});
+  ++sh.ops;
+  if (sh.snapshot_open) sh.journal.push_back(Op{Op::Kind::kErase, Rule{}, rule_id, seq});
   return true;
 }
 
@@ -128,6 +177,21 @@ void OnlineNuevoMatch::with_stable_view(
   const auto g = live();
   std::shared_lock lk{g->mu};  // excludes writers while fn reads
   fn(g->nm);
+}
+
+std::vector<uint64_t> OnlineNuevoMatch::shard_op_counts() const {
+  std::vector<uint64_t> out(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard lk{shards_[i]->mu};
+    out[i] = shards_[i]->ops;
+  }
+  return out;
+}
+
+uint64_t OnlineNuevoMatch::update_ops() const {
+  uint64_t total = 0;
+  for (const uint64_t c : shard_op_counts()) total += c;
+  return total;
 }
 
 size_t OnlineNuevoMatch::memory_bytes() const {
@@ -175,16 +239,18 @@ void OnlineNuevoMatch::worker_loop() {
 }
 
 void OnlineNuevoMatch::retrain_cycle() {
-  // 1) Snapshot the logical rule-set and open the journal. Writers are
-  //    excluded only for the duration of one vector copy.
+  // 1) Snapshot the logical rule-set and open every shard's journal. Writers
+  //    are excluded only for the duration of one vector copy.
   std::vector<Rule> snapshot;
   {
-    std::lock_guard ug{upd_mu_};
+    const auto locks = lock_all_shards();
     const auto g = live();
     std::shared_lock lk{g->mu};
     snapshot = g->nm.rules();
-    journal_.clear();
-    snapshot_taken_ = true;
+    for (const auto& sh : shards_) {
+      sh->journal.clear();
+      sh->snapshot_open = true;
+    }
   }
 
   // 2) Train with no locks held — this is the seconds-long part, and the
@@ -193,37 +259,52 @@ void OnlineNuevoMatch::retrain_cycle() {
   try {
     fresh->nm.build(snapshot);
   } catch (const std::exception&) {
-    // Training failure keeps the old generation serving; the journal is
+    // Training failure keeps the old generation serving; the journals are
     // dropped because every journaled update was also applied to the live
     // generation — nothing is lost.
-    std::lock_guard ug{upd_mu_};
-    journal_.clear();
-    snapshot_taken_ = false;
+    const auto locks = lock_all_shards();
+    for (const auto& sh : shards_) {
+      sh->journal.clear();
+      sh->snapshot_open = false;
+    }
     return;
   }
 
-  // 3) Replay updates that raced the training onto the fresh generation,
-  //    then publish it. Writers are excluded during the replay, so an
-  //    update lands either in the journal (and is replayed here) or on the
-  //    fresh generation after the swap — never lost, never duplicated.
-  //    Readers are untouched: in-flight lookups finish on the old
+  // 3) Merge the shard journals into global apply order and replay them onto
+  //    the fresh generation, then publish it. Writers on every shard are
+  //    excluded during the replay, so an update lands either in a shard
+  //    journal (and is replayed here) or on the fresh generation after the
+  //    swap — never lost, never duplicated. The merge is deterministic: Op
+  //    seq is assigned under the generation lock, so sorting by it replays
+  //    exactly the interleaving the live generation absorbed (ops on one
+  //    rule-id additionally share a shard, so their order is fixed twice
+  //    over). Readers are untouched: in-flight lookups finish on the old
   //    generation, which the shared_ptr refcount keeps alive until the last
   //    one drops it (the RCU grace period).
   {
-    std::lock_guard ug{upd_mu_};
+    const auto locks = lock_all_shards();
     // A concurrent build()/adopt() invalidates this cycle by clearing
-    // snapshot_taken_ (publish_fresh): the snapshot predates the explicit
+    // snapshot_open (publish_fresh): the snapshot predates the explicit
     // reset, so publishing it would resurrect pre-build rules. Discard.
-    if (!snapshot_taken_) return;
-    for (const Op& op : journal_) {
+    // The flags are set and cleared for all shards together, so checking
+    // the first one is checking all of them.
+    if (!shards_[0]->snapshot_open) return;
+    std::vector<Op> merged;
+    for (const auto& sh : shards_)
+      merged.insert(merged.end(), sh->journal.begin(), sh->journal.end());
+    std::sort(merged.begin(), merged.end(),
+              [](const Op& a, const Op& b) { return a.seq < b.seq; });
+    for (const Op& op : merged) {
       if (op.kind == Op::Kind::kInsert) {
         fresh->nm.insert(op.rule);
       } else {
         fresh->nm.erase(op.id);
       }
     }
-    journal_.clear();
-    snapshot_taken_ = false;
+    for (const auto& sh : shards_) {
+      sh->journal.clear();
+      sh->snapshot_open = false;
+    }
     publish(std::move(fresh));
   }
 }

@@ -12,7 +12,11 @@
 //     stalling match()/match_batch();
 //   * updates that arrive while a retrain is running are journaled and
 //     replayed onto the fresh generation just before the swap, so no update
-//     is ever lost to the race between snapshot and publication.
+//     is ever lost to the race between snapshot and publication;
+//   * the update path is sharded by rule-id hash (`update_shards`): each
+//     shard has its own lock, journal, and op counter, so writer threads on
+//     different shards never contend with each other on the journal path —
+//     only on the brief in-place mutation of the live generation.
 //
 // Concurrency model (see DESIGN.md "Update path" for the full rationale):
 //
@@ -21,15 +25,24 @@
 //     why not std::atomic<std::shared_ptr>); readers load it and keep the
 //     generation alive for the duration of their lookup (the shared_ptr
 //     refcount is the RCU grace period — a superseded generation is
-//     destroyed when its last in-flight reader drops it);
+//     destroyed when its last in-flight reader drops it). pin() exposes
+//     the same mechanism to callers that need several lookups against ONE
+//     generation — the parallel engine pins once per batch;
 //   * each generation carries a shared_mutex: lookups take it shared,
 //     insert()/erase() take it unique (updates mutate the remainder's hash
 //     tables and iSet tombstones in place). Retraining takes NO lock while
 //     training — only the brief snapshot and swap sections serialize with
-//     writers via the update mutex, which readers never touch;
-//   * lock order is always update-mutex → generation-mutex; readers take
-//     only the latter, writers take both, the worker takes them in the same
-//     order. No cycle, no reader-induced stall of the swap.
+//     writers via the shard locks, which readers never touch;
+//   * lock order is always shard-mutexes (ascending index) → generation
+//     mutex; readers take only the latter, writers take their one shard
+//     lock then the generation lock, the snapshot/swap sections take ALL
+//     shard locks then the generation lock. No cycle, no reader-induced
+//     stall of the swap. Holding any shard lock pins the swap out, which is
+//     what lets a writer treat live() as stable across its critical section;
+//   * journaled ops carry a global sequence number assigned under the
+//     generation lock, so the per-shard journals merge into exactly the
+//     order the live generation absorbed them (deterministic replay; ops on
+//     the same rule-id land on the same shard and stay ordered twice over).
 //
 // The certified §3.3 error margins are untouched by all of this: between
 // swaps the trained index is immutable (tombstones only mask validation
@@ -67,9 +80,18 @@ struct OnlineConfig {
   /// Trigger retrains automatically from insert(). When false, the caller
   /// schedules retrains itself via retrain_now() (e.g. off-peak).
   bool auto_retrain = true;
+
+  /// Writer shards: updates hash by rule-id onto `update_shards` independent
+  /// lock+journal pairs, so multi-writer churn scales instead of serializing
+  /// on one update mutex. Clamped to [1, 256]. One shard reproduces the
+  /// single-writer-mutex behavior exactly.
+  int update_shards = 4;
 };
 
 class OnlineNuevoMatch final : public Classifier {
+ private:
+  struct Generation;  // defined below; named here so Pin can refer to it
+
  public:
   explicit OnlineNuevoMatch(OnlineConfig cfg);
   ~OnlineNuevoMatch() override;
@@ -84,6 +106,11 @@ class OnlineNuevoMatch final : public Classifier {
   /// Install an already-built classifier as the live generation without
   /// retraining (the serializer's load path). Same caveats as build().
   void adopt(NuevoMatch nm);
+  /// Serializer v3 load path: adopt + reinstate the per-shard update
+  /// counters captured at save time. A checkpoint taken with a different
+  /// shard count redistributes evenly — the total is the contract, the
+  /// split is telemetry.
+  void adopt(NuevoMatch nm, std::span<const uint64_t> shard_ops);
 
   // --- data path (safe from any number of threads) ------------------------
   [[nodiscard]] MatchResult match(const Packet& p) const override;
@@ -93,6 +120,26 @@ class OnlineNuevoMatch final : public Classifier {
   /// runs against one generation — a swap mid-batch affects only later
   /// batches.
   void match_batch(std::span<const Packet> packets, std::span<MatchResult> out) const;
+
+  /// An RCU-pinned, update-stable view of one generation. While a Pin is
+  /// alive the generation cannot be mutated (its reader lock is held) or
+  /// reclaimed (the shared_ptr refcount is the grace period) — but swaps
+  /// still publish: later pins resolve the newer generation. Writers stall
+  /// while a Pin exists, so keep pins batch-scoped. This is how the parallel
+  /// engine gets per-batch generation pinning (DESIGN.md "Update path").
+  class Pin {
+   public:
+    [[nodiscard]] const NuevoMatch& nm() const noexcept { return g_->nm; }
+    /// Sequence number of the pinned generation (1 = first publication).
+    [[nodiscard]] uint64_t generation() const noexcept { return g_->seq; }
+
+   private:
+    friend class OnlineNuevoMatch;
+    explicit Pin(std::shared_ptr<Generation> g) : g_(std::move(g)), lk_(g_->mu) {}
+    std::shared_ptr<Generation> g_;
+    std::shared_lock<std::shared_mutex> lk_;
+  };
+  [[nodiscard]] Pin pin() const { return Pin{live()}; }
 
   // --- update path (safe from any number of threads) ----------------------
   [[nodiscard]] bool supports_updates() const override { return true; }
@@ -123,6 +170,18 @@ class OnlineNuevoMatch final : public Classifier {
   /// Serialization entry point.
   void with_stable_view(const std::function<void(const NuevoMatch&)>& fn) const;
 
+  // --- shard introspection -------------------------------------------------
+  [[nodiscard]] int update_shards() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+  /// Applied updates routed through each shard since the last build()/
+  /// adopt() (telemetry; serialized by save_online so churn accounting
+  /// survives a checkpoint — build() and plain adopt() reset to zero, the
+  /// checkpoint-loading adopt() reinstates the saved counts).
+  [[nodiscard]] std::vector<uint64_t> shard_op_counts() const;
+  /// Total applied updates across all shards.
+  [[nodiscard]] uint64_t update_ops() const;
+
   // --- Classifier plumbing ------------------------------------------------
   [[nodiscard]] size_t memory_bytes() const override;
   [[nodiscard]] size_t size() const override;
@@ -134,6 +193,8 @@ class OnlineNuevoMatch final : public Classifier {
     NuevoMatch nm;
     /// Lookups shared, insert()/erase() unique. Never held across training.
     mutable std::shared_mutex mu;
+    /// Publication sequence number (0 = the empty pre-build generation).
+    uint64_t seq = 0;
     explicit Generation(NuevoMatchConfig c) : nm(std::move(c)) {}
     explicit Generation(NuevoMatch m) : nm(std::move(m)) {}
   };
@@ -142,8 +203,19 @@ class OnlineNuevoMatch final : public Classifier {
   struct Op {
     enum class Kind : uint8_t { kInsert, kErase };
     Kind kind;
-    Rule rule;    // kInsert payload
-    uint32_t id;  // kErase payload
+    Rule rule;     // kInsert payload
+    uint32_t id;   // kErase payload
+    uint64_t seq;  // global apply order (assigned under the generation lock)
+  };
+
+  /// One writer shard. Its lock serializes every update whose rule-id hashes
+  /// here; its journal captures the ones that race a retrain. snapshot_open
+  /// is set/cleared for all shards together, under all shard locks.
+  struct Shard {
+    std::mutex mu;
+    std::vector<Op> journal;
+    uint64_t ops = 0;  // applied updates routed through this shard
+    bool snapshot_open = false;
   };
 
   // Atomic shared_ptr access via the std::atomic_load/store free functions
@@ -158,23 +230,36 @@ class OnlineNuevoMatch final : public Classifier {
     return std::atomic_load(&gen_);
   }
   void publish(std::shared_ptr<Generation> fresh) {
+    fresh->seq = generation_count_.fetch_add(1, std::memory_order_relaxed) + 1;
     std::atomic_store(&gen_, std::move(fresh));
-    generation_count_.fetch_add(1, std::memory_order_relaxed);
   }
+  [[nodiscard]] Shard& shard_for(uint32_t rule_id) const {
+    // Fibonacci multiplicative hash: controller-assigned sequential ids
+    // spread across shards instead of marching through them in lockstep.
+    const uint64_t h = (static_cast<uint64_t>(rule_id) * 0x9E3779B97F4A7C15ull) >> 32;
+    return *shards_[h % shards_.size()];
+  }
+  /// Lock every shard, ascending index (the global half of the lock order).
+  [[nodiscard]] std::vector<std::unique_lock<std::mutex>> lock_all_shards() const;
   void worker_loop();
   void retrain_cycle();
-  void publish_fresh(std::shared_ptr<Generation> fresh);
+  /// Install `fresh` as the live generation, resetting the update path:
+  /// journals cleared, snapshot invalidated, per-shard op counters set to
+  /// `shard_ops` (size must equal shards_.size()) or zeroed when null —
+  /// all under every shard lock, atomically with the publication.
+  void publish_fresh(std::shared_ptr<Generation> fresh,
+                     const std::vector<uint64_t>* shard_ops = nullptr);
   void request_retrain(bool forced);
 
   OnlineConfig cfg_;
   std::shared_ptr<Generation> gen_;
   std::atomic<uint64_t> generation_count_{0};
 
-  /// Serializes writers and the snapshot/swap sections; readers never take
-  /// it. Guards journal_ and snapshot_taken_.
-  mutable std::mutex upd_mu_;
-  std::vector<Op> journal_;
-  bool snapshot_taken_ = false;
+  /// Writer shards (fixed count for the object's lifetime; unique_ptr keeps
+  /// the mutex-holding Shard immovable while the vector stays regular).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Global journal order; see Op::seq.
+  std::atomic<uint64_t> op_seq_{0};
 
   /// Worker signalling (guards the three flags below).
   mutable std::mutex wk_mu_;

@@ -2,7 +2,12 @@
 
 namespace nuevomatch {
 
-BatchParallelEngine::BatchParallelEngine(const NuevoMatch& nm) : nm_(nm) {
+BatchParallelEngine::BatchParallelEngine(const NuevoMatch& nm) : static_nm_(&nm) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+BatchParallelEngine::BatchParallelEngine(const OnlineNuevoMatch& online)
+    : online_(&online) {
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -22,12 +27,13 @@ void BatchParallelEngine::worker_loop() {
     if (stop_) return;
     job_ready_ = false;
     const std::span<const Packet> batch = pending_;
+    const NuevoMatch* nm = job_nm_;
     worker_out_.assign(batch.size(), MatchResult{});
     lock.unlock();
     // Remainder path runs on the worker core (no early termination possible:
     // the iSet result is being computed concurrently on the other core).
     for (size_t i = 0; i < batch.size(); ++i)
-      worker_out_[i] = nm_.remainder().match(batch[i]);
+      worker_out_[i] = nm->remainder().match(batch[i]);
     lock.lock();
     job_done_ = true;
     cv_.notify_all();
@@ -36,16 +42,38 @@ void BatchParallelEngine::worker_loop() {
 
 void BatchParallelEngine::classify(std::span<const Packet> batch,
                                    std::span<MatchResult> out) {
+  if (online_ != nullptr) {
+    // Per-batch generation pinning: resolve the live generation through the
+    // RCU swap once, then run the entire batch — both cores — against it.
+    // The pin's reader lock excludes writers for the batch duration (so the
+    // worker core reads an immutable index without taking any lock itself),
+    // and its shared_ptr keeps the generation alive even if a retrain
+    // publishes a successor mid-batch. Journal replay keeps this correct
+    // across the swap: the next pin resolves the successor, which already
+    // contains every update this batch's generation absorbed.
+    const OnlineNuevoMatch::Pin pin = online_->pin();
+    classify_on(pin.nm(), batch, out);
+    return;
+  }
+  classify_on(*static_nm_, batch, out);
+}
+
+void BatchParallelEngine::classify_on(const NuevoMatch& nm,
+                                      std::span<const Packet> batch,
+                                      std::span<MatchResult> out) {
   {
     std::lock_guard lock{mu_};
     pending_ = batch;
+    job_nm_ = &nm;
     job_ready_ = true;
     job_done_ = false;
   }
   cv_.notify_all();
 
-  // iSet path on the calling core, overlapping the worker.
-  for (size_t i = 0; i < batch.size(); ++i) out[i] = nm_.match_isets(batch[i]);
+  // iSet path on the calling core, overlapping the worker — batched through
+  // the SIMD pipeline (one predict_batch per iSet per tile instead of a
+  // scalar predict per packet per iSet).
+  nm.match_isets_batch(batch, out);
 
   std::unique_lock lock{mu_};
   cv_.wait(lock, [this] { return job_done_; });

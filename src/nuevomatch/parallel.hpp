@@ -6,6 +6,18 @@
 // identical to NuevoMatch::match with early termination disabled (the
 // parallel layout cannot prune the remainder — the paper makes the same
 // observation and uses early termination only in single-core mode).
+//
+// Two construction modes:
+//   * static — over a frozen NuevoMatch (the original engine);
+//   * online — over an OnlineNuevoMatch: every classify() call pins the
+//     current generation through the RCU swap (per-batch generation
+//     pinning: the whole batch, on both cores, runs against ONE immutable
+//     generation; a swap published mid-batch is picked up at the next
+//     batch boundary). This is how multi-core serving and the §3.9 update
+//     path compose — see DESIGN.md "Update path".
+//
+// The calling core runs the iSet half through the batched SIMD pipeline
+// (match_isets_batch); the worker core runs the remainder per packet.
 #pragma once
 
 #include <condition_variable>
@@ -15,6 +27,7 @@
 #include <vector>
 
 #include "nuevomatch/nuevomatch.hpp"
+#include "nuevomatch/online.hpp"
 
 namespace nuevomatch {
 
@@ -22,23 +35,35 @@ inline constexpr size_t kDefaultBatchSize = 128;
 
 class BatchParallelEngine {
  public:
+  /// Static mode: classify against one frozen classifier.
   explicit BatchParallelEngine(const NuevoMatch& nm);
+  /// Online mode: classify against whatever generation is live at each
+  /// classify() call. Safe to run while writers churn `online` and while
+  /// background retrains swap generations; several engines may serve the
+  /// same OnlineNuevoMatch from different threads.
+  explicit BatchParallelEngine(const OnlineNuevoMatch& online);
   ~BatchParallelEngine();
 
   BatchParallelEngine(const BatchParallelEngine&) = delete;
   BatchParallelEngine& operator=(const BatchParallelEngine&) = delete;
 
-  /// Classify a batch; `out` must have the same length as `batch`.
+  /// Classify a batch; `out` must have the same length as `batch`. In online
+  /// mode the batch is generation-pinned: writers stall until the batch
+  /// completes, so keep batches kDefaultBatchSize-ish, not trace-sized.
   void classify(std::span<const Packet> batch, std::span<MatchResult> out);
 
  private:
+  void classify_on(const NuevoMatch& nm, std::span<const Packet> batch,
+                   std::span<MatchResult> out);
   void worker_loop();
 
-  const NuevoMatch& nm_;
+  const NuevoMatch* static_nm_ = nullptr;
+  const OnlineNuevoMatch* online_ = nullptr;
   std::thread worker_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::span<const Packet> pending_{};    // batch handed to the worker
+  const NuevoMatch* job_nm_ = nullptr;   // generation pinned for that batch
   std::vector<MatchResult> worker_out_;  // remainder results
   bool job_ready_ = false;
   bool job_done_ = false;

@@ -12,6 +12,7 @@ namespace {
 constexpr std::string_view kModelMagic = "NMRQ";
 constexpr std::string_view kRulesMagic = "NMRS";
 constexpr std::string_view kClassifierMagic = "NMCL";
+constexpr std::string_view kOnlineMagic = "NMOL";
 
 void put_submodel(ByteWriter& w, const rqrmi::Submodel& m) {
   for (float v : m.w1) w.put_f32(v);
@@ -129,6 +130,62 @@ constexpr size_t kRuleWireBytes = kNumFields * 8 + 12;
   return rules;
 }
 
+void put_classifier_body(ByteWriter& w, const NuevoMatch& nm) {
+  w.put_u32(static_cast<uint32_t>(nm.isets().size()));
+  for (const IsetIndex& is : nm.isets()) {
+    w.put_u32(static_cast<uint32_t>(is.field()));
+    put_rules_body(w, is.rules());
+    put_model_body(w, is.model());
+    // v2: deletions since the last (re)build are tombstones in the array
+    // above (the model is trained on the full array); ship their ids so the
+    // load path can re-apply them instead of resurrecting the rules.
+    w.put_u32(static_cast<uint32_t>(is.size() - is.live_rules()));
+    for (size_t i = 0; i < is.size(); ++i)
+      if (!is.alive(i)) w.put_u32(is.rules()[i].id);
+  }
+  put_rules_body(w, nm.remainder_rules());
+  // v2: update-pressure counters, so absorption tracking (and with it the
+  // retrain policy) survives a checkpoint round-trip.
+  w.put_u64(nm.built_size());
+  w.put_u64(nm.migrated());
+}
+
+[[nodiscard]] std::optional<NuevoMatch> get_classifier_body(ByteReader& r,
+                                                            NuevoMatchConfig cfg) {
+  const uint32_t n_isets = r.get_u32();
+  if (!r.can_hold(n_isets, 4)) return std::nullopt;
+  std::vector<IsetIndex> isets;
+  isets.reserve(n_isets);
+  std::vector<uint32_t> erased_ids;
+  for (uint32_t i = 0; i < n_isets; ++i) {
+    const uint32_t field = r.get_u32();
+    if (field >= static_cast<uint32_t>(kNumFields)) return std::nullopt;
+    auto rules = get_rules_body(r);
+    if (!rules) return std::nullopt;
+    auto model = get_model_body(r);
+    if (!model) return std::nullopt;
+    const uint32_t n_dead = r.get_u32();
+    if (n_dead > rules->size() || !r.can_hold(n_dead, 4)) return std::nullopt;
+    for (uint32_t d = 0; d < n_dead; ++d) erased_ids.push_back(r.get_u32());
+    IsetIndex idx;
+    try {
+      idx.restore(static_cast<int>(field), std::move(*rules), std::move(*model));
+    } catch (const std::invalid_argument&) {
+      return std::nullopt;
+    }
+    isets.push_back(std::move(idx));
+  }
+  auto remainder = get_rules_body(r);
+  if (!remainder) return std::nullopt;
+  const uint64_t built_size = r.get_u64();
+  const uint64_t migrated = r.get_u64();
+  if (!r.ok()) return std::nullopt;
+  NuevoMatch nm{std::move(cfg)};
+  nm.restore(std::move(isets), std::move(*remainder), erased_ids,
+             static_cast<size_t>(built_size), static_cast<size_t>(migrated));
+  return nm;
+}
+
 }  // namespace
 
 std::vector<uint8_t> save_model(const rqrmi::RqRmi& model) {
@@ -169,23 +226,7 @@ std::vector<uint8_t> save_classifier(const NuevoMatch& nm) {
   ByteWriter w;
   w.put_tag(kClassifierMagic);
   w.put_u32(kFormatVersion);
-  w.put_u32(static_cast<uint32_t>(nm.isets().size()));
-  for (const IsetIndex& is : nm.isets()) {
-    w.put_u32(static_cast<uint32_t>(is.field()));
-    put_rules_body(w, is.rules());
-    put_model_body(w, is.model());
-    // v2: deletions since the last (re)build are tombstones in the array
-    // above (the model is trained on the full array); ship their ids so the
-    // load path can re-apply them instead of resurrecting the rules.
-    w.put_u32(static_cast<uint32_t>(is.size() - is.live_rules()));
-    for (size_t i = 0; i < is.size(); ++i)
-      if (!is.alive(i)) w.put_u32(is.rules()[i].id);
-  }
-  put_rules_body(w, nm.remainder_rules());
-  // v2: update-pressure counters, so absorption tracking (and with it the
-  // retrain policy) survives a checkpoint round-trip.
-  w.put_u64(nm.built_size());
-  w.put_u64(nm.migrated());
+  put_classifier_body(w, nm);
   return std::move(w).finish();
 }
 
@@ -195,53 +236,41 @@ std::optional<NuevoMatch> load_classifier(std::span<const uint8_t> bytes,
   if (!r.check_crc()) return std::nullopt;
   if (!r.expect_tag(kClassifierMagic) || r.get_u32() != kFormatVersion)
     return std::nullopt;
-  const uint32_t n_isets = r.get_u32();
-  if (!r.can_hold(n_isets, 4)) return std::nullopt;
-  std::vector<IsetIndex> isets;
-  isets.reserve(n_isets);
-  std::vector<uint32_t> erased_ids;
-  for (uint32_t i = 0; i < n_isets; ++i) {
-    const uint32_t field = r.get_u32();
-    if (field >= static_cast<uint32_t>(kNumFields)) return std::nullopt;
-    auto rules = get_rules_body(r);
-    if (!rules) return std::nullopt;
-    auto model = get_model_body(r);
-    if (!model) return std::nullopt;
-    const uint32_t n_dead = r.get_u32();
-    if (n_dead > rules->size() || !r.can_hold(n_dead, 4)) return std::nullopt;
-    for (uint32_t d = 0; d < n_dead; ++d) erased_ids.push_back(r.get_u32());
-    IsetIndex idx;
-    try {
-      idx.restore(static_cast<int>(field), std::move(*rules), std::move(*model));
-    } catch (const std::invalid_argument&) {
-      return std::nullopt;
-    }
-    isets.push_back(std::move(idx));
-  }
-  auto remainder = get_rules_body(r);
-  if (!remainder) return std::nullopt;
-  const uint64_t built_size = r.get_u64();
-  const uint64_t migrated = r.get_u64();
-  if (!r.at_end()) return std::nullopt;
-  NuevoMatch nm{std::move(cfg)};
-  nm.restore(std::move(isets), std::move(*remainder), erased_ids,
-             static_cast<size_t>(built_size), static_cast<size_t>(migrated));
+  auto nm = get_classifier_body(r, std::move(cfg));
+  if (!nm || !r.at_end()) return std::nullopt;
   return nm;
 }
 
 std::vector<uint8_t> save_online(const OnlineNuevoMatch& online) {
-  std::vector<uint8_t> bytes;
+  ByteWriter w;
+  w.put_tag(kOnlineMagic);
+  w.put_u32(kFormatVersion);
+  // v3: the sharded update path's state. Counter reads and the classifier
+  // body are two consistent sections, not one atomic cut: under live churn
+  // ops can land between the counter read and the body snapshot, so the
+  // counters may run a few ops BEHIND the body (harmless — they are
+  // telemetry; quiesce callers who need an exact pairing).
+  const std::vector<uint64_t> counts = online.shard_op_counts();
+  w.put_u32(static_cast<uint32_t>(counts.size()));
+  for (const uint64_t c : counts) w.put_u64(c);
   online.with_stable_view(
-      [&](const NuevoMatch& nm) { bytes = save_classifier(nm); });
-  return bytes;
+      [&](const NuevoMatch& nm) { put_classifier_body(w, nm); });
+  return std::move(w).finish();
 }
 
 std::unique_ptr<OnlineNuevoMatch> load_online(std::span<const uint8_t> bytes,
                                               OnlineConfig cfg) {
-  auto nm = load_classifier(bytes, cfg.base);
-  if (!nm) return nullptr;
+  ByteReader r{bytes};
+  if (!r.check_crc()) return nullptr;
+  if (!r.expect_tag(kOnlineMagic) || r.get_u32() != kFormatVersion) return nullptr;
+  const uint32_t n_shards = r.get_u32();
+  if (!r.can_hold(n_shards, 8)) return nullptr;
+  std::vector<uint64_t> counts(n_shards);
+  for (uint64_t& c : counts) c = r.get_u64();
+  auto nm = get_classifier_body(r, cfg.base);
+  if (!nm || !r.at_end()) return nullptr;
   auto online = std::make_unique<OnlineNuevoMatch>(std::move(cfg));
-  online->adopt(std::move(*nm));
+  online->adopt(std::move(*nm), counts);
   return online;
 }
 

@@ -26,12 +26,16 @@
 
 namespace nuevomatch::serialize {
 
-/// v2 adds the updatable state to classifier checkpoints: per-iSet tombstone
-/// (dead-id) lists and the update-pressure counters, so a classifier with
-/// pending remainder rules round-trips exactly. Version mismatches are
-/// rejected outright — no compatibility shims until a release has shipped
-/// artifacts worth migrating.
-inline constexpr uint32_t kFormatVersion = 2;
+/// v2 added the updatable state to classifier checkpoints: per-iSet
+/// tombstone (dead-id) lists and the update-pressure counters, so a
+/// classifier with pending remainder rules round-trips exactly. v3 makes the
+/// online checkpoint shard-aware: save_online wraps the classifier body in
+/// its own frame carrying the writer-shard count and per-shard applied-op
+/// counters, so churn accounting survives a checkpoint — including across a
+/// shard-count change (load redistributes, preserving the total). Version
+/// mismatches are rejected outright — no compatibility shims until a
+/// release has shipped artifacts worth migrating.
+inline constexpr uint32_t kFormatVersion = 3;
 
 /// --- RQ-RMI model ----------------------------------------------------------
 [[nodiscard]] std::vector<uint8_t> save_model(const rqrmi::RqRmi& model);
@@ -54,13 +58,17 @@ inline constexpr uint32_t kFormatVersion = 2;
                                                         NuevoMatchConfig cfg);
 
 /// --- online classifier -------------------------------------------------------
-/// Checkpoint the live generation of an online classifier. Snapshots with
-/// writers excluded (but without waiting out churn or an in-flight retrain
-/// — see OnlineNuevoMatch::with_stable_view), so the bytes are a consistent
-/// view and the call is bounded even under sustained updates.
+/// Checkpoint the live generation of an online classifier plus its sharded
+/// update-path state (shard count and per-shard applied-op counters).
+/// Snapshots with writers excluded (but without waiting out churn or an
+/// in-flight retrain — see OnlineNuevoMatch::with_stable_view), so the
+/// bytes are a consistent view and the call is bounded even under sustained
+/// updates.
 [[nodiscard]] std::vector<uint8_t> save_online(const OnlineNuevoMatch& nm);
-/// Restore into a fresh online classifier: the journal starts empty, the
-/// absorption counters resume where the checkpoint left them. Returns
+/// Restore into a fresh online classifier: the journals start empty, the
+/// absorption and per-shard op counters resume where the checkpoint left
+/// them (a different cfg.update_shards redistributes counts, preserving the
+/// total — the id→shard map is recomputed from the hash anyway). Returns
 /// nullptr on malformed input (the class is not movable, so this is the one
 /// loader that hands back a pointer instead of an optional).
 [[nodiscard]] std::unique_ptr<OnlineNuevoMatch> load_online(

@@ -125,10 +125,17 @@ bool TupleMerge::erase(uint32_t rule_id) {
   }
   if (!alive_[pos]) return false;
   for (auto& tbl : tables_) {
+    const int32_t best_before = tbl->best_priority();
     if (tbl->erase(pos, rules_[pos])) {
       alive_[pos] = 0;
       --live_rules_;
       if (it != pos_by_id_.end()) pos_by_id_.erase(it);
+      // Erasing a table's best rule RAISES its best_priority, breaking the
+      // ascending order match_with_floor's early-termination break relies
+      // on — later tables with better rules would be skipped. Restore it
+      // (only when the bound actually moved: this runs inside the online
+      // writer's generation-exclusive section).
+      if (tbl->best_priority() != best_before) sort_tables();
       return true;
     }
   }

@@ -1,0 +1,316 @@
+// Churn-test harness: a seeded generator of interleaved insert/erase/lookup
+// schedules with a step-synchronized linear oracle, used to differentially
+// test the online update subsystem (OnlineNuevoMatch) and the online
+// parallel engine under real multi-writer / multi-reader concurrency.
+//
+// Verification runs on two levels at once:
+//
+//  * CONCURRENT (readers race writers and retrain swaps): reader threads —
+//    scalar match() readers and BatchParallelEngine batch readers — hammer a
+//    stable verification core (trace/verification.hpp) for the whole run.
+//    Schedules only ever insert rules with strictly worse priority than
+//    every base rule and only ever erase (a) churn rules or (b) base rules
+//    that are not the expected answer of any core packet, so every core
+//    answer is invariant under churn and each concurrent lookup is exactly
+//    checkable while writers and background retrains race it.
+//
+//  * STEP-SYNCHRONIZED (exact differential): the schedule is pre-generated
+//    from a seed, so after each step's writers join, the SAME ops are
+//    replayed onto a LinearSearch oracle and the classifier is probed
+//    against it — on a fresh seeded trace plus targeted packets aimed at
+//    each rule this step inserted or erased (so an update that silently
+//    failed to land, or an erase that resurrected, is caught immediately,
+//    not just statistically). Probes run with writers quiescent but with
+//    retrains/swaps still free to land mid-probe: a swap must never change
+//    an answer, because journal replay has already linearized every applied
+//    update into both generations.
+//
+// Ops across writers touch disjoint rule-ids (per-writer id namespaces and
+// disjoint erasable-base slices), so the oracle replay order across writers
+// is immaterial and every scheduled op must succeed on both sides.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "classbench/generator.hpp"
+#include "classifiers/linear.hpp"
+#include "common/rng.hpp"
+#include "nuevomatch/online.hpp"
+#include "nuevomatch/parallel.hpp"
+#include "trace/trace.hpp"
+#include "trace/verification.hpp"
+#include "tuplemerge/tuplemerge.hpp"
+
+namespace nuevomatch {
+
+struct ChurnConfig {
+  AppClass app = AppClass::kAcl;
+  int app_variant = 1;
+  size_t n_rules = 1000;
+  uint64_t seed = 1;
+
+  int n_writers = 2;
+  int n_scalar_readers = 1;  ///< OnlineNuevoMatch::match readers
+  int n_batch_readers = 1;   ///< BatchParallelEngine (online mode) readers
+
+  int n_steps = 5;
+  int inserts_per_writer_step = 40;
+  int erases_per_writer_step = 16;
+
+  size_t core_trace_len = 2000;  ///< raw trace length before hit-filtering
+  size_t probes_per_step = 250;  ///< seeded exact-differential probes
+
+  int update_shards = 4;
+  double retrain_threshold = 0.02;
+  bool auto_retrain = true;
+  /// run() keeps forcing (background) retrains until at least this many
+  /// generation swaps have been published, so every configuration exercises
+  /// the snapshot → journal → merge → swap cycle even with auto-retrain off.
+  uint64_t min_swaps = 3;
+};
+
+struct ChurnResult {
+  uint64_t concurrent_lookups = 0;    ///< reader lookups racing writers/swaps
+  uint64_t concurrent_mismatches = 0; ///< stable-core divergences (want 0)
+  uint64_t probes = 0;                ///< step-synchronized oracle probes
+  uint64_t probe_mismatches = 0;      ///< oracle divergences (want 0)
+  uint64_t scheduled_ops = 0;         ///< ops the schedule generated
+  uint64_t applied_ops = 0;           ///< ops the classifier accepted
+  uint64_t swaps = 0;                 ///< generations published after build
+};
+
+class ChurnHarness {
+ public:
+  struct Op {
+    enum class Kind : uint8_t { kInsert, kErase };
+    Kind kind;
+    Rule rule;  ///< insert payload; for erases, the body (for targeted probes)
+    uint32_t id;
+  };
+
+  explicit ChurnHarness(ChurnConfig cfg)
+      : cfg_(cfg),
+        base_(generate_classbench(cfg.app, cfg.app_variant, cfg.n_rules, cfg.seed)) {
+    core_ = make_stable_core(base_, cfg_.core_trace_len, cfg_.seed ^ 0x5ca1ab1eULL);
+    assert(!core_.packets.empty());
+    // Base rules that answer a core packet must never be erased (their
+    // answers are the invariant the concurrent readers verify); everything
+    // else is fair game, split into disjoint per-writer slices.
+    std::unordered_set<int32_t> protected_ids(core_.expected.begin(),
+                                              core_.expected.end());
+    std::vector<std::vector<uint32_t>> erasable(
+        static_cast<size_t>(cfg_.n_writers));
+    size_t next = 0;
+    for (const Rule& r : base_) {
+      if (protected_ids.contains(static_cast<int32_t>(r.id))) continue;
+      erasable[next++ % erasable.size()].push_back(r.id);
+    }
+    generate_schedule(erasable);
+  }
+
+  [[nodiscard]] const RuleSet& base() const noexcept { return base_; }
+  [[nodiscard]] const StableCore& core() const noexcept { return core_; }
+  [[nodiscard]] uint64_t scheduled_ops() const noexcept { return scheduled_ops_; }
+
+  /// Build the online classifier + oracle, run the full schedule with
+  /// concurrent readers, and return the tallies. Deterministic given the
+  /// config (up to thread interleaving, which the invariants absorb).
+  ChurnResult run() {
+    OnlineConfig ocfg;
+    ocfg.base.remainder_factory = [] { return std::make_unique<TupleMerge>(); };
+    ocfg.base.min_iset_coverage = 0.05;
+    ocfg.retrain_threshold = cfg_.retrain_threshold;
+    ocfg.auto_retrain = cfg_.auto_retrain;
+    ocfg.update_shards = cfg_.update_shards;
+    OnlineNuevoMatch online{ocfg};
+    online.build(base_);
+    const uint64_t gen0 = online.generations();
+
+    LinearSearch oracle;  // the step-synchronized oracle
+    oracle.build(base_);
+
+    ChurnResult res;
+    res.scheduled_ops = scheduled_ops_;
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> mismatches{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < cfg_.n_scalar_readers; ++t) {
+      readers.emplace_back([&, t] {
+        size_t i = static_cast<size_t>(t) * 13;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const size_t k = i++ % core_.packets.size();
+          if (online.match(core_.packets[k]).rule_id != core_.expected[k])
+            mismatches.fetch_add(1);
+          lookups.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (int t = 0; t < cfg_.n_batch_readers; ++t) {
+      readers.emplace_back([&, t] {
+        // Each batch reader owns an engine; classify() pins one generation
+        // per batch, so every result is checkable against the core even
+        // while a swap lands between batches.
+        BatchParallelEngine engine{online};
+        std::vector<MatchResult> out(kDefaultBatchSize);
+        size_t off = (static_cast<size_t>(t) * 41) % core_.packets.size();
+        while (!stop.load(std::memory_order_relaxed)) {
+          const size_t len =
+              std::min(kDefaultBatchSize, core_.packets.size() - off);
+          engine.classify({core_.packets.data() + off, len}, {out.data(), len});
+          for (size_t i = 0; i < len; ++i) {
+            if (out[i].rule_id != core_.expected[off + i]) mismatches.fetch_add(1);
+          }
+          lookups.fetch_add(len, std::memory_order_relaxed);
+          off = (off + len) % core_.packets.size();
+        }
+      });
+    }
+
+    // Probe engine: exercises the batched two-core path during the
+    // step-synchronized phases (no writers active, swaps still possible).
+    BatchParallelEngine probe_engine{online};
+
+    std::atomic<uint64_t> applied{0};
+    for (int s = 0; s < cfg_.n_steps; ++s) {
+      std::vector<std::thread> writers;
+      writers.reserve(static_cast<size_t>(cfg_.n_writers));
+      for (int w = 0; w < cfg_.n_writers; ++w) {
+        writers.emplace_back([&, w, s] {
+          for (const Op& op : schedule_[static_cast<size_t>(w)][static_cast<size_t>(s)]) {
+            const bool ok = op.kind == Op::Kind::kInsert ? online.insert(op.rule)
+                                                         : online.erase(op.id);
+            if (ok) applied.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      for (auto& th : writers) th.join();
+
+      // Step-synchronize the oracle (ops across writers are id-disjoint, so
+      // replay order between writers is immaterial).
+      for (int w = 0; w < cfg_.n_writers; ++w) {
+        for (const Op& op : schedule_[static_cast<size_t>(w)][static_cast<size_t>(s)]) {
+          if (op.kind == Op::Kind::kInsert) {
+            oracle.insert(op.rule);
+          } else {
+            oracle.erase(op.id);
+          }
+        }
+      }
+      verify_step(online, probe_engine, oracle, s, res);
+    }
+
+    // Drive the system through the demanded number of swap cycles even when
+    // the configured threshold never fires; the readers keep racing each
+    // swap. Bounded so a wedged retrain path fails the test instead of
+    // hanging it.
+    int guard = 0;
+    while (online.generations() - gen0 < cfg_.min_swaps && guard++ < 16) {
+      online.retrain_now();
+      online.quiesce();
+    }
+    stop.store(true);
+    for (auto& th : readers) th.join();
+    online.quiesce();
+
+    res.concurrent_lookups = lookups.load();
+    res.concurrent_mismatches = mismatches.load();
+    res.applied_ops = applied.load();
+    res.swaps = online.generations() - gen0;
+    return res;
+  }
+
+ private:
+  void generate_schedule(const std::vector<std::vector<uint32_t>>& erasable) {
+    schedule_.assign(static_cast<size_t>(cfg_.n_writers), {});
+    Rng rng{cfg_.seed ^ 0xfeedf00dULL};
+    std::vector<size_t> erasable_next(static_cast<size_t>(cfg_.n_writers), 0);
+    // Per-writer live churn rules (id → rule) and FIFO order, so erases can
+    // target rules the same writer inserted in an earlier step.
+    std::vector<std::vector<Rule>> backlog(static_cast<size_t>(cfg_.n_writers));
+    for (int w = 0; w < cfg_.n_writers; ++w) {
+      auto& steps = schedule_[static_cast<size_t>(w)];
+      steps.resize(static_cast<size_t>(cfg_.n_steps));
+      uint32_t next_id = kChurnIdBase + static_cast<uint32_t>(w) * kChurnIdStride;
+      for (int s = 0; s < cfg_.n_steps; ++s) {
+        auto& ops = steps[static_cast<size_t>(s)];
+        for (int i = 0; i < cfg_.inserts_per_writer_step; ++i) {
+          Rule r = base_[rng.below(base_.size())];
+          r.id = next_id++;
+          // Strictly worse than every base priority (generator emits
+          // priority = index < n_rules), so core answers never change.
+          r.priority = kChurnPriorityBase + static_cast<int32_t>(r.id & 0xFFFFF);
+          ops.push_back(Op{Op::Kind::kInsert, r, r.id});
+          backlog[static_cast<size_t>(w)].push_back(r);
+        }
+        for (int i = 0; i < cfg_.erases_per_writer_step; ++i) {
+          auto& bl = backlog[static_cast<size_t>(w)];
+          const auto& mine = erasable[static_cast<size_t>(w)];
+          // Alternate: retire own churn rules and erasable base rules.
+          if (i % 2 == 0 && bl.size() > static_cast<size_t>(cfg_.inserts_per_writer_step)) {
+            const Rule victim = bl.front();
+            bl.erase(bl.begin());
+            ops.push_back(Op{Op::Kind::kErase, victim, victim.id});
+          } else if (erasable_next[static_cast<size_t>(w)] < mine.size()) {
+            const uint32_t id = mine[erasable_next[static_cast<size_t>(w)]++];
+            ops.push_back(Op{Op::Kind::kErase, base_[id], id});
+          }
+        }
+        scheduled_ops_ += ops.size();
+      }
+    }
+  }
+
+  void verify_step(const OnlineNuevoMatch& online, BatchParallelEngine& engine,
+                   const LinearSearch& oracle, int step, ChurnResult& res) {
+    // Seeded probes over the base distribution...
+    TraceConfig tc;
+    tc.n_packets = cfg_.probes_per_step;
+    tc.seed = cfg_.seed * 1000 + static_cast<uint64_t>(step);
+    std::vector<Packet> probes = generate_trace(base_, tc);
+    // ...plus a targeted packet inside every rule this step touched: an
+    // insert that never landed, or an erase that resurrected, answers
+    // differently from the oracle right here.
+    for (int w = 0; w < cfg_.n_writers; ++w) {
+      for (const Op& op : schedule_[static_cast<size_t>(w)][static_cast<size_t>(step)]) {
+        Packet p;
+        for (int f = 0; f < kNumFields; ++f)
+          p.field[static_cast<size_t>(f)] = op.rule.field[static_cast<size_t>(f)].lo;
+        probes.push_back(p);
+      }
+    }
+
+    std::vector<MatchResult> batched(probes.size());
+    for (size_t off = 0; off < probes.size(); off += kDefaultBatchSize) {
+      const size_t len = std::min(kDefaultBatchSize, probes.size() - off);
+      engine.classify({probes.data() + off, len}, {batched.data() + off, len});
+    }
+    for (size_t i = 0; i < probes.size(); ++i) {
+      const int32_t want = oracle.match(probes[i]).rule_id;
+      ++res.probes;
+      if (online.match(probes[i]).rule_id != want) ++res.probe_mismatches;
+      if (batched[i].rule_id != want) ++res.probe_mismatches;
+    }
+  }
+
+  static constexpr uint32_t kChurnIdBase = 1'000'000;
+  static constexpr uint32_t kChurnIdStride = 1'000'000;
+  static constexpr int32_t kChurnPriorityBase = 2'000'000;
+
+  ChurnConfig cfg_;
+  RuleSet base_;
+  StableCore core_;
+  // schedule_[writer][step] → op list
+  std::vector<std::vector<std::vector<Op>>> schedule_;
+  uint64_t scheduled_ops_ = 0;
+};
+
+}  // namespace nuevomatch

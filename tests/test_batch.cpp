@@ -3,11 +3,16 @@
 // allowed to change timing only, never results.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <span>
+#include <thread>
 
 #include "classbench/generator.hpp"
+#include "common/rng.hpp"
 #include "cutsplit/cutsplit.hpp"
 #include "nuevomatch/nuevomatch.hpp"
+#include "nuevomatch/online.hpp"
 #include "trace/trace.hpp"
 #include "tuplemerge/tuplemerge.hpp"
 
@@ -118,6 +123,76 @@ TEST(Batch, StagedBatchApiEqualsScalarStages) {
       ASSERT_EQ(pos[i], is.search(vals[i], preds[i])) << "packet " << i;
     }
   }
+}
+
+// Batch==scalar equivalence through a generation swap (ISSUE 3): pin the
+// live generation, run match_batch and per-key match against the SAME pin,
+// and demand identical results — while a writer thread pushes absorption
+// over the retrain threshold so background swaps land between (never
+// inside) pins. Per-batch generation pinning is exactly the property under
+// test: the batch must be immune to the swap, and successive pins must
+// observe new generations.
+TEST(Batch, BatchEqualsScalarOnPinnedGenerationAcrossSwap) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 2, 1500, 11);
+  OnlineConfig cfg;
+  cfg.base.remainder_factory = [] { return std::make_unique<TupleMerge>(); };
+  cfg.base.min_iset_coverage = 0.05;
+  cfg.retrain_threshold = 0.01;
+  cfg.update_shards = 4;
+  OnlineNuevoMatch online{cfg};
+  online.build(rules);
+  const uint64_t gen0 = online.generations();
+
+  TraceConfig tc;
+  tc.n_packets = 1024;
+  tc.seed = 12;
+  const auto trace = generate_trace(rules, tc);
+
+  std::atomic<bool> run{true};
+  std::thread updater([&] {
+    Rng rng{13};
+    uint32_t next_id = 700'000;
+    while (run.load(std::memory_order_relaxed)) {
+      Rule r = rules[rng.below(rules.size())];
+      r.id = next_id++;
+      r.priority = 2'000'000 + static_cast<int32_t>(next_id);
+      online.insert(r);
+    }
+  });
+
+  uint64_t last_gen = gen0;
+  int gen_changes = 0;
+  size_t off = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while ((gen_changes < 2 || online.generations() == gen0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    const OnlineNuevoMatch::Pin pin = online.pin();
+    if (pin.generation() != last_gen) {
+      ++gen_changes;
+      last_gen = pin.generation();
+    }
+    const size_t len = std::min<size_t>(128, trace.size() - off);
+    const std::span<const Packet> batch{trace.data() + off, len};
+    std::vector<MatchResult> out(len);
+    pin.nm().match_batch(batch, out);
+    for (size_t i = 0; i < len; ++i) {
+      const MatchResult want = pin.nm().match(batch[i]);
+      ASSERT_EQ(out[i].rule_id, want.rule_id)
+          << "generation " << pin.generation() << " packet " << i;
+      ASSERT_EQ(out[i].priority, want.priority)
+          << "generation " << pin.generation() << " packet " << i;
+    }
+    off = (off + len) % trace.size();
+    // The pin is released here; give the updater a clean window to take the
+    // generation lock (reader-preferring rwlocks can otherwise starve it).
+    std::this_thread::yield();
+  }
+  run.store(false);
+  updater.join();
+  online.quiesce();
+  EXPECT_GE(gen_changes, 1) << "no swap was ever observed: the straddle was "
+                               "never exercised";
 }
 
 TEST(Batch, EmptyAndTinyInputs) {

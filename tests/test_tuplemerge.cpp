@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "classbench/generator.hpp"
 #include "oracle_check.hpp"
 #include "tuplemerge/tuplemerge.hpp"
@@ -100,6 +103,37 @@ TEST(TupleMerge, EraseRemovesOnlyTarget) {
   tc.seed = 13;
   for (const Packet& p : generate_trace(rules, tc))
     EXPECT_EQ(tm.match(p).rule_id, oracle.match(p).rule_id);
+}
+
+// Regression (found by the churn serializer tests): erasing a table's BEST
+// rule raises that table's best_priority, and the table array must be
+// re-sorted or match_with_floor's early-termination break skips later
+// tables that still hold better matches — plain match() misses live rules.
+TEST(TupleMerge, EraseOfTableBestKeepsFloorSearchExact) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 1200, 51);
+  TupleMerge tm;
+  tm.build(rules);
+  // Erase the globally best rules one by one: each erase is maximally likely
+  // to raise some table's best_priority past its neighbors'.
+  std::vector<uint32_t> order;
+  for (const Rule& r : rules) order.push_back(r.id);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return rules[a].priority < rules[b].priority;
+  });
+  LinearSearch oracle;
+  oracle.build(rules);
+  TraceConfig tc;
+  tc.n_packets = 800;
+  tc.seed = 52;
+  const auto trace = generate_trace(rules, tc);
+  for (size_t i = 0; i < 60; ++i) {
+    ASSERT_EQ(tm.erase(order[i]), oracle.erase(order[i]));
+    for (const Packet& p : trace) {
+      ASSERT_EQ(tm.match(p).rule_id, oracle.match(p).rule_id)
+          << "after erasing the " << i << " best rules: " << to_string(p);
+    }
+    expect_floor_consistency(tm, rules, 60 + i);
+  }
 }
 
 TEST(TupleMerge, SupportsUpdatesFlag) {

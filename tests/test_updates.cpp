@@ -326,6 +326,49 @@ TEST(OnlineUpdates, SerializeRoundTripAfterEraseThenReinsertSameId) {
   EXPECT_FALSE(back->erase(3));
 }
 
+TEST(OnlineUpdates, SerializeRoundTripCarriesShardOpCounters) {
+  // v3: the online frame is shard-aware — per-shard applied-op counters
+  // round-trip, and a checkpoint loaded into a different shard count keeps
+  // the aggregate (the id→shard map is recomputed from the hash anyway).
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 900, 51);
+  OnlineConfig cfg = make_online_cfg(/*threshold=*/1.0);
+  cfg.update_shards = 4;
+  OnlineNuevoMatch nm{cfg};
+  nm.build(rules);
+
+  Rng rng{52};
+  for (int i = 0; i < 60; ++i) {
+    Rule r = rules[rng.below(rules.size())];
+    r.id = static_cast<uint32_t>(800'000 + i);
+    r.priority = 900'000 + i;
+    ASSERT_TRUE(nm.insert(r));
+  }
+  for (uint32_t id = 0; id < 20; ++id) ASSERT_TRUE(nm.erase(id));
+  ASSERT_EQ(nm.update_ops(), 80u);
+
+  const auto bytes = serialize::save_online(nm);
+  auto back = serialize::load_online(bytes, cfg);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->update_shards(), 4);
+  EXPECT_EQ(back->shard_op_counts(), nm.shard_op_counts())
+      << "same shard count must restore counters verbatim";
+  EXPECT_EQ(back->update_ops(), 80u);
+
+  OnlineConfig resharded = make_online_cfg(/*threshold=*/1.0);
+  resharded.update_shards = 7;
+  auto re = serialize::load_online(bytes, resharded);
+  ASSERT_NE(re, nullptr);
+  EXPECT_EQ(re->update_shards(), 7);
+  EXPECT_EQ(re->update_ops(), 80u) << "resharding must preserve the total";
+
+  // And the classifier behind the frame still answers identically.
+  TraceConfig tc;
+  tc.n_packets = 2000;
+  tc.seed = 53;
+  for (const Packet& p : generate_trace(rules, tc))
+    ASSERT_EQ(re->match(p).rule_id, nm.match(p).rule_id) << to_string(p);
+}
+
 TEST(OnlineUpdates, SerializeRoundTripWithPendingRemainderRules) {
   const RuleSet rules = generate_classbench(AppClass::kFw, 2, 1800, 29);
   OnlineNuevoMatch nm{make_online_cfg(/*threshold=*/1.0)};  // keep updates pending
