@@ -1,20 +1,28 @@
 // Online rule updates (paper §3.9, "Handling rule-set updates"): an SDN
 // controller pushes rule changes while traffic flows. OnlineNuevoMatch
-// absorbs additions into the updatable TupleMerge remainder, tombstones
-// deletions in the iSets, and — when the absorption ratio crosses the
-// configured threshold — retrains the RQ-RMI index on a background thread
-// and atomically swaps it in. Lookups never stop: the Figure 7 sawtooth,
-// live, without the retraining stall the synchronous rebuild() path has.
+// absorbs additions into its copy-on-write update layer, tombstones iSet
+// deletions in place (atomic flips), and — when the absorption ratio
+// crosses the configured threshold — retrains the RQ-RMI index on a
+// background thread (reusing trained models for unchanged iSets) and
+// atomically swaps it in. Lookups never stop AND never lock: the read path
+// is wait-free between swaps (epoch-pinned, see DESIGN.md "Update path"),
+// so neither a controller burst nor the retrain ever stalls the data path —
+// and saturated lookups can no longer starve the controller either.
 //
-// Lookups are served two ways at once: scalar match() calls AND the online
-// BatchParallelEngine (per-batch generation pinning) — the multi-core
-// serving path — while the update path runs sharded (update_shards).
+// The controller pushes each round as ONE erase_batch + ONE insert_batch:
+// a burst costs one writer-lock hold and one copy-on-write commit total,
+// not one per rule. Lookups are served two ways at once: scalar match()
+// calls AND the online BatchParallelEngine (per-batch generation pinning) —
+// the multi-core serving path.
 //
 //   $ ./online_updates [n_rules]        (default 30000)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <unordered_set>
+#include <vector>
 
 #include "classbench/generator.hpp"
 #include "common/rng.hpp"
@@ -86,20 +94,28 @@ int main(int argc, char** argv) {
   const size_t batch = n / 50;
   size_t total_updates = 0;
   uint32_t next_id = 1'000'000;
+  std::unordered_set<uint32_t> gone;  // victims of earlier rounds
   for (int round = 1; round <= 8; ++round) {
-    // Controller pushes a batch of matching-set changes (delete + insert).
-    // The insert is absorbed by the remainder; when absorption crosses the
-    // threshold the background retrain kicks in BY ITSELF — note how the
-    // lookup loop below keeps running at full speed while it trains.
+    // Controller pushes a round of matching-set changes as two batched
+    // commits: erase_batch the victims, insert_batch the rewritten rules.
+    // The inserts are absorbed by the update layer; when absorption crosses
+    // the threshold the background retrain kicks in BY ITSELF — note how
+    // the lookup loop below keeps running at full speed while it trains.
+    std::vector<uint32_t> victims;
+    victims.reserve(batch);
     for (size_t i = 0; i < batch; ++i) {
-      const auto victim = static_cast<uint32_t>(rng.below(rules.size()));
-      Rule moved = rules[victim];
-      if (!nm.erase(victim)) continue;
-      moved.field[kSrcPort] = Range{1024, 65535};
-      moved.id = next_id++;  // new identity for the changed matching set
-      nm.insert(moved);
-      ++total_updates;
+      const auto v = static_cast<uint32_t>(rng.below(rules.size()));
+      if (gone.insert(v).second) victims.push_back(v);  // fresh victims only
     }
+    std::vector<Rule> moved;
+    moved.reserve(victims.size());
+    for (const uint32_t v : victims) {
+      Rule r = rules[v];
+      r.field[kSrcPort] = Range{1024, 65535};
+      r.id = next_id++;  // new identity for the changed matching set
+      moved.push_back(r);
+    }
+    total_updates += nm.erase_batch(victims) + nm.insert_batch(moved);
     std::printf("%-8d %-10zu %10.2f %10.2f %11.1f%% %10s %6llu\n", round,
                 total_updates, mpps(nm, trace), mpps_parallel(engine, trace),
                 nm.absorption() * 100, nm.retrain_in_progress() ? "bg" : "-",

@@ -175,7 +175,7 @@ MatchResult IsetIndex::validate(int32_t pos, const Packet& p,
   const auto i = static_cast<size_t>(pos);
   // Packed metadata first: a candidate that cannot beat the floor, or whose
   // other fields are wildcards, never needs its rule body fetched.
-  if (prio_[i] >= priority_floor || !alive_[i]) return MatchResult{};
+  if (prio_[i] >= priority_floor || alive_load(i) == 0) return MatchResult{};
   if (wild_rest_[i])
     return MatchResult{static_cast<int32_t>(id_[i]), prio_[i]};
   const Rule& r = rules_[i];
@@ -201,8 +201,8 @@ MatchResult IsetIndex::lookup_with_floor(const Packet& p,
 
 bool IsetIndex::erase(uint32_t rule_id) noexcept {
   const auto it = pos_by_id_.find(rule_id);
-  if (it == pos_by_id_.end() || !alive_[it->second]) return false;
-  alive_[it->second] = 0;
+  if (it == pos_by_id_.end() || alive_load(it->second) == 0) return false;
+  alive_store(it->second, 0);
   --live_;
   return true;
 }

@@ -7,6 +7,7 @@
 // "Inference and secondary search").
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -73,13 +74,20 @@ class IsetIndex {
 
   /// Tombstone a rule (paper §3.9 deletion path). Returns false if absent.
   /// O(1) via the id→position map; the sorted arrays and the trained model
-  /// are untouched, so the §3.3 error certification stays valid.
+  /// are untouched, so the §3.3 error certification stays valid. The flip
+  /// itself is an atomic byte store: the online engine's wait-free readers
+  /// race it lock-free, and a monotone 1→0 flag read at validation time is
+  /// linearizable either way (a tombstone can only turn a hit into a miss,
+  /// never shift a certified position — DESIGN.md "Update path"). Callers
+  /// must still serialize erase() against other *writers* (live_ and the
+  /// id map are plain).
   bool erase(uint32_t rule_id) noexcept;
 
   /// Whether position `i` is live (not tombstoned). Serializer support: the
   /// full rule array must travel with the model, so deletions are encoded as
-  /// dead ids on the side.
-  [[nodiscard]] bool alive(size_t i) const noexcept { return alive_[i] != 0; }
+  /// dead ids on the side. Atomic read — safe to call concurrently with
+  /// erase() (same contract as lookups).
+  [[nodiscard]] bool alive(size_t i) const noexcept { return alive_load(i) != 0; }
 
   [[nodiscard]] int field() const noexcept { return field_; }
   [[nodiscard]] size_t size() const noexcept { return rules_.size(); }
@@ -98,6 +106,20 @@ class IsetIndex {
  private:
   /// Fill the SoA arrays from rules_; validates sortedness/disjointness.
   void index_rules();
+
+  /// Tombstone flag access. std::atomic_ref on the plain byte array keeps
+  /// the SoA layout (and its serializer framing) unchanged while giving the
+  /// reader/writer race defined behavior; relaxed order suffices because
+  /// nothing else is published through the flag (the rule body it gates is
+  /// immutable) — cross-thread visibility ordering comes from the caller
+  /// (the online engine's swap machinery, or plain thread join).
+  [[nodiscard]] uint8_t alive_load(size_t i) const noexcept {
+    return std::atomic_ref<uint8_t>(const_cast<uint8_t&>(alive_[i]))
+        .load(std::memory_order_relaxed);
+  }
+  void alive_store(size_t i, uint8_t v) noexcept {
+    std::atomic_ref<uint8_t>(alive_[i]).store(v, std::memory_order_relaxed);
+  }
 
   int field_ = 0;
   uint64_t domain_ = 0;

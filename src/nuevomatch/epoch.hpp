@@ -1,0 +1,162 @@
+// Epoch-based reclamation (EBR) for the online engine's wait-free read path.
+//
+// The problem this solves: lookups must be able to dereference the live
+// generation (and its copy-on-write update layer) without taking any lock,
+// while writers publish successors and eventually free the superseded
+// objects. The classic answer in read-mostly network datapaths is RCU /
+// epoch reclamation: readers announce "I am reading, and the global epoch
+// was E when I started" in a slot private to them; writers stamp every
+// retired object with the epoch at retirement and free it only once every
+// announced reader epoch has advanced past the stamp.
+//
+// Reader protocol (Domain::enter / Domain::exit, or the RAII Guard):
+//
+//   1. load the global epoch E (acquire);
+//   2. claim a slot by CASing kQuiescent -> E into a cache-line-padded
+//      atomic. The CAS is a seq_cst RMW, which is the store-load barrier
+//      the protocol needs: the slot announcement is globally visible
+//      BEFORE any subsequent load of a protected pointer;
+//   3. read protected pointers (the caller's acquire loads) and use them;
+//   4. store kQuiescent (release) back into the slot.
+//
+// Writer protocol (under the caller's writer lock — Domain is not itself
+// multi-writer-safe for retirement bookkeeping, only the slots are):
+//
+//   1. unpublish: store the successor pointer (seq_cst);
+//   2. stamp = retire_stamp()  — fetch_add on the global epoch; the value
+//      BEFORE the bump stamps everything retired in this commit;
+//   3. push the superseded object(s) onto a RetireList with that stamp;
+//   4. collect(min_active()): free every item whose stamp is strictly
+//      below the smallest epoch any in-critical-section reader announced
+//      (quiescent slots don't block).
+//
+// Why this is safe (the Dekker pairing): the reader's slot CAS and pointer
+// load, and the writer's pointer store and slot scan, are all seq_cst. If
+// the writer's scan does not observe a reader's announcement, then in the
+// seq_cst total order the reader's CAS came after the scan's load, so the
+// reader's pointer load (later still) observes the successor — the retired
+// object is unreachable from that reader. If the scan does observe the
+// announcement, the announced epoch is <= the stamp and the item stays on
+// the list. A reader that parks inside a lookup only delays reclamation
+// (memory), never correctness; critical sections here are one lookup or one
+// batch, so the backlog is bounded.
+//
+// Slots are claimed per-entry with a thread-local hint, so a steady-state
+// reader CASes the same slot every time (its own cache line — no sharing,
+// no registration lifetime to manage, and a domain can be destroyed and a
+// new one constructed at the same address without stale-hint hazards: the
+// hint is only an index, and a mismatched slot is simply re-claimed). With
+// more than kSlots concurrent readers, enter() spins until a slot frees —
+// a degraded but correct overload mode far beyond the design point.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace nuevomatch::epoch {
+
+inline constexpr uint64_t kQuiescent = ~uint64_t{0};
+
+class Domain {
+ public:
+  /// Registered-reader slot array size: the max number of concurrently
+  /// *in-flight* lookups/batches before enter() has to wait for a slot.
+  static constexpr size_t kSlots = 128;
+
+  Domain() = default;
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// Announce a read-side critical section; returns the claimed slot index.
+  /// Wait-free while fewer than kSlots readers are simultaneously inside.
+  [[nodiscard]] size_t enter() const noexcept {
+    static thread_local uint32_t hint = 0;
+    for (uint32_t probe = hint;; ++probe) {
+      const size_t s = probe % kSlots;
+      uint64_t expected = kQuiescent;
+      // Re-read the epoch per attempt: a stale (smaller) announcement is
+      // merely conservative, but there is no reason to publish one.
+      const uint64_t e = epoch_.load(std::memory_order_acquire);
+      if (slots_[s].v.compare_exchange_strong(expected, e,
+                                              std::memory_order_seq_cst)) {
+        hint = static_cast<uint32_t>(s);
+        return s;
+      }
+    }
+  }
+
+  void exit(size_t slot) const noexcept {
+    slots_[slot].v.store(kQuiescent, std::memory_order_release);
+  }
+
+  /// Writer side: bump the global epoch; the returned value stamps the
+  /// objects retired by this commit.
+  [[nodiscard]] uint64_t retire_stamp() noexcept {
+    return epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Smallest epoch announced by any in-critical-section reader (quiescent
+  /// slots don't count); kQuiescent when no reader is inside.
+  [[nodiscard]] uint64_t min_active() const noexcept {
+    uint64_t min = kQuiescent;
+    for (const PaddedSlot& s : slots_) {
+      const uint64_t e = s.v.load(std::memory_order_seq_cst);
+      if (e < min) min = e;
+    }
+    return min;
+  }
+
+ private:
+  struct alignas(64) PaddedSlot {
+    std::atomic<uint64_t> v{kQuiescent};
+  };
+  mutable PaddedSlot slots_[kSlots];
+  std::atomic<uint64_t> epoch_{1};
+};
+
+/// RAII read-side critical section.
+class Guard {
+ public:
+  explicit Guard(const Domain& d) noexcept : d_(&d), slot_(d.enter()) {}
+  ~Guard() { d_->exit(slot_); }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  const Domain* d_;
+  size_t slot_;
+};
+
+/// Deferred-free list of epoch-stamped objects. NOT thread-safe: the online
+/// engine mutates it only under its writer lock. Objects are type-erased
+/// shared_ptrs, so one list can retire generations, layers, and engines.
+class RetireList {
+ public:
+  void retire(std::shared_ptr<const void> obj, uint64_t stamp) {
+    items_.push_back(Item{stamp, std::move(obj)});
+  }
+
+  /// Free every item retired before any still-announced reader entered.
+  void collect(uint64_t min_active_epoch) {
+    size_t kept = 0;
+    for (Item& it : items_) {
+      if (it.stamp >= min_active_epoch) items_[kept++] = std::move(it);
+    }
+    items_.resize(kept);
+  }
+
+  void drain() { items_.clear(); }
+  [[nodiscard]] size_t size() const noexcept { return items_.size(); }
+
+ private:
+  struct Item {
+    uint64_t stamp;
+    std::shared_ptr<const void> obj;
+  };
+  std::vector<Item> items_;
+};
+
+}  // namespace nuevomatch::epoch

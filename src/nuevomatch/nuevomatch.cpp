@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <optional>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -30,18 +31,133 @@ void NuevoMatch::rebuild_pos_map() {
   for (size_t i = 0; i < rules_.size(); ++i) pos_by_id_.emplace(rules_[i].id, i);
 }
 
-void NuevoMatch::build(std::span<const Rule> rules) {
+void NuevoMatch::build(std::span<const Rule> rules) { build(rules, nullptr); }
+
+namespace {
+
+/// Index-relevant rule identity: ranges, priority and id. Actions are
+/// deliberately NOT compared — the index never consults them, so an action
+/// rewrite keeps a trained (model, array) pair valid.
+bool same_index_rule(const Rule& a, const Rule& b) {
+  if (a.id != b.id || a.priority != b.priority) return false;
+  for (int f = 0; f < kNumFields; ++f) {
+    const auto fi = static_cast<size_t>(f);
+    if (a.field[fi].lo != b.field[fi].lo || a.field[fi].hi != b.field[fi].hi)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void NuevoMatch::build(std::span<const Rule> rules, const NuevoMatch* reuse_models_from) {
   rules_.assign(rules.begin(), rules.end());
   rebuild_pos_map();
   isets_.clear();
   built_size_ = rules_.size();
   migrated_ = 0;
+  reused_isets_ = 0;
 
   IsetPartitionConfig pc;
   pc.max_isets = cfg_.max_isets;
   pc.min_coverage_fraction = cfg_.min_iset_coverage;
-  IsetPartition part = partition_rules(rules_, pc);
 
+  // Model-reuse plan (retrain cost control): a donor iSet whose rule array
+  // is fully intact in the new rule-set — every rule present with identical
+  // ranges/priority — can be PINNED: its trained model and certified §3.3
+  // error bounds stay valid verbatim, because the certification is a
+  // property of the (model, sorted array) pair and the array is unchanged.
+  // Pinning is partition-independent (a fresh partition of the same logical
+  // set may tie-break differently around churn duplicates), so the
+  // leftovers are partitioned into the remaining iSet slots and the whole
+  // plan is GATED on not losing coverage vs a full re-partition: if pinning
+  // would cost more than reuse_coverage_slack of the rule-set, fall back to
+  // the full plan and retrain everything. Remainder-only churn therefore
+  // retrains nothing; structural drift retrains exactly when it matters.
+  // NOTE: the donor scan reads only immutable post-build state (field, rule
+  // arrays, models) — never the tombstone flags or live counters, which the
+  // online engine flips concurrently during a background retrain. A donor
+  // with tombstoned rules disqualifies itself through the snapshot: the
+  // dead id is either absent or reincarnated with a different body.
+  std::optional<IsetPartition> full;  // computed once; the gate and the
+                                      // fallback plan share it
+  if (reuse_models_from != nullptr && !reuse_models_from->isets_.empty()) {
+    std::vector<const IsetIndex*> pinned;
+    for (const IsetIndex& donor : reuse_models_from->isets_) {
+      if (static_cast<int>(pinned.size()) >= cfg_.max_isets) break;
+      bool intact = !donor.rules().empty();
+      for (const Rule& r : donor.rules()) {
+        const auto it = pos_by_id_.find(r.id);
+        if (it == pos_by_id_.end() || !same_index_rule(rules_[it->second], r)) {
+          intact = false;
+          break;
+        }
+      }
+      if (intact) pinned.push_back(&donor);
+    }
+    if (!pinned.empty()) {
+      std::unordered_set<uint32_t> pinned_ids;
+      for (const IsetIndex* is : pinned)
+        for (const Rule& r : is->rules()) pinned_ids.insert(r.id);
+      std::vector<Rule> leftover;
+      leftover.reserve(rules_.size() - pinned_ids.size());
+      for (const Rule& r : rules_)
+        if (!pinned_ids.contains(r.id)) leftover.push_back(r);
+
+      IsetPartition lpart;
+      IsetPartitionConfig lpc = pc;
+      lpc.max_isets = cfg_.max_isets - static_cast<int>(pinned.size());
+      if (lpc.max_isets > 0 && !leftover.empty()) {
+        // Keep the candidacy threshold relative to the FULL rule-set, not
+        // the leftover slice.
+        lpc.min_coverage_fraction =
+            std::min(1.0, pc.min_coverage_fraction *
+                              static_cast<double>(rules_.size()) /
+                              static_cast<double>(leftover.size()));
+        lpart = partition_rules(leftover, lpc);
+      } else {
+        lpart.remainder = std::move(leftover);
+        lpart.total_rules = lpart.remainder.size();
+      }
+
+      size_t pinned_cov = pinned_ids.size();
+      for (const auto& s : lpart.isets) pinned_cov += s.rules.size();
+      full = partition_rules(rules_, pc);
+      size_t full_cov = 0;
+      for (const auto& s : full->isets) full_cov += s.rules.size();
+      const double slack =
+          cfg_.reuse_coverage_slack * static_cast<double>(rules_.size());
+      if (static_cast<double>(pinned_cov) + slack >= static_cast<double>(full_cov)) {
+        isets_.reserve(pinned.size() + lpart.isets.size());
+        for (const IsetIndex* donor : pinned) {
+          // Rebuild the array from the snapshot's rule bodies (identical
+          // ranges/priority/id, possibly rewritten actions) in donor order.
+          std::vector<Rule> arr;
+          arr.reserve(donor->rules().size());
+          for (const Rule& r : donor->rules())
+            arr.push_back(rules_[pos_by_id_.at(r.id)]);
+          IsetIndex idx;
+          idx.restore(donor->field(), std::move(arr), donor->model());
+          isets_.push_back(std::move(idx));
+          ++reused_isets_;
+        }
+        for (auto& s : lpart.isets) {
+          IsetIndex idx;
+          const size_t n = s.rules.size();
+          idx.build(s.field, std::move(s.rules), rqrmi_config(n));
+          isets_.push_back(std::move(idx));
+        }
+        remainder_ = cfg_.remainder_factory();
+        remainder_->build(lpart.remainder);
+        return;
+      }
+      // Gate failed: the pinned plan would cost coverage — fall through to
+      // the full retrain.
+    }
+  }
+
+  IsetPartition part =
+      full.has_value() ? std::move(*full) : partition_rules(rules_, pc);
   isets_.reserve(part.isets.size());
   for (auto& is : part.isets) {
     IsetIndex idx;
@@ -164,6 +280,13 @@ bool NuevoMatch::insert(const Rule& r) {
   rules_.push_back(r);
   ++migrated_;
   return true;
+}
+
+bool NuevoMatch::erase_in_isets(uint32_t rule_id) noexcept {
+  for (IsetIndex& is : isets_) {
+    if (is.erase(rule_id)) return true;
+  }
+  return false;
 }
 
 bool NuevoMatch::erase(uint32_t rule_id) {

@@ -33,6 +33,13 @@ struct NuevoMatchConfig {
   /// let the remainder engine cut its own search (paper §4).
   bool early_termination = true;
 
+  /// Retrain cost control (build(rules, reuse)): coverage — as a fraction
+  /// of the rule-set — that a model-reusing build may lose vs a full
+  /// re-partition before it falls back to retraining everything. 0 demands
+  /// exact parity; the default tolerates partition tie-break noise around
+  /// churn duplicates without letting reuse erode the speedup.
+  double reuse_coverage_slack = 0.02;
+
   /// Builds the remainder classifier (and the fallback when no iSet covers
   /// enough rules). Must be set.
   ClassifierFactory remainder_factory;
@@ -45,6 +52,21 @@ class NuevoMatch final : public Classifier {
   explicit NuevoMatch(NuevoMatchConfig cfg);
 
   void build(std::span<const Rule> rules) override;
+  /// Build, reusing trained models from `reuse_models_from`: donor iSets
+  /// whose rule arrays are fully intact in `rules` (every rule present with
+  /// identical ranges/priority) are pinned verbatim — model, certified §3.3
+  /// error bounds and all — and only the leftover rules are partitioned
+  /// into the remaining iSet slots. Reuse is exact, not approximate: the
+  /// certification is a property of the (model, sorted array) pair, and the
+  /// array is unchanged. The plan is gated on `reuse_coverage_slack`: if
+  /// pinning would lose more coverage than a full re-partition allows, the
+  /// build falls back to retraining everything. Under remainder-only churn
+  /// a retrain therefore skips every iSet and costs only the remainder
+  /// rebuild. Safe to call with a donor whose tombstone flags are being
+  /// flipped concurrently (the scan reads only immutable state).
+  void build(std::span<const Rule> rules, const NuevoMatch* reuse_models_from);
+  /// iSets whose model the last build() reused instead of training.
+  [[nodiscard]] size_t reused_isets() const noexcept { return reused_isets_; }
   [[nodiscard]] MatchResult match(const Packet& p) const override;
   [[nodiscard]] MatchResult match_with_floor(const Packet& p,
                                              int32_t priority_floor) const override;
@@ -81,6 +103,14 @@ class NuevoMatch final : public Classifier {
   /// Tombstone in the owning iSet, or remove from the remainder. O(1) id
   /// lookup plus the owning structure's erase cost.
   bool erase(uint32_t rule_id) override;
+  /// Online-engine deletion primitive: tombstone `rule_id` in whichever
+  /// iSet holds it alive — an atomic in-place byte flip, safe against
+  /// concurrent wait-free lookups — touching NOTHING else. The logical
+  /// rule bookkeeping (rules()/size()/pressure) intentionally goes stale:
+  /// on a frozen generation it belongs to the online wrapper, which tracks
+  /// it on the writer side (DESIGN.md "Update path"). Offline callers want
+  /// erase(), not this.
+  bool erase_in_isets(uint32_t rule_id) noexcept;
   /// Fraction of rules that have migrated to the remainder since build.
   [[nodiscard]] double update_pressure() const noexcept;
   /// Retrain from the current rule-set (the paper's periodic retraining).
@@ -139,6 +169,7 @@ class NuevoMatch final : public Classifier {
   std::unique_ptr<Classifier> remainder_;
   size_t built_size_ = 0;            // rules at last (re)build
   size_t migrated_ = 0;              // updates routed to remainder since build
+  size_t reused_isets_ = 0;          // models reused by the last build()
 };
 
 }  // namespace nuevomatch

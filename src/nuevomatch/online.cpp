@@ -7,8 +7,12 @@
 namespace nuevomatch {
 
 OnlineNuevoMatch::OnlineNuevoMatch(OnlineConfig cfg) : cfg_(std::move(cfg)) {
-  // An empty generation up front means match() never needs a null check.
-  gen_ = std::make_shared<Generation>(cfg_.base);
+  // An empty generation (with an empty layer) up front means match() never
+  // needs a null check.
+  gen_owner_ = std::make_shared<Generation>(cfg_.base);
+  layer_owner_ = std::make_shared<const Layer>();
+  gen_owner_->layer.store(layer_owner_.get(), std::memory_order_relaxed);
+  gen_pub_.store(gen_owner_.get(), std::memory_order_seq_cst);
   const int n_shards = std::clamp(cfg_.update_shards, 1, 256);
   shards_.reserve(static_cast<size_t>(n_shards));
   for (int i = 0; i < n_shards; ++i) shards_.push_back(std::make_unique<Shard>());
@@ -22,13 +26,296 @@ OnlineNuevoMatch::~OnlineNuevoMatch() {
   }
   wk_cv_.notify_all();
   worker_.join();
+  // No readers may be in flight here (standard object-lifetime contract);
+  // the retire list and the owner pointers free everything else.
 }
 
-std::vector<std::unique_lock<std::mutex>> OnlineNuevoMatch::lock_all_shards() const {
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(shards_.size());
-  for (const auto& sh : shards_) locks.emplace_back(sh->mu);
-  return locks;
+// --- data path --------------------------------------------------------------
+
+MatchResult OnlineNuevoMatch::Pin::match(const Packet& p) const {
+  // Same composition as NuevoMatch::match, with the layer folded in after
+  // the base remainder: iSets first, then the remainder engine (or its
+  // copy-on-write override), then the churn delta — each stage floored by
+  // the running best when early termination is on.
+  const NuevoMatch& nm = g_->nm;
+  MatchResult best = nm.match_isets(p);
+  const bool et = nm.config().early_termination;
+  const Classifier& base =
+      l_->base_override != nullptr ? *l_->base_override : nm.remainder();
+  MatchResult r = et && best.hit() ? base.match_with_floor(p, best.priority)
+                                   : base.match(p);
+  if (r.beats(best)) best = r;
+  if (l_->churn != nullptr) {
+    // The churn delta always takes the running best as its floor: a miss
+    // carries priority INT32_MAX, so the unfloored case falls out for free.
+    r = l_->churn->match_with_floor(p, best.priority);
+    if (r.beats(best)) best = r;
+  }
+  return best;
+}
+
+void OnlineNuevoMatch::Pin::match_batch(std::span<const Packet> packets,
+                                        std::span<MatchResult> out) const {
+  const NuevoMatch& nm = g_->nm;
+  nm.match_isets_batch(packets, out);  // SIMD tile pipeline for the iSet half
+  const bool et = nm.config().early_termination;
+  const Classifier& base =
+      l_->base_override != nullptr ? *l_->base_override : nm.remainder();
+  for (size_t i = 0; i < packets.size(); ++i) {
+    const Packet& p = packets[i];
+    MatchResult best = out[i];
+    MatchResult r = et && best.hit() ? base.match_with_floor(p, best.priority)
+                                     : base.match(p);
+    if (r.beats(best)) best = r;
+    if (l_->churn != nullptr) {
+      r = l_->churn->match_with_floor(p, best.priority);
+      if (r.beats(best)) best = r;
+    }
+    out[i] = best;
+  }
+}
+
+MatchResult OnlineNuevoMatch::Pin::remainder_match(const Packet& p) const {
+  // The parallel engine's worker half: remainder + churn, no floor (the
+  // iSet result is being computed concurrently on the other core).
+  const Classifier& base =
+      l_->base_override != nullptr ? *l_->base_override : g_->nm.remainder();
+  MatchResult best = base.match(p);
+  if (l_->churn != nullptr) {
+    const MatchResult r = l_->churn->match_with_floor(p, best.priority);
+    if (r.beats(best)) best = r;
+  }
+  return best;
+}
+
+MatchResult OnlineNuevoMatch::match(const Packet& p) const { return Pin{*this}.match(p); }
+
+MatchResult OnlineNuevoMatch::match_with_floor(const Packet& p,
+                                               int32_t priority_floor) const {
+  const MatchResult r = Pin{*this}.match(p);
+  if (r.hit() && r.priority >= priority_floor) return MatchResult{};
+  return r;
+}
+
+void OnlineNuevoMatch::match_batch(std::span<const Packet> packets,
+                                   std::span<MatchResult> out) const {
+  Pin{*this}.match_batch(packets, out);
+}
+
+// --- writer commits ---------------------------------------------------------
+
+void OnlineNuevoMatch::journal_locked(Op op) {
+  Shard& sh = shard_for(op.kind == Op::Kind::kInsert ? op.rule.id : op.id);
+  sh.ops.fetch_add(1, std::memory_order_relaxed);
+  if (journal_open_) sh.journal.push_back(std::move(op));
+}
+
+bool OnlineNuevoMatch::insert_locked(const Rule& r, bool& churn_dirty) {
+  if (live_loc_.contains(r.id)) return false;  // ids are unique; see header
+  pending_inserts_.push_back(r);
+  live_loc_.emplace(r.id, Loc::kChurn);
+  ++migrated_;
+  live_count_.fetch_add(1, std::memory_order_relaxed);
+  churn_dirty = true;
+  return true;
+}
+
+bool OnlineNuevoMatch::erase_locked(uint32_t rule_id, bool& churn_dirty,
+                                    bool& base_dirty) {
+  const auto it = live_loc_.find(rule_id);
+  if (it == live_loc_.end()) return false;
+  switch (it->second) {
+    case Loc::kIset:
+      // In-place atomic tombstone: visible to readers immediately, no
+      // copy-on-write publication needed.
+      gen_owner_->nm.erase_in_isets(rule_id);
+      break;
+    case Loc::kBaseRemainder:
+      erased_base_.insert(rule_id);
+      base_dirty = true;
+      break;
+    case Loc::kChurn:
+      pending_churn_erases_.push_back(rule_id);
+      churn_dirty = true;
+      break;
+  }
+  live_loc_.erase(it);
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::shared_ptr<const Classifier> OnlineNuevoMatch::rebuild_base_locked() const {
+  // Generic base-remainder deletion: rebuild the engine over the surviving
+  // base rules via the configured factory. O(remainder) — the rare path
+  // (iSet deletions are O(1) tombstones, churn deletions O(delta)); a batch
+  // of base deletions pays for ONE rebuild.
+  std::vector<Rule> live;
+  live.reserve(base_rules_.size());
+  for (const Rule& r : base_rules_) {
+    if (!erased_base_.contains(r.id)) live.push_back(r);
+  }
+  auto eng = cfg_.base.remainder_factory();
+  eng->build(live);
+  return std::shared_ptr<const Classifier>(std::move(eng));
+}
+
+void OnlineNuevoMatch::publish_layer_locked(bool churn_dirty, bool base_dirty) {
+  auto fresh = std::make_shared<Layer>();
+  fresh->base_override =
+      base_dirty ? rebuild_base_locked() : layer_owner_->base_override;
+
+  if (!churn_dirty) {
+    fresh->churn = layer_owner_->churn;
+  } else {
+    // Rebuild the flat delta: one merge pass over (previous delta minus
+    // this commit's erases) and (this commit's inserts, sorted). O(delta +
+    // burst) with memcpy-class constants — flat enough that per-commit cost
+    // stays negligible even at single-op commit rates, and independent of
+    // reader behavior (no grace period involved).
+    const auto less = [](const Rule& a, const Rule& b) {
+      return a.priority != b.priority ? a.priority < b.priority : a.id < b.id;
+    };
+    std::sort(pending_inserts_.begin(), pending_inserts_.end(), less);
+    const std::unordered_set<uint32_t> dead(pending_churn_erases_.begin(),
+                                            pending_churn_erases_.end());
+    static const std::vector<Rule> kEmpty;
+    const std::vector<Rule>& old =
+        layer_owner_->churn != nullptr ? layer_owner_->churn->rules : kEmpty;
+    auto list = std::make_shared<ChurnList>();
+    list->rules.reserve(old.size() + pending_inserts_.size());
+    size_t j = 0;
+    for (const Rule& r : old) {
+      if (dead.contains(r.id)) continue;
+      while (j < pending_inserts_.size() && less(pending_inserts_[j], r))
+        list->rules.push_back(pending_inserts_[j++]);
+      list->rules.push_back(r);
+    }
+    for (; j < pending_inserts_.size(); ++j) list->rules.push_back(pending_inserts_[j]);
+    if (!list->rules.empty()) fresh->churn = std::move(list);
+  }
+
+  // One seq_cst store publishes the whole commit; the superseded layer is
+  // epoch-stamped and reclaimed once every pinned reader has moved on.
+  gen_owner_->layer.store(fresh.get(), std::memory_order_seq_cst);
+  retired_.retire(layer_owner_, epochs_.retire_stamp());
+  layer_owner_ = std::move(fresh);
+  retired_.collect(epochs_.min_active());
+}
+
+size_t OnlineNuevoMatch::insert_batch(std::span<const Rule> rules) {
+  if (rules.empty()) return 0;
+  size_t accepted = 0;
+  double pressure = 0.0;
+  {
+    std::lock_guard lk{wmu_};
+    // One writer-lock hold, one op-sequence range, one publication.
+    pending_inserts_.clear();
+    pending_churn_erases_.clear();
+    uint64_t seq = op_seq_.fetch_add(rules.size(), std::memory_order_relaxed);
+    bool churn_dirty = false;
+    for (const Rule& r : rules) {
+      if (insert_locked(r, churn_dirty)) {
+        journal_locked(Op{Op::Kind::kInsert, r, r.id, seq});
+        ++accepted;
+      }
+      ++seq;
+    }
+    if (churn_dirty) publish_layer_locked(churn_dirty, /*base_dirty=*/false);
+    pressure = built_size_ > 0
+                   ? static_cast<double>(migrated_) / static_cast<double>(built_size_)
+                   : 0.0;
+  }
+  if (accepted > 0 && cfg_.auto_retrain && pressure >= cfg_.retrain_threshold)
+    request_retrain(/*forced=*/false);
+  return accepted;
+}
+
+size_t OnlineNuevoMatch::erase_batch(std::span<const uint32_t> rule_ids) {
+  if (rule_ids.empty()) return 0;
+  size_t accepted = 0;
+  std::lock_guard lk{wmu_};
+  pending_inserts_.clear();
+  pending_churn_erases_.clear();
+  uint64_t seq = op_seq_.fetch_add(rule_ids.size(), std::memory_order_relaxed);
+  bool churn_dirty = false;
+  bool base_dirty = false;
+  for (const uint32_t id : rule_ids) {
+    if (erase_locked(id, churn_dirty, base_dirty)) {
+      journal_locked(Op{Op::Kind::kErase, Rule{}, id, seq});
+      ++accepted;
+    }
+    ++seq;
+  }
+  // iSet tombstones are already visible in place; only churn/base changes
+  // need a copy-on-write publication.
+  if (churn_dirty || base_dirty) publish_layer_locked(churn_dirty, base_dirty);
+  return accepted;
+}
+
+bool OnlineNuevoMatch::insert(const Rule& r) { return insert_batch({&r, 1}) == 1; }
+
+bool OnlineNuevoMatch::erase(uint32_t rule_id) {
+  return erase_batch({&rule_id, 1}) == 1;
+}
+
+// --- generation installation ------------------------------------------------
+
+void OnlineNuevoMatch::install_generation_locked(
+    std::shared_ptr<Generation> fresh, const std::vector<uint64_t>* shard_ops,
+    bool reset_counters) {
+  auto fresh_layer = std::make_shared<const Layer>();
+  fresh->layer.store(fresh_layer.get(), std::memory_order_relaxed);
+  fresh->seq = generation_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Rebuild the writer-side routing state from the frozen index. O(n), under
+  // the writer lock only — the read path never notices.
+  base_rules_ = fresh->nm.remainder_rules();
+  erased_base_.clear();
+  pending_inserts_.clear();
+  pending_churn_erases_.clear();
+  live_loc_.clear();
+  live_loc_.reserve(fresh->nm.size());
+  for (const IsetIndex& is : fresh->nm.isets()) {
+    for (size_t i = 0; i < is.rules().size(); ++i) {
+      if (is.alive(i)) live_loc_.emplace(is.rules()[i].id, Loc::kIset);
+    }
+  }
+  for (const Rule& r : base_rules_) live_loc_.emplace(r.id, Loc::kBaseRemainder);
+  built_size_ = fresh->nm.built_size();
+  migrated_ = fresh->nm.migrated();
+  live_count_.store(fresh->nm.size(), std::memory_order_relaxed);
+  journal_open_ = false;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->journal.clear();
+    if (reset_counters) {
+      shards_[i]->ops.store(shard_ops != nullptr ? (*shard_ops)[i] : 0,
+                            std::memory_order_relaxed);
+    }
+  }
+
+  gen_pub_.store(fresh.get(), std::memory_order_seq_cst);
+  const uint64_t stamp = epochs_.retire_stamp();
+  retired_.retire(layer_owner_, stamp);
+  retired_.retire(gen_owner_, stamp);
+  gen_owner_ = std::move(fresh);
+  layer_owner_ = std::move(fresh_layer);
+  retired_.collect(epochs_.min_active());
+}
+
+void OnlineNuevoMatch::publish_fresh(std::shared_ptr<Generation> fresh,
+                                     const std::vector<uint64_t>* shard_ops) {
+  // Cancel any pending retrain and wait out a running one, so a stale
+  // generation trained on pre-build rules can never swap over this one.
+  {
+    std::unique_lock lk{wk_mu_};
+    retrain_requested_ = false;
+    wk_cv_.wait(lk, [&] { return !retrain_running_; });
+  }
+  // A retrain requested between the wait above and the lock below loses
+  // either way: its snapshot section runs after this install (fresh rules),
+  // or it already ran and the journal_open_ reset here discards it at replay.
+  std::lock_guard lk{wmu_};
+  install_generation_locked(std::move(fresh), shard_ops, /*reset_counters=*/true);
 }
 
 void OnlineNuevoMatch::build(std::span<const Rule> rules) {
@@ -59,95 +346,13 @@ void OnlineNuevoMatch::adopt(NuevoMatch nm, std::span<const uint64_t> shard_ops)
   publish_fresh(std::make_shared<Generation>(std::move(nm)), &counts);
 }
 
-void OnlineNuevoMatch::publish_fresh(std::shared_ptr<Generation> fresh,
-                                     const std::vector<uint64_t>* shard_ops) {
-  // Cancel any pending retrain and wait out a running one, so a stale
-  // generation trained on pre-build rules can never swap over this one.
-  {
-    std::unique_lock lk{wk_mu_};
-    retrain_requested_ = false;
-    wk_cv_.wait(lk, [&] { return !retrain_running_; });
-  }
-  // A retrain requested between the wait above and the locks below loses
-  // either way: its snapshot section runs after this swap (fresh rules), or
-  // it already ran and the snapshot_open reset here discards it at replay.
-  // Counter reset/install happens inside the same all-shard-lock section as
-  // the publication, so a concurrent writer's op can never land between the
-  // swap and the counter write (its count would be silently overwritten).
-  const auto locks = lock_all_shards();
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    shards_[i]->journal.clear();
-    shards_[i]->snapshot_open = false;
-    shards_[i]->ops = shard_ops != nullptr ? (*shard_ops)[i] : 0;
-  }
-  publish(std::move(fresh));
-}
-
-MatchResult OnlineNuevoMatch::match(const Packet& p) const {
-  const auto g = live();
-  std::shared_lock lk{g->mu};
-  return g->nm.match(p);
-}
-
-MatchResult OnlineNuevoMatch::match_with_floor(const Packet& p,
-                                               int32_t priority_floor) const {
-  const auto g = live();
-  std::shared_lock lk{g->mu};
-  return g->nm.match_with_floor(p, priority_floor);
-}
-
-void OnlineNuevoMatch::match_batch(std::span<const Packet> packets,
-                                   std::span<MatchResult> out) const {
-  const auto g = live();
-  std::shared_lock lk{g->mu};
-  g->nm.match_batch(packets, out);
-}
-
-bool OnlineNuevoMatch::insert(const Rule& r) {
-  Shard& sh = shard_for(r.id);
-  double pressure = 0.0;
-  {
-    std::lock_guard sg{sh.mu};
-    // Holding a shard lock pins the swap out (snapshot/swap/publish take ALL
-    // shard locks), so the generation loaded here is live for the whole
-    // critical section.
-    const auto g = live();
-    uint64_t seq = 0;
-    {
-      std::unique_lock lk{g->mu};
-      if (!g->nm.insert(r)) return false;
-      pressure = g->nm.update_pressure();
-      // Sequenced under the generation lock: journal-merge order at swap
-      // time is exactly the order the live generation absorbed the ops.
-      seq = op_seq_.fetch_add(1, std::memory_order_relaxed);
-    }
-    ++sh.ops;
-    if (sh.snapshot_open) sh.journal.push_back(Op{Op::Kind::kInsert, r, r.id, seq});
-  }
-  if (cfg_.auto_retrain && pressure >= cfg_.retrain_threshold)
-    request_retrain(/*forced=*/false);
-  return true;
-}
-
-bool OnlineNuevoMatch::erase(uint32_t rule_id) {
-  Shard& sh = shard_for(rule_id);
-  std::lock_guard sg{sh.mu};
-  const auto g = live();
-  uint64_t seq = 0;
-  {
-    std::unique_lock lk{g->mu};
-    if (!g->nm.erase(rule_id)) return false;
-    seq = op_seq_.fetch_add(1, std::memory_order_relaxed);
-  }
-  ++sh.ops;
-  if (sh.snapshot_open) sh.journal.push_back(Op{Op::Kind::kErase, Rule{}, rule_id, seq});
-  return true;
-}
+// --- retraining -------------------------------------------------------------
 
 double OnlineNuevoMatch::absorption() const {
-  const auto g = live();
-  std::shared_lock lk{g->mu};
-  return g->nm.update_pressure();
+  std::lock_guard lk{wmu_};
+  return built_size_ > 0
+             ? static_cast<double>(migrated_) / static_cast<double>(built_size_)
+             : 0.0;
 }
 
 bool OnlineNuevoMatch::retrain_in_progress() const {
@@ -172,19 +377,54 @@ void OnlineNuevoMatch::quiesce() const {
   wk_cv_.wait(lk, [&] { return !retrain_requested_ && !retrain_running_; });
 }
 
+std::vector<Rule> OnlineNuevoMatch::compose_rules_locked() const {
+  // The logical rule-set: live iSet rules + surviving base-remainder rules +
+  // the churn delta. (The frozen nm's own rules() is NOT authoritative here:
+  // in-place tombstones and layered updates supersede it.)
+  std::vector<Rule> out;
+  out.reserve(live_count_.load(std::memory_order_relaxed));
+  for (const IsetIndex& is : gen_owner_->nm.isets()) {
+    for (size_t i = 0; i < is.rules().size(); ++i) {
+      if (is.alive(i)) out.push_back(is.rules()[i]);
+    }
+  }
+  for (const Rule& r : base_rules_) {
+    if (!erased_base_.contains(r.id)) out.push_back(r);
+  }
+  if (layer_owner_->churn != nullptr) {
+    const auto& churn = layer_owner_->churn->rules;
+    out.insert(out.end(), churn.begin(), churn.end());
+  }
+  return out;
+}
+
 void OnlineNuevoMatch::with_stable_view(
     const std::function<void(const NuevoMatch&)>& fn) const {
-  const auto g = live();
-  std::shared_lock lk{g->mu};  // excludes writers while fn reads
-  fn(g->nm);
+  // Compose an offline classifier equivalent to the live view: copies of the
+  // iSets (tombstones included) + the layered remainder folded back into one
+  // rule list. Writers are excluded for the duration, so the composition is
+  // consistent; O(n) + the remainder rebuild, bounded even under sustained
+  // churn (no quiesce).
+  std::lock_guard lk{wmu_};
+  std::vector<IsetIndex> isets_copy = gen_owner_->nm.isets();
+  std::vector<Rule> rem;
+  const std::vector<Rule>* churn =
+      layer_owner_->churn != nullptr ? &layer_owner_->churn->rules : nullptr;
+  rem.reserve(base_rules_.size() + (churn != nullptr ? churn->size() : 0));
+  for (const Rule& r : base_rules_) {
+    if (!erased_base_.contains(r.id)) rem.push_back(r);
+  }
+  if (churn != nullptr) rem.insert(rem.end(), churn->begin(), churn->end());
+  NuevoMatch tmp{cfg_.base};
+  tmp.restore(std::move(isets_copy), std::move(rem),
+              /*erased_ids=*/{}, built_size_, migrated_);
+  fn(tmp);
 }
 
 std::vector<uint64_t> OnlineNuevoMatch::shard_op_counts() const {
   std::vector<uint64_t> out(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    std::lock_guard lk{shards_[i]->mu};
-    out[i] = shards_[i]->ops;
-  }
+  for (size_t i = 0; i < shards_.size(); ++i)
+    out[i] = shards_[i]->ops.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -195,21 +435,16 @@ uint64_t OnlineNuevoMatch::update_ops() const {
 }
 
 size_t OnlineNuevoMatch::memory_bytes() const {
-  const auto g = live();
-  std::shared_lock lk{g->mu};
-  return g->nm.memory_bytes();
-}
-
-size_t OnlineNuevoMatch::size() const {
-  const auto g = live();
-  std::shared_lock lk{g->mu};
-  return g->nm.size();
+  const Pin v{*this};
+  size_t bytes = v.g_->nm.memory_bytes();
+  if (v.l_->base_override != nullptr) bytes += v.l_->base_override->memory_bytes();
+  if (v.l_->churn != nullptr) bytes += v.l_->churn->rules.size() * sizeof(Rule);
+  return bytes;
 }
 
 std::string OnlineNuevoMatch::name() const {
-  const auto g = live();
-  std::shared_lock lk{g->mu};
-  return "online-" + g->nm.name();
+  const Pin v{*this};
+  return "online-" + v.g_->nm.name();
 }
 
 void OnlineNuevoMatch::worker_loop() {
@@ -239,73 +474,98 @@ void OnlineNuevoMatch::worker_loop() {
 }
 
 void OnlineNuevoMatch::retrain_cycle() {
-  // 1) Snapshot the logical rule-set and open every shard's journal. Writers
-  //    are excluded only for the duration of one vector copy.
+  // 1) Snapshot the logical rule-set and open the journals. Writers are
+  //    excluded only for the duration of one composition pass. `prev` keeps
+  //    the donor generation alive for the model-reuse scan during training
+  //    (a concurrent build()/adopt() is excluded while a retrain runs, but
+  //    the shared_ptr makes the lifetime local and obvious).
+  std::shared_ptr<const Generation> prev;
   std::vector<Rule> snapshot;
   {
-    const auto locks = lock_all_shards();
-    const auto g = live();
-    std::shared_lock lk{g->mu};
-    snapshot = g->nm.rules();
-    for (const auto& sh : shards_) {
-      sh->journal.clear();
-      sh->snapshot_open = true;
-    }
+    std::lock_guard lk{wmu_};
+    prev = gen_owner_;
+    snapshot = compose_rules_locked();
+    journal_open_ = true;
+    for (const auto& sh : shards_) sh->journal.clear();
   }
 
   // 2) Train with no locks held — this is the seconds-long part, and the
   //    data path runs at full speed against the old generation throughout.
+  //    iSets whose partitioned rule arrays are unchanged reuse the donor's
+  //    trained model and certified error bounds outright (remainder-only
+  //    churn retrains nothing — the sawtooth shrinks to a remainder
+  //    rebuild). The donor scan reads only the immutable rule arrays, never
+  //    the concurrently-flipped tombstone flags.
   auto fresh = std::make_shared<Generation>(cfg_.base);
   try {
-    fresh->nm.build(snapshot);
+    fresh->nm.build(snapshot, &prev->nm);
   } catch (const std::exception&) {
     // Training failure keeps the old generation serving; the journals are
     // dropped because every journaled update was also applied to the live
-    // generation — nothing is lost.
-    const auto locks = lock_all_shards();
-    for (const auto& sh : shards_) {
-      sh->journal.clear();
-      sh->snapshot_open = false;
-    }
+    // view — nothing is lost.
+    std::lock_guard lk{wmu_};
+    journal_open_ = false;
+    for (const auto& sh : shards_) sh->journal.clear();
     return;
   }
+  last_retrain_reused_.store(fresh->nm.reused_isets(), std::memory_order_relaxed);
 
-  // 3) Merge the shard journals into global apply order and replay them onto
-  //    the fresh generation, then publish it. Writers on every shard are
-  //    excluded during the replay, so an update lands either in a shard
-  //    journal (and is replayed here) or on the fresh generation after the
-  //    swap — never lost, never duplicated. The merge is deterministic: Op
-  //    seq is assigned under the generation lock, so sorting by it replays
-  //    exactly the interleaving the live generation absorbed (ops on one
-  //    rule-id additionally share a shard, so their order is fixed twice
-  //    over). Readers are untouched: in-flight lookups finish on the old
-  //    generation, which the shared_ptr refcount keeps alive until the last
-  //    one drops it (the RCU grace period).
-  {
-    const auto locks = lock_all_shards();
-    // A concurrent build()/adopt() invalidates this cycle by clearing
-    // snapshot_open (publish_fresh): the snapshot predates the explicit
-    // reset, so publishing it would resurrect pre-build rules. Discard.
-    // The flags are set and cleared for all shards together, so checking
-    // the first one is checking all of them.
-    if (!shards_[0]->snapshot_open) return;
+  // 3) Replay the shard journals onto the fresh generation, then install
+  //    it. Writers are excluded only while journals are DRAINED (a vector
+  //    move) and for the final residue: the bulk replay runs with no lock
+  //    held, in catch-up rounds — under heavy multi-writer churn the
+  //    journal accumulated during training can rival the training time
+  //    itself, and replaying it under the writer lock would lock every
+  //    writer out for exactly that long (measured as a multi-writer
+  //    throughput collapse). Correctness is unchanged: only this worker
+  //    consumes journals, writers only append, and op seq is monotone in
+  //    lock-acquisition order — so each drained batch sorts internally and
+  //    follows every earlier batch. An update still lands either in a
+  //    journal (replayed here) or on the fresh generation after the
+  //    install — never lost, never duplicated. Readers are untouched
+  //    throughout: in-flight lookups finish on the old generation, which
+  //    the epoch machinery keeps alive until the last pinned reader exits.
+  const auto drain_locked = [&]() -> std::vector<Op> {
     std::vector<Op> merged;
-    for (const auto& sh : shards_)
+    for (const auto& sh : shards_) {
       merged.insert(merged.end(), sh->journal.begin(), sh->journal.end());
+      sh->journal.clear();
+    }
     std::sort(merged.begin(), merged.end(),
               [](const Op& a, const Op& b) { return a.seq < b.seq; });
-    for (const Op& op : merged) {
+    return merged;
+  };
+  const auto replay = [&](const std::vector<Op>& ops) {
+    for (const Op& op : ops) {
       if (op.kind == Op::Kind::kInsert) {
         fresh->nm.insert(op.rule);
       } else {
         fresh->nm.erase(op.id);
       }
     }
-    for (const auto& sh : shards_) {
-      sh->journal.clear();
-      sh->snapshot_open = false;
+  };
+  std::vector<Op> carry;  // drained but not yet replayed (always in seq order)
+  for (int round = 0; round < 4; ++round) {
+    {
+      std::lock_guard lk{wmu_};
+      // A concurrent build()/adopt() invalidates this cycle by resetting
+      // journal_open_ (install_generation_locked): the snapshot predates
+      // the explicit reset, so publishing it would resurrect pre-build
+      // rules.
+      if (!journal_open_) return;
+      carry = drain_locked();
     }
-    publish(std::move(fresh));
+    if (carry.size() < 256) break;  // small enough to finish under the lock
+    replay(carry);
+    carry.clear();
+  }
+  {
+    std::lock_guard lk{wmu_};
+    if (!journal_open_) return;
+    replay(carry);            // the last drained batch, if the loop broke early
+    replay(drain_locked());   // stragglers journaled since
+    install_generation_locked(std::move(fresh), /*shard_ops=*/nullptr,
+                              /*reset_counters=*/false);
   }
 }
 

@@ -1,52 +1,62 @@
 // Online rule-update subsystem (paper §3.9, "Handling rule-set updates"):
 // NuevoMatch stays practical under churn by absorbing inserted rules into
-// the remainder classifier and periodically retraining the RQ-RMI index in
-// the background. OnlineNuevoMatch packages that deployment loop:
+// the remainder side and periodically retraining the RQ-RMI index in the
+// background. OnlineNuevoMatch packages that deployment loop:
 //
-//   * insert()/erase() route updates into the live generation — additions
-//     are absorbed by the remainder engine, deletions tombstone the owning
-//     iSet — and track the absorption ratio;
+//   * insert()/erase() — and their batched forms insert_batch()/
+//     erase_batch(), which amortize one writer-lock acquisition and one
+//     copy-on-write commit over a controller's whole update burst — route
+//     updates into the live generation's update layer and track the
+//     absorption ratio;
 //   * when the ratio crosses `retrain_threshold`, a background worker
-//     retrains a fresh NuevoMatch on a snapshot of the rule-set and
-//     atomically swaps it in (RCU-style shared_ptr publication) without
-//     stalling match()/match_batch();
+//     retrains a fresh NuevoMatch on a snapshot of the rule-set (reusing
+//     trained models for iSets whose rule arrays are unchanged) and
+//     atomically swaps it in without stalling match()/match_batch();
 //   * updates that arrive while a retrain is running are journaled and
 //     replayed onto the fresh generation just before the swap, so no update
 //     is ever lost to the race between snapshot and publication;
-//   * the update path is sharded by rule-id hash (`update_shards`): each
-//     shard has its own lock, journal, and op counter, so writer threads on
-//     different shards never contend with each other on the journal path —
-//     only on the brief in-place mutation of the live generation.
+//   * the journal is sharded by rule-id hash (`update_shards`) with
+//     per-shard atomic op counters (serializer v3 telemetry).
 //
-// Concurrency model (see DESIGN.md "Update path" for the full rationale):
+// Concurrency model (see DESIGN.md "Update path" for the full rationale).
+// The read path is WAIT-FREE between swaps — no lock, no shared_ptr
+// refcount, no contended cache line:
 //
-//   * the live generation is a shared_ptr swapped atomically (via the
-//     std::atomic_load/atomic_store free functions — see live() below for
-//     why not std::atomic<std::shared_ptr>); readers load it and keep the
-//     generation alive for the duration of their lookup (the shared_ptr
-//     refcount is the RCU grace period — a superseded generation is
-//     destroyed when its last in-flight reader drops it). pin() exposes
-//     the same mechanism to callers that need several lookups against ONE
-//     generation — the parallel engine pins once per batch;
-//   * each generation carries a shared_mutex: lookups take it shared,
-//     insert()/erase() take it unique (updates mutate the remainder's hash
-//     tables and iSet tombstones in place). Retraining takes NO lock while
-//     training — only the brief snapshot and swap sections serialize with
-//     writers via the shard locks, which readers never touch;
-//   * lock order is always shard-mutexes (ascending index) → generation
-//     mutex; readers take only the latter, writers take their one shard
-//     lock then the generation lock, the snapshot/swap sections take ALL
-//     shard locks then the generation lock. No cycle, no reader-induced
-//     stall of the swap. Holding any shard lock pins the swap out, which is
-//     what lets a writer treat live() as stable across its critical section;
-//   * journaled ops carry a global sequence number assigned under the
-//     generation lock, so the per-shard journals merge into exactly the
-//     order the live generation absorbed them (deterministic replay; ops on
-//     the same rule-id land on the same shard and stay ordered twice over).
+//   * readers announce themselves in a cache-line-padded epoch slot (the
+//     registered-reader array in nuevomatch/epoch.hpp — one CAS on a line
+//     private to the thread in steady state), load the current generation
+//     with a single acquire load, and classify against it; exit is one
+//     release store. Writers NEVER wait for readers and readers never wait
+//     for writers — the rwlock reader-preference starvation documented by
+//     bench_updates §(d) in PR 3 is gone by construction;
+//   * the generation's trained state is immutable between swaps. Updates
+//     publish through two reader-safe channels only: (1) iSet deletions
+//     flip an ATOMIC tombstone byte in place (monotone 1→0; a concurrent
+//     reader sees the rule either alive or dead, both linearizable), and
+//     (2) everything else lands in an immutable copy-on-write *layer* —
+//     a small delta engine holding churn inserts plus, after a base-
+//     remainder deletion, a replacement remainder engine. A commit builds
+//     the successor layer, publishes it with one release store, and
+//     retires the predecessor through epoch reclamation: it is freed only
+//     once every reader epoch has advanced past the commit;
+//   * writers serialize on one writer-only mutex (the generation lock of
+//     PR 3, now never touched by the data path). A batch commit takes it
+//     once, allocates its global op-sequence range with one atomic
+//     fetch_add, fans journal entries out to the id-hashed shards (plain
+//     vectors — the writer lock already serializes writers, so the
+//     per-shard mutexes of PR 3 are gone), and performs ONE copy-on-write
+//     publication for the whole burst;
+//   * the retrain worker snapshots the logical rule-set under the writer
+//     lock (one composition pass), trains with no locks held, then
+//     reacquires the writer lock, replays the journals, and publishes the
+//     fresh generation the same way — readers migrate at their next epoch
+//     enter, and the superseded generation is reclaimed once the last
+//     straggler exits.
 //
 // The certified §3.3 error margins are untouched by all of this: between
 // swaps the trained index is immutable (tombstones only mask validation
-// results), and a swap installs a freshly certified model.
+// results), and a swap installs a freshly certified model — or reuses a
+// prior certified (model, array) pair verbatim when the array is unchanged.
 #pragma once
 
 #include <atomic>
@@ -55,11 +65,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "nuevomatch/epoch.hpp"
 #include "nuevomatch/nuevomatch.hpp"
 
 namespace nuevomatch {
@@ -67,30 +79,35 @@ namespace nuevomatch {
 struct OnlineConfig {
   /// Configuration of every generation (initial build and each retrain).
   /// base.remainder_factory must build an updatable engine (e.g. TupleMerge
-  /// or CutSplit) or insert() will fail.
+  /// or CutSplit): journal replay at swap time applies updates to the fresh
+  /// generation's remainder in place. (Between swaps, updates never touch
+  /// the live remainder — they go to the copy-on-write layer — so the
+  /// data-path requirement is only on the replay path.)
   NuevoMatchConfig base;
 
-  /// Absorption ratio — rules routed to the remainder since the last swap
-  /// over the rules the live index was trained on (update_pressure()) — at
-  /// which a background retrain is triggered. The paper sizes this so the
-  /// remainder stays small enough to keep the speedup (§5: throughput
-  /// degrades roughly linearly in the migrated fraction, Figure 7).
+  /// Absorption ratio — rules routed to the update layer since the last
+  /// swap over the rules the live index was trained on — at which a
+  /// background retrain is triggered. The paper sizes this so the delta
+  /// stays small enough to keep the speedup (§5: throughput degrades
+  /// roughly linearly in the migrated fraction, Figure 7).
   double retrain_threshold = 0.05;
 
   /// Trigger retrains automatically from insert(). When false, the caller
   /// schedules retrains itself via retrain_now() (e.g. off-peak).
   bool auto_retrain = true;
 
-  /// Writer shards: updates hash by rule-id onto `update_shards` independent
-  /// lock+journal pairs, so multi-writer churn scales instead of serializing
-  /// on one update mutex. Clamped to [1, 256]. One shard reproduces the
-  /// single-writer-mutex behavior exactly.
+  /// Journal/telemetry shards: journal entries hash by rule-id onto
+  /// `update_shards` journal+counter slots (serializer v3 round-trips the
+  /// per-shard counters). Writers serialize on the writer lock regardless —
+  /// the shards exist for deterministic replay bookkeeping and checkpoint
+  /// compatibility, not writer-side locking. Clamped to [1, 256].
   int update_shards = 4;
 };
 
 class OnlineNuevoMatch final : public Classifier {
  private:
-  struct Generation;  // defined below; named here so Pin can refer to it
+  struct Layer;       // immutable copy-on-write update overlay
+  struct Generation;  // frozen trained index + published layer pointer
 
  public:
   explicit OnlineNuevoMatch(OnlineConfig cfg);
@@ -112,42 +129,85 @@ class OnlineNuevoMatch final : public Classifier {
   /// split is telemetry.
   void adopt(NuevoMatch nm, std::span<const uint64_t> shard_ops);
 
-  // --- data path (safe from any number of threads) ------------------------
+  // --- data path (wait-free; safe from any number of threads) -------------
   [[nodiscard]] MatchResult match(const Packet& p) const override;
   [[nodiscard]] MatchResult match_with_floor(const Packet& p,
                                              int32_t priority_floor) const override;
   /// Batched lookup; out.size() must equal packets.size(). The whole batch
-  /// runs against one generation — a swap mid-batch affects only later
+  /// runs against one pinned view — a swap mid-batch affects only later
   /// batches.
   void match_batch(std::span<const Packet> packets, std::span<MatchResult> out) const;
 
-  /// An RCU-pinned, update-stable view of one generation. While a Pin is
-  /// alive the generation cannot be mutated (its reader lock is held) or
-  /// reclaimed (the shared_ptr refcount is the grace period) — but swaps
-  /// still publish: later pins resolve the newer generation. Writers stall
-  /// while a Pin exists, so keep pins batch-scoped. This is how the parallel
-  /// engine gets per-batch generation pinning (DESIGN.md "Update path").
+  /// An epoch-pinned, consistent view of one generation + one update layer.
+  /// While a Pin is alive neither can be reclaimed (the pin's epoch slot
+  /// blocks the writer's retire protocol) and the layer's contents cannot
+  /// change (layers are immutable; commits publish successors the pin does
+  /// not observe). Unlike the PR 3 rwlock pin, holding one does NOT stall
+  /// writers — it only delays memory reclamation — so pins are cheap to
+  /// hold for a batch. Concurrent iSet tombstone flips remain visible
+  /// through a pin (they are in-place and atomic); every existing
+  /// batch==scalar invariant is preserved because both paths read the same
+  /// flags. This is how the parallel engine gets per-batch generation
+  /// pinning (DESIGN.md "Update path").
   class Pin {
    public:
+    /// The pinned generation's frozen trained index (iSets + base
+    /// remainder). NOTE: lookups against nm() alone ignore the update
+    /// layer; use match()/match_batch()/remainder_match() for the full
+    /// online answer.
     [[nodiscard]] const NuevoMatch& nm() const noexcept { return g_->nm; }
     /// Sequence number of the pinned generation (1 = first publication).
     [[nodiscard]] uint64_t generation() const noexcept { return g_->seq; }
 
+    /// Full online lookup against the pinned view (iSets + remainder +
+    /// update layer), identical to OnlineNuevoMatch::match resolved at pin
+    /// time.
+    [[nodiscard]] MatchResult match(const Packet& p) const;
+    /// Batched form; element-for-element identical to match().
+    void match_batch(std::span<const Packet> packets,
+                     std::span<MatchResult> out) const;
+    /// The remainder half only (base or its layer override, merged with the
+    /// churn delta, no floor) — the parallel engine's worker core runs this
+    /// while the calling core runs nm().match_isets_batch.
+    [[nodiscard]] MatchResult remainder_match(const Packet& p) const;
+
+    ~Pin() = default;
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
    private:
     friend class OnlineNuevoMatch;
-    explicit Pin(std::shared_ptr<Generation> g) : g_(std::move(g)), lk_(g_->mu) {}
-    std::shared_ptr<Generation> g_;
-    std::shared_lock<std::shared_mutex> lk_;
+    // Both protected loads are seq_cst: the epoch protocol's Dekker
+    // argument (epoch.hpp) needs them ordered after the slot CAS in the
+    // seq_cst total order, so a writer whose slot scan missed this reader
+    // is guaranteed the reader observes its publications. (On x86 a
+    // seq_cst load is a plain load — only stores/RMWs pay.)
+    explicit Pin(const OnlineNuevoMatch& o)
+        : guard_(o.epochs_),
+          g_(o.gen_pub_.load(std::memory_order_seq_cst)),
+          l_(g_->layer.load(std::memory_order_seq_cst)) {}
+    epoch::Guard guard_;
+    const Generation* g_;
+    const Layer* l_;
   };
-  [[nodiscard]] Pin pin() const { return Pin{live()}; }
+  [[nodiscard]] Pin pin() const { return Pin{*this}; }
 
   // --- update path (safe from any number of threads) ----------------------
   [[nodiscard]] bool supports_updates() const override { return true; }
   bool insert(const Rule& r) override;
   bool erase(uint32_t rule_id) override;
+  /// Batched writer commits: one writer-lock acquisition, one op-sequence
+  /// range, ONE copy-on-write publication for the whole burst — the
+  /// amortization that makes bulk controller pushes cheap. Returns the
+  /// number of accepted ops (duplicates / unknown ids are skipped, exactly
+  /// like their scalar counterparts). Visibility is batch-atomic for
+  /// lookups that pin after the commit.
+  size_t insert_batch(std::span<const Rule> rules);
+  size_t erase_batch(std::span<const uint32_t> rule_ids);
 
   // --- retraining ---------------------------------------------------------
-  /// Absorption ratio of the live generation (== its update_pressure()).
+  /// Absorption ratio of the live generation (update-layer inserts over the
+  /// rules the index was trained on).
   [[nodiscard]] double absorption() const;
   /// True while the background worker is training or swapping.
   [[nodiscard]] bool retrain_in_progress() const;
@@ -155,18 +215,24 @@ class OnlineNuevoMatch final : public Classifier {
   [[nodiscard]] uint64_t generations() const noexcept {
     return generation_count_.load(std::memory_order_relaxed);
   }
+  /// iSet models the last background retrain reused instead of training
+  /// (remainder-only churn reuses all of them — the retrain sawtooth
+  /// shrinks to the remainder rebuild).
+  [[nodiscard]] size_t last_retrain_reused_isets() const noexcept {
+    return last_retrain_reused_.load(std::memory_order_relaxed);
+  }
   /// Request a background retrain now (idempotent while one is pending).
   void retrain_now();
   /// Block until no retrain is pending or running. Tests, benchmarks and
   /// serialization use this to reach a stable state.
   void quiesce() const;
 
-  /// Run `fn` against an update-stable view of the live generation: writers
-  /// are excluded while fn runs, so the view is consistent even with
-  /// concurrent churn or a retrain in flight (journaled updates are already
-  /// applied to the live generation, so nothing pending is missing from the
-  /// view). Deliberately does NOT quiesce — under sustained churn a retrain
-  /// may always be pending, and a checkpoint must stay bounded.
+  /// Run `fn` against an update-stable composition of the live view:
+  /// writers are excluded while fn runs, and the composed classifier folds
+  /// the update layer back in (churn inserts in the remainder rule-set,
+  /// tombstones re-applied), so the view round-trips through the serializer
+  /// exactly. Deliberately does NOT quiesce — under sustained churn a
+  /// retrain may always be pending, and a checkpoint must stay bounded.
   /// Serialization entry point.
   void with_stable_view(const std::function<void(const NuevoMatch&)>& fn) const;
 
@@ -177,23 +243,60 @@ class OnlineNuevoMatch final : public Classifier {
   /// Applied updates routed through each shard since the last build()/
   /// adopt() (telemetry; serialized by save_online so churn accounting
   /// survives a checkpoint — build() and plain adopt() reset to zero, the
-  /// checkpoint-loading adopt() reinstates the saved counts).
+  /// checkpoint-loading adopt() reinstates the saved counts). Lock-free.
   [[nodiscard]] std::vector<uint64_t> shard_op_counts() const;
   /// Total applied updates across all shards.
   [[nodiscard]] uint64_t update_ops() const;
 
   // --- Classifier plumbing ------------------------------------------------
   [[nodiscard]] size_t memory_bytes() const override;
-  [[nodiscard]] size_t size() const override;
+  [[nodiscard]] size_t size() const override {
+    return live_count_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::string name() const override;
 
  private:
-  /// One immutable-between-swaps trained index plus its reader/writer gate.
+  /// Immutable churn delta: every rule inserted since the last swap, sorted
+  /// by (priority, id) — best first, LinearSearch order. Published
+  /// copy-on-write per commit: one reserve + one merge pass, O(delta +
+  /// burst) with memcpy-class constants, deliberately NOT a pointer-based
+  /// engine — a flat array is the only structure whose per-commit copy
+  /// stays cheap when a preempted reader parks mid-pin for a whole
+  /// scheduler slice (which on a loaded single core is the common case, so
+  /// any grace-period-gated in-place scheme degrades to cloning anyway).
+  /// Lookups scan with the caller's running best as a floor: a packet
+  /// already matched by a better base rule exits at element 0; the
+  /// unfloored worst case is O(delta), bounded by retrain_threshold.
+  struct ChurnList {
+    std::vector<Rule> rules;
+    [[nodiscard]] MatchResult match_with_floor(const Packet& p,
+                                               int32_t floor) const noexcept {
+      for (const Rule& r : rules) {
+        if (r.priority >= floor) break;  // sorted: nothing later can beat it
+        if (r.matches(p)) return MatchResult{static_cast<int32_t>(r.id), r.priority};
+      }
+      return MatchResult{};
+    }
+  };
+
+  /// Immutable update overlay. A commit never mutates the published layer —
+  /// it builds a successor from the writer's pending state and publishes it
+  /// with one release store; readers hold whichever layer they pinned.
+  struct Layer {
+    /// Replacement for the generation's base remainder engine after a
+    /// base-remainder deletion; null = use the generation's own.
+    std::shared_ptr<const Classifier> base_override;
+    /// The churn delta since the last swap; null while no churn is pending
+    /// (the common fast path skips the whole probe).
+    std::shared_ptr<const ChurnList> churn;
+  };
+
+  /// One published generation: a frozen trained index plus the current
+  /// update layer. nm is never structurally mutated after publication; the
+  /// only in-place writes are the iSets' atomic tombstone bytes.
   struct Generation {
     NuevoMatch nm;
-    /// Lookups shared, insert()/erase() unique. Never held across training.
-    mutable std::shared_mutex mu;
-    /// Publication sequence number (0 = the empty pre-build generation).
+    std::atomic<const Layer*> layer{nullptr};
     uint64_t seq = 0;
     explicit Generation(NuevoMatchConfig c) : nm(std::move(c)) {}
     explicit Generation(NuevoMatch m) : nm(std::move(m)) {}
@@ -205,63 +308,78 @@ class OnlineNuevoMatch final : public Classifier {
     Kind kind;
     Rule rule;     // kInsert payload
     uint32_t id;   // kErase payload
-    uint64_t seq;  // global apply order (assigned under the generation lock)
+    uint64_t seq;  // global apply order (assigned under the writer lock)
   };
 
-  /// One writer shard. Its lock serializes every update whose rule-id hashes
-  /// here; its journal captures the ones that race a retrain. snapshot_open
-  /// is set/cleared for all shards together, under all shard locks.
+  /// One journal/telemetry shard. The journal vector is guarded by the
+  /// writer lock; the op counter is atomic so shard_op_counts() (and the
+  /// serializer) never block behind a writer.
   struct Shard {
-    std::mutex mu;
     std::vector<Op> journal;
-    uint64_t ops = 0;  // applied updates routed through this shard
-    bool snapshot_open = false;
+    std::atomic<uint64_t> ops{0};
   };
 
-  // Atomic shared_ptr access via the std::atomic_load/store free functions
-  // rather than std::atomic<std::shared_ptr>: libstdc++ 12's _Sp_atomic
-  // releases its reader spin-lock with a relaxed RMW, which ThreadSanitizer
-  // (correctly, per the formal model) reports as a read/write race against
-  // the next store — GCC 13 papers over it with TSAN annotations. The free
-  // functions use a mutex pool, which is modeled exactly and costs about
-  // the same on this lock-per-lookup design. Semantics are identical:
-  // seq_cst load/store of the pointer, refcounted lifetime.
-  [[nodiscard]] std::shared_ptr<Generation> live() const {
-    return std::atomic_load(&gen_);
-  }
-  void publish(std::shared_ptr<Generation> fresh) {
-    fresh->seq = generation_count_.fetch_add(1, std::memory_order_relaxed) + 1;
-    std::atomic_store(&gen_, std::move(fresh));
-  }
+  /// Where a live rule-id currently resides (writer-side routing state).
+  enum class Loc : uint8_t { kIset, kBaseRemainder, kChurn };
+
   [[nodiscard]] Shard& shard_for(uint32_t rule_id) const {
     // Fibonacci multiplicative hash: controller-assigned sequential ids
     // spread across shards instead of marching through them in lockstep.
     const uint64_t h = (static_cast<uint64_t>(rule_id) * 0x9E3779B97F4A7C15ull) >> 32;
     return *shards_[h % shards_.size()];
   }
-  /// Lock every shard, ascending index (the global half of the lock order).
-  [[nodiscard]] std::vector<std::unique_lock<std::mutex>> lock_all_shards() const;
+
+  // Writer-side commit machinery; all *_locked functions require wmu_.
+  bool insert_locked(const Rule& r, bool& churn_dirty);
+  bool erase_locked(uint32_t rule_id, bool& churn_dirty, bool& base_dirty);
+  void publish_layer_locked(bool churn_dirty, bool base_dirty);
+  void journal_locked(Op op);
+  [[nodiscard]] std::shared_ptr<const Classifier> rebuild_base_locked() const;
+  [[nodiscard]] std::vector<Rule> compose_rules_locked() const;
+  void install_generation_locked(std::shared_ptr<Generation> fresh,
+                                 const std::vector<uint64_t>* shard_ops,
+                                 bool reset_counters);
+
   void worker_loop();
   void retrain_cycle();
-  /// Install `fresh` as the live generation, resetting the update path:
-  /// journals cleared, snapshot invalidated, per-shard op counters set to
-  /// `shard_ops` (size must equal shards_.size()) or zeroed when null —
-  /// all under every shard lock, atomically with the publication.
+  /// build()/adopt(): cancel pending retrains, install `fresh` as the live
+  /// generation and reset the whole update path (journals, layer, counters —
+  /// per-shard op counters set to `shard_ops` or zeroed when null).
   void publish_fresh(std::shared_ptr<Generation> fresh,
                      const std::vector<uint64_t>* shard_ops = nullptr);
   void request_retrain(bool forced);
 
   OnlineConfig cfg_;
-  std::shared_ptr<Generation> gen_;
+
+  // --- reader-visible publication state -----------------------------------
+  /// Registered-reader epoch slots (one padded cache line each) + the
+  /// global epoch — the wait-free read path's only shared state.
+  mutable epoch::Domain epochs_;
+  std::atomic<const Generation*> gen_pub_{nullptr};
   std::atomic<uint64_t> generation_count_{0};
+  std::atomic<size_t> live_count_{0};
+  std::atomic<size_t> last_retrain_reused_{0};
 
-  /// Writer shards (fixed count for the object's lifetime; unique_ptr keeps
-  /// the mutex-holding Shard immovable while the vector stays regular).
-  std::vector<std::unique_ptr<Shard>> shards_;
-  /// Global journal order; see Op::seq.
+  // --- writer state (guarded by wmu_ unless noted) ------------------------
+  /// The writer-only generation lock: serializes insert/erase/batch commits,
+  /// snapshot composition, journal replay and publication. Lookups never
+  /// touch it.
+  mutable std::mutex wmu_;
+  std::shared_ptr<Generation> gen_owner_;        // owns what gen_pub_ points at
+  std::shared_ptr<const Layer> layer_owner_;     // owns what gen->layer points at
+  epoch::RetireList retired_;
+  std::unordered_map<uint32_t, Loc> live_loc_;   // id → current residence
+  std::vector<Rule> base_rules_;                 // base-remainder rules at swap
+  std::unordered_set<uint32_t> erased_base_;     // base-remainder ids erased since
+  std::vector<Rule> pending_inserts_;            // this commit's churn adds
+  std::vector<uint32_t> pending_churn_erases_;   // this commit's churn removals
+  size_t built_size_ = 0;   // rules the live index was trained on
+  size_t migrated_ = 0;     // inserts absorbed since the last swap
+  bool journal_open_ = false;
   std::atomic<uint64_t> op_seq_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  /// Worker signalling (guards the three flags below).
+  /// Worker signalling (guards the four flags below).
   mutable std::mutex wk_mu_;
   mutable std::condition_variable wk_cv_;
   bool retrain_requested_ = false;

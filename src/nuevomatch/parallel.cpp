@@ -28,12 +28,22 @@ void BatchParallelEngine::worker_loop() {
     job_ready_ = false;
     const std::span<const Packet> batch = pending_;
     const NuevoMatch* nm = job_nm_;
+    const OnlineNuevoMatch::Pin* pin = job_pin_;
     worker_out_.assign(batch.size(), MatchResult{});
     lock.unlock();
     // Remainder path runs on the worker core (no early termination possible:
-    // the iSet result is being computed concurrently on the other core).
-    for (size_t i = 0; i < batch.size(); ++i)
-      worker_out_[i] = nm->remainder().match(batch[i]);
+    // the iSet result is being computed concurrently on the other core). In
+    // online mode the caller's pin supplies the consistent remainder view
+    // (base or copy-on-write override + churn delta) and its epoch slot
+    // keeps everything reachable; the job mutex above carries the
+    // happens-before edge from pin acquisition to these reads.
+    if (pin != nullptr) {
+      for (size_t i = 0; i < batch.size(); ++i)
+        worker_out_[i] = pin->remainder_match(batch[i]);
+    } else {
+      for (size_t i = 0; i < batch.size(); ++i)
+        worker_out_[i] = nm->remainder().match(batch[i]);
+    }
     lock.lock();
     job_done_ = true;
     cv_.notify_all();
@@ -43,28 +53,28 @@ void BatchParallelEngine::worker_loop() {
 void BatchParallelEngine::classify(std::span<const Packet> batch,
                                    std::span<MatchResult> out) {
   if (online_ != nullptr) {
-    // Per-batch generation pinning: resolve the live generation through the
-    // RCU swap once, then run the entire batch — both cores — against it.
-    // The pin's reader lock excludes writers for the batch duration (so the
-    // worker core reads an immutable index without taking any lock itself),
-    // and its shared_ptr keeps the generation alive even if a retrain
-    // publishes a successor mid-batch. Journal replay keeps this correct
-    // across the swap: the next pin resolves the successor, which already
-    // contains every update this batch's generation absorbed.
+    // Per-batch generation pinning: resolve the live generation + layer
+    // once (wait-free), then run the entire batch — both cores — against
+    // that view. Writers keep committing while the batch runs; this batch
+    // is immune (layers are immutable, the pinned objects are
+    // reclamation-protected), and the next classify() call picks up
+    // whatever has been published since.
     const OnlineNuevoMatch::Pin pin = online_->pin();
-    classify_on(pin.nm(), batch, out);
+    run_batch(pin.nm(), &pin, batch, out);
     return;
   }
-  classify_on(*static_nm_, batch, out);
+  run_batch(*static_nm_, nullptr, batch, out);
 }
 
-void BatchParallelEngine::classify_on(const NuevoMatch& nm,
-                                      std::span<const Packet> batch,
-                                      std::span<MatchResult> out) {
+void BatchParallelEngine::run_batch(const NuevoMatch& nm,
+                                    const OnlineNuevoMatch::Pin* pin,
+                                    std::span<const Packet> batch,
+                                    std::span<MatchResult> out) {
   {
     std::lock_guard lock{mu_};
     pending_ = batch;
     job_nm_ = &nm;
+    job_pin_ = pin;
     job_ready_ = true;
     job_done_ = false;
   }

@@ -9,15 +9,19 @@
 //
 // Two construction modes:
 //   * static — over a frozen NuevoMatch (the original engine);
-//   * online — over an OnlineNuevoMatch: every classify() call pins the
-//     current generation through the RCU swap (per-batch generation
-//     pinning: the whole batch, on both cores, runs against ONE immutable
-//     generation; a swap published mid-batch is picked up at the next
-//     batch boundary). This is how multi-core serving and the §3.9 update
-//     path compose — see DESIGN.md "Update path".
+//   * online — over an OnlineNuevoMatch: every classify() call takes an
+//     epoch-pinned view of the live generation + update layer (per-batch
+//     generation pinning: the whole batch, on both cores, runs against ONE
+//     consistent view; a commit or swap published mid-batch is picked up at
+//     the next batch boundary). The pin is wait-free — it does NOT stall
+//     writers, it only defers reclamation of whatever it pinned — so the
+//     engine and saturating update bursts coexist without either starving
+//     the other (DESIGN.md "Update path").
 //
 // The calling core runs the iSet half through the batched SIMD pipeline
-// (match_isets_batch); the worker core runs the remainder per packet.
+// (match_isets_batch); the worker core runs the remainder half (base
+// remainder or its copy-on-write override, merged with the churn delta) per
+// packet through the pinned view.
 #pragma once
 
 #include <condition_variable>
@@ -37,10 +41,10 @@ class BatchParallelEngine {
  public:
   /// Static mode: classify against one frozen classifier.
   explicit BatchParallelEngine(const NuevoMatch& nm);
-  /// Online mode: classify against whatever generation is live at each
-  /// classify() call. Safe to run while writers churn `online` and while
-  /// background retrains swap generations; several engines may serve the
-  /// same OnlineNuevoMatch from different threads.
+  /// Online mode: classify against whatever view is live at each classify()
+  /// call. Safe to run while writers churn `online` and while background
+  /// retrains swap generations; several engines may serve the same
+  /// OnlineNuevoMatch from different threads.
   explicit BatchParallelEngine(const OnlineNuevoMatch& online);
   ~BatchParallelEngine();
 
@@ -48,13 +52,14 @@ class BatchParallelEngine {
   BatchParallelEngine& operator=(const BatchParallelEngine&) = delete;
 
   /// Classify a batch; `out` must have the same length as `batch`. In online
-  /// mode the batch is generation-pinned: writers stall until the batch
-  /// completes, so keep batches kDefaultBatchSize-ish, not trace-sized.
+  /// mode the batch is generation-pinned: both cores see one consistent
+  /// view, and the pinned objects cannot be reclaimed until the batch
+  /// completes (writers proceed regardless — only reclamation waits).
   void classify(std::span<const Packet> batch, std::span<MatchResult> out);
 
  private:
-  void classify_on(const NuevoMatch& nm, std::span<const Packet> batch,
-                   std::span<MatchResult> out);
+  void run_batch(const NuevoMatch& nm, const OnlineNuevoMatch::Pin* pin,
+                 std::span<const Packet> batch, std::span<MatchResult> out);
   void worker_loop();
 
   const NuevoMatch* static_nm_ = nullptr;
@@ -63,7 +68,8 @@ class BatchParallelEngine {
   std::mutex mu_;
   std::condition_variable cv_;
   std::span<const Packet> pending_{};    // batch handed to the worker
-  const NuevoMatch* job_nm_ = nullptr;   // generation pinned for that batch
+  const NuevoMatch* job_nm_ = nullptr;   // static mode: frozen classifier
+  const OnlineNuevoMatch::Pin* job_pin_ = nullptr;  // online mode: pinned view
   std::vector<MatchResult> worker_out_;  // remainder results
   bool job_ready_ = false;
   bool job_done_ = false;

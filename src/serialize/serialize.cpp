@@ -245,11 +245,12 @@ std::vector<uint8_t> save_online(const OnlineNuevoMatch& online) {
   ByteWriter w;
   w.put_tag(kOnlineMagic);
   w.put_u32(kFormatVersion);
-  // v3: the sharded update path's state. Counter reads and the classifier
-  // body are two consistent sections, not one atomic cut: under live churn
-  // ops can land between the counter read and the body snapshot, so the
-  // counters may run a few ops BEHIND the body (harmless — they are
-  // telemetry; quiesce callers who need an exact pairing).
+  // v3: the sharded update path's state. The counters are lock-free atomic
+  // reads; the classifier body is the writer-excluded composed view (see
+  // with_stable_view) — two consistent sections, not one atomic cut: under
+  // live churn ops can land between the counter read and the body
+  // snapshot, so the counters may run a few ops BEHIND the body (harmless —
+  // they are telemetry; quiesce callers who need an exact pairing).
   const std::vector<uint64_t> counts = online.shard_op_counts();
   w.put_u32(static_cast<uint32_t>(counts.size()));
   for (const uint64_t c : counts) w.put_u64(c);

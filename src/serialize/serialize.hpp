@@ -58,12 +58,17 @@ inline constexpr uint32_t kFormatVersion = 3;
                                                         NuevoMatchConfig cfg);
 
 /// --- online classifier -------------------------------------------------------
-/// Checkpoint the live generation of an online classifier plus its sharded
-/// update-path state (shard count and per-shard applied-op counters).
-/// Snapshots with writers excluded (but without waiting out churn or an
-/// in-flight retrain — see OnlineNuevoMatch::with_stable_view), so the
-/// bytes are a consistent view and the call is bounded even under sustained
-/// updates.
+/// Checkpoint the live view of an online classifier plus its sharded
+/// update-path state (shard count and per-shard applied-op counters). The
+/// classifier body is the epoch engine's *composed* stable view — the
+/// frozen generation with the copy-on-write update layer folded back in
+/// (churn inserts in the remainder rule-set, base-remainder deletions
+/// dropped, iSet tombstones as v2 dead-id lists) — so the frame carries no
+/// per-reader or per-layer runtime state and the v3 wire format is
+/// unchanged from the rwlock-era encoder. Snapshots with writers excluded
+/// (but without waiting out churn or an in-flight retrain — see
+/// OnlineNuevoMatch::with_stable_view), so the bytes are a consistent view
+/// and the call is bounded even under sustained updates.
 [[nodiscard]] std::vector<uint8_t> save_online(const OnlineNuevoMatch& nm);
 /// Restore into a fresh online classifier: the journals start empty, the
 /// absorption and per-shard op counters resume where the checkpoint left

@@ -8,6 +8,21 @@ namespace nuevomatch {
 
 TupleMerge::TupleMerge(TupleMergeConfig cfg) : cfg_(cfg) {}
 
+TupleMerge::TupleMerge(const TupleMerge& o)
+    : cfg_(o.cfg_),
+      rules_(o.rules_),
+      alive_(o.alive_),
+      pos_by_id_(o.pos_by_id_),
+      live_rules_(o.live_rules_) {
+  tables_.reserve(o.tables_.size());
+  for (const auto& t : o.tables_) tables_.push_back(std::make_unique<TupleTable>(*t));
+}
+
+TupleMerge& TupleMerge::operator=(const TupleMerge& o) {
+  if (this != &o) *this = TupleMerge{o};  // copy-construct, then move-assign
+  return *this;
+}
+
 namespace {
 
 /// Table mask for a new table holding rules of tuple `t`: TupleMerge relaxes

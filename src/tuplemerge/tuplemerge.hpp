@@ -37,6 +37,13 @@ struct TupleMergeConfig {
 class TupleMerge : public Classifier {
  public:
   explicit TupleMerge(TupleMergeConfig cfg = {});
+  /// Deep copy (tables are cloned). The online engine's copy-on-write
+  /// update layers publish cheap clones of a writer-private mirror, so the
+  /// instance readers see is never mutated in place.
+  TupleMerge(const TupleMerge& o);
+  TupleMerge& operator=(const TupleMerge& o);
+  TupleMerge(TupleMerge&&) noexcept = default;
+  TupleMerge& operator=(TupleMerge&&) noexcept = default;
 
   void build(std::span<const Rule> rules) override;
   [[nodiscard]] MatchResult match(const Packet& p) const override;

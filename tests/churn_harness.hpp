@@ -42,6 +42,7 @@
 #include "classbench/generator.hpp"
 #include "classifiers/linear.hpp"
 #include "common/rng.hpp"
+#include "cutsplit/cutsplit.hpp"
 #include "nuevomatch/online.hpp"
 #include "nuevomatch/parallel.hpp"
 #include "trace/trace.hpp"
@@ -74,7 +75,43 @@ struct ChurnConfig {
   /// generation swaps have been published, so every configuration exercises
   /// the snapshot → journal → merge → swap cycle even with auto-retrain off.
   uint64_t min_swaps = 3;
+  /// Remainder engine behind the online classifier: TupleMerge (default) or
+  /// CutSplit — the two §3.9 remainder backends, with very different
+  /// base-deletion internals for the layer's rebuild path to chew on.
+  bool cutsplit_remainder = false;
 };
+
+/// Fuzzer mode (ROADMAP "Churn harness as a fuzzer"): one seeded draw of the
+/// whole knob space — rule-set shape, writer/reader mix, shard count,
+/// retrain policy, remainder engine. A long-running loop over successive
+/// draws (tests/test_churn.cpp, ChurnFuzzer; iterations via
+/// NM_CHURN_FUZZ_ITERS, base seed via NM_CHURN_FUZZ_SEED) turns the harness
+/// into an overnight concurrency fuzzer; the TSAN CI leg runs a short smoke
+/// slice of the same loop on every PR.
+[[nodiscard]] inline ChurnConfig randomized_churn_config(Rng& rng) {
+  ChurnConfig c;
+  constexpr AppClass kApps[] = {AppClass::kAcl, AppClass::kFw, AppClass::kIpc};
+  c.app = kApps[rng.below(3)];
+  c.app_variant = static_cast<int>(rng.between(1, 3));
+  c.n_rules = 400 + rng.below(1200);
+  c.seed = rng.next_u64();
+  c.n_writers = static_cast<int>(rng.between(1, 3));
+  c.n_scalar_readers = static_cast<int>(rng.between(0, 2));
+  c.n_batch_readers = static_cast<int>(rng.between(0, 2));
+  if (c.n_scalar_readers + c.n_batch_readers == 0) c.n_scalar_readers = 1;
+  c.n_steps = static_cast<int>(rng.between(2, 4));
+  c.inserts_per_writer_step = static_cast<int>(rng.between(10, 50));
+  c.erases_per_writer_step = static_cast<int>(rng.between(4, 24));
+  c.core_trace_len = 1200 + rng.below(1500);
+  c.probes_per_step = 120 + rng.below(150);
+  c.update_shards = static_cast<int>(rng.between(1, 8));
+  constexpr double kThresholds[] = {0.005, 0.02, 0.1, 1.0};
+  c.retrain_threshold = kThresholds[rng.below(4)];
+  c.auto_retrain = rng.chance(0.5);
+  c.min_swaps = rng.between(1, 3);
+  c.cutsplit_remainder = rng.chance(0.35);
+  return c;
+}
 
 struct ChurnResult {
   uint64_t concurrent_lookups = 0;    ///< reader lookups racing writers/swaps
@@ -124,7 +161,11 @@ class ChurnHarness {
   /// config (up to thread interleaving, which the invariants absorb).
   ChurnResult run() {
     OnlineConfig ocfg;
-    ocfg.base.remainder_factory = [] { return std::make_unique<TupleMerge>(); };
+    if (cfg_.cutsplit_remainder) {
+      ocfg.base.remainder_factory = [] { return std::make_unique<CutSplit>(); };
+    } else {
+      ocfg.base.remainder_factory = [] { return std::make_unique<TupleMerge>(); };
+    }
     ocfg.base.min_iset_coverage = 0.05;
     ocfg.retrain_threshold = cfg_.retrain_threshold;
     ocfg.auto_retrain = cfg_.auto_retrain;

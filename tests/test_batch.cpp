@@ -125,13 +125,16 @@ TEST(Batch, StagedBatchApiEqualsScalarStages) {
   }
 }
 
-// Batch==scalar equivalence through a generation swap (ISSUE 3): pin the
-// live generation, run match_batch and per-key match against the SAME pin,
-// and demand identical results — while a writer thread pushes absorption
-// over the retrain threshold so background swaps land between (never
-// inside) pins. Per-batch generation pinning is exactly the property under
-// test: the batch must be immune to the swap, and successive pins must
-// observe new generations.
+// Batch==scalar equivalence through a generation swap: take an epoch-pinned
+// view of the live generation + update layer, run Pin::match_batch and
+// per-key Pin::match against the SAME pin, and demand identical results —
+// while a writer thread pushes absorption over the retrain threshold so
+// background swaps (and copy-on-write layer commits) land between pins.
+// Per-batch generation pinning is exactly the property under test: the
+// pinned view must be immune to concurrent commits and swaps (layers are
+// immutable, reclamation waits for the pin), and successive pins must
+// observe new generations. Unlike the PR 3 rwlock pin, the writer never
+// stalls while a pin is held — the updater thread needs no yield window.
 TEST(Batch, BatchEqualsScalarOnPinnedGenerationAcrossSwap) {
   const RuleSet rules = generate_classbench(AppClass::kAcl, 2, 1500, 11);
   OnlineConfig cfg;
@@ -175,18 +178,15 @@ TEST(Batch, BatchEqualsScalarOnPinnedGenerationAcrossSwap) {
     const size_t len = std::min<size_t>(128, trace.size() - off);
     const std::span<const Packet> batch{trace.data() + off, len};
     std::vector<MatchResult> out(len);
-    pin.nm().match_batch(batch, out);
+    pin.match_batch(batch, out);  // full view: frozen index + update layer
     for (size_t i = 0; i < len; ++i) {
-      const MatchResult want = pin.nm().match(batch[i]);
+      const MatchResult want = pin.match(batch[i]);
       ASSERT_EQ(out[i].rule_id, want.rule_id)
           << "generation " << pin.generation() << " packet " << i;
       ASSERT_EQ(out[i].priority, want.priority)
           << "generation " << pin.generation() << " packet " << i;
     }
     off = (off + len) % trace.size();
-    // The pin is released here; give the updater a clean window to take the
-    // generation lock (reader-preferring rwlocks can otherwise starve it).
-    std::this_thread::yield();
   }
   run.store(false);
   updater.join();

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -72,11 +73,46 @@ INSTANTIATE_TEST_SUITE_P(
         // background retrains (manual-retrain deployments).
         ChurnCase{33, 8, 1.0, false}));
 
-// Two writers inserting the SAME rule-id land on the same shard by
-// construction (id-hash sharding); exactly one insert() may win, and the
-// journal must carry the winner once — never the loser, never a duplicate.
-// Regression for the duplicate-insert race window called out in ISSUE 3:
-// a double-journaled insert would survive the next swap's replay.
+// Fuzzer mode: seeded draws over the whole knob space — rule-set shape,
+// writer/reader mix, shard count, retrain policy, TupleMerge vs CutSplit
+// remainder. Every draw must satisfy the same invariants as the fixed sweep
+// above. Defaults to a 2-iteration smoke slice (what the TSAN CI leg runs on
+// every PR); an overnight run is
+//   NM_CHURN_FUZZ_ITERS=500 [NM_CHURN_FUZZ_SEED=...] ./test_churn \
+//       --gtest_filter='ChurnFuzzer.*'
+TEST(ChurnFuzzer, EnvSeededRandomizedConfigs) {
+  const char* iters_env = std::getenv("NM_CHURN_FUZZ_ITERS");
+  const char* seed_env = std::getenv("NM_CHURN_FUZZ_SEED");
+  const int iters = iters_env != nullptr ? std::atoi(iters_env) : 2;
+  const uint64_t seed =
+      seed_env != nullptr ? std::strtoull(seed_env, nullptr, 10) : 0xF022ED5EEDull;
+  Rng rng{seed};
+  for (int i = 0; i < iters; ++i) {
+    const ChurnConfig cfg = randomized_churn_config(rng);
+    SCOPED_TRACE(::testing::Message()
+                 << "iter " << i << " seed " << seed << ": app "
+                 << static_cast<int>(cfg.app) << "/" << cfg.app_variant << " n "
+                 << cfg.n_rules << " w " << cfg.n_writers << " r "
+                 << cfg.n_scalar_readers << "+" << cfg.n_batch_readers
+                 << " shards " << cfg.update_shards << " thr "
+                 << cfg.retrain_threshold << (cfg.auto_retrain ? " auto" : " manual")
+                 << (cfg.cutsplit_remainder ? " cutsplit" : " tuplemerge"));
+    ChurnHarness harness{cfg};
+    ASSERT_GT(harness.core().packets.size(), 0u);
+    const ChurnResult res = harness.run();
+    EXPECT_EQ(res.applied_ops, res.scheduled_ops);
+    EXPECT_EQ(res.concurrent_mismatches, 0u)
+        << res.concurrent_lookups << " concurrent lookups";
+    EXPECT_EQ(res.probe_mismatches, 0u) << res.probes << " probes";
+    EXPECT_GE(res.swaps, cfg.min_swaps);
+  }
+}
+
+// Two writers inserting the SAME rule-id serialize on the writer lock;
+// exactly one insert() may win, and the journal must carry the winner once —
+// never the loser, never a duplicate. Regression for the duplicate-insert
+// race window called out in ISSUE 3: a double-journaled insert would
+// survive the next swap's replay.
 TEST(ChurnRaces, ConcurrentDuplicateInsertAcceptedExactlyOnce) {
   const RuleSet base = generate_classbench(AppClass::kAcl, 1, 800, 44);
   OnlineConfig cfg;

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -367,6 +370,204 @@ TEST(OnlineUpdates, SerializeRoundTripCarriesShardOpCounters) {
   tc.seed = 53;
   for (const Packet& p : generate_trace(rules, tc))
     ASSERT_EQ(re->match(p).rule_id, nm.match(p).rule_id) << to_string(p);
+}
+
+// Regression for the reader-preference starvation bench_updates §(d)
+// documented in PR 3: saturated readers on the old rwlock drove writers to
+// ~0 updates/s. With epoch-pinned readers there is no reader-side lock to
+// prefer, so a writer must complete a fixed op budget while every reader
+// spins flat-out (no duty cycle, no yields). Bounded-wait: the main thread
+// waits on a deadline instead of joining blindly, so a starved writer fails
+// the test instead of hanging it.
+TEST(OnlineUpdates, WritersProgressUnderSaturatedReaders) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 2000, 61);
+  OnlineNuevoMatch nm{make_online_cfg(/*threshold=*/1.0, /*auto=*/false)};
+  nm.build(rules);
+  const StableCore core = make_stable_core(rules, 1500, 62);
+  ASSERT_GT(core.packets.size(), 50u);
+
+  constexpr size_t kOps = 3000;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> abort_writer{false};
+  std::atomic<uint64_t> lookups{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t) * 17;
+      while (!stop.load(std::memory_order_relaxed)) {  // fully saturated
+        const size_t k = i++ % core.packets.size();
+        if (nm.match(core.packets[k]).rule_id != core.expected[k])
+          mismatches.fetch_add(1);
+        lookups.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::atomic<size_t> done_ops{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  std::thread writer([&] {
+    Rng rng{63};
+    std::vector<uint32_t> live;
+    for (size_t i = 0; i < kOps && !abort_writer.load(); ++i) {
+      if (live.size() > 128) {
+        if (nm.erase(live.front())) done_ops.fetch_add(1);
+        live.erase(live.begin());
+        continue;
+      }
+      Rule r = rules[rng.below(rules.size())];
+      r.id = 700'000 + static_cast<uint32_t>(i);
+      r.priority = 2'000'000 + static_cast<int32_t>(i);
+      if (nm.insert(r)) {
+        live.push_back(r.id);
+        done_ops.fetch_add(1);
+      }
+    }
+    std::lock_guard lk{done_mu};
+    done = true;
+    done_cv.notify_all();
+  });
+
+  {
+    std::unique_lock lk{done_mu};
+    const bool finished =
+        done_cv.wait_for(lk, std::chrono::seconds(60), [&] { return done; });
+    EXPECT_TRUE(finished) << "writer starved: only " << done_ops.load() << "/"
+                          << kOps << " ops under saturated readers";
+  }
+  abort_writer.store(true);
+  writer.join();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(done_ops.load(), kOps);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(lookups.load(), 0u) << "readers never ran";
+}
+
+// Batched writer commits: one lock hold + one copy-on-write publication per
+// burst must be observationally identical to the per-op loop — same
+// accept/reject decisions (duplicates skipped, unknown ids skipped), same
+// final answers vs the linear oracle, batch-atomic visibility afterwards.
+TEST(OnlineUpdates, BatchCommitsMatchScalarSemantics) {
+  const RuleSet rules = generate_classbench(AppClass::kFw, 1, 1800, 71);
+  OnlineNuevoMatch nm{make_online_cfg(/*threshold=*/1.0, /*auto=*/false)};
+  LinearSearch oracle;
+  nm.build(rules);
+  oracle.build(rules);
+
+  // Burst of inserts, with one in-burst duplicate and one duplicate of a
+  // base rule: exactly those two must be rejected.
+  std::vector<Rule> burst;
+  Rng rng{72};
+  for (int i = 0; i < 96; ++i) {
+    Rule r = rules[rng.below(rules.size())];
+    r.id = 810'000 + static_cast<uint32_t>(i);
+    r.priority = -1000 - i;  // beats every base rule: visible in answers
+    burst.push_back(r);
+  }
+  burst.push_back(burst[3]);   // in-burst duplicate id
+  burst.push_back(rules[10]);  // duplicate of a live base id
+  EXPECT_EQ(nm.insert_batch(burst), 96u);
+  for (int i = 0; i < 96; ++i) ASSERT_TRUE(oracle.insert(burst[static_cast<size_t>(i)]));
+  EXPECT_EQ(nm.size(), rules.size() + 96);
+
+  expect_equal_on_trace(nm, oracle, rules, 73);
+
+  // Burst of erases spanning all three residences — churn rules (just
+  // inserted), iSet rules and base-remainder rules — plus unknown ids.
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 40; ++i) ids.push_back(810'000 + static_cast<uint32_t>(i));
+  for (uint32_t id = 0; id < 30; ++id) ids.push_back(id);  // base rules
+  ids.push_back(0xDEAD0000);  // unknown
+  ids.push_back(810'000);     // already erased above → reject
+  EXPECT_EQ(nm.erase_batch(ids), 70u);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(oracle.erase(810'000 + static_cast<uint32_t>(i)));
+  for (uint32_t id = 0; id < 30; ++id) ASSERT_TRUE(oracle.erase(id));
+  EXPECT_EQ(nm.size(), rules.size() + 96 - 70);
+
+  expect_equal_on_trace(nm, oracle, rules, 74);
+
+  // And the journal/telemetry accounting matches the accepted ops.
+  EXPECT_EQ(nm.update_ops(), 96u + 70u);
+}
+
+// Retrain cost control: iSets whose rule arrays are unchanged since the
+// last swap reuse the trained model + certified error bounds instead of
+// retraining. Remainder-only churn (inserts + churn erases, never touching
+// an iSet rule) must reuse EVERY iSet; erasing an iSet rule must disqualify
+// exactly the owning iSet at the next retrain.
+TEST(OnlineUpdates, RetrainReusesModelsForUnchangedIsets) {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 2, 2500, 81);
+  OnlineNuevoMatch nm{make_online_cfg(/*threshold=*/1.0, /*auto=*/false)};
+  nm.build(rules);
+  const size_t n_isets = [&] {
+    size_t n = 0;
+    nm.with_stable_view([&](const NuevoMatch& v) { n = v.isets().size(); });
+    return n;
+  }();
+  ASSERT_GT(n_isets, 0u);
+
+  // Remainder-only churn: worse-priority inserts land in the update layer.
+  Rng rng{82};
+  for (int i = 0; i < 120; ++i) {
+    Rule r = rules[rng.below(rules.size())];
+    r.id = 900'000 + static_cast<uint32_t>(i);
+    r.priority = 2'000'000 + i;
+    ASSERT_TRUE(nm.insert(r));
+  }
+  nm.retrain_now();
+  nm.quiesce();
+  EXPECT_EQ(nm.last_retrain_reused_isets(), n_isets)
+      << "remainder-only churn must retrain no iSet";
+
+  // Verify the reused models still answer exactly.
+  const StableCore core = make_stable_core(rules, 1500, 83);
+  for (size_t i = 0; i < core.packets.size(); ++i)
+    ASSERT_EQ(nm.match(core.packets[i]).rule_id, core.expected[i]) << "packet " << i;
+
+  // Now tombstone one iSet rule: the next retrain's snapshot drops it, so
+  // at least one iSet array changes and reuse must drop below full.
+  uint32_t iset_victim = 0;
+  bool found = false;
+  nm.with_stable_view([&](const NuevoMatch& v) {
+    for (const IsetIndex& is : v.isets()) {
+      for (size_t i = 0; i < is.rules().size(); ++i) {
+        if (is.alive(i)) {
+          iset_victim = is.rules()[i].id;
+          found = true;
+          return;
+        }
+      }
+    }
+  });
+  ASSERT_TRUE(found);
+  ASSERT_TRUE(nm.erase(iset_victim));
+  nm.retrain_now();
+  nm.quiesce();
+  EXPECT_LT(nm.last_retrain_reused_isets(), n_isets)
+      << "a changed iSet array must not reuse its model";
+}
+
+// The offline build-with-reuse primitive the online path rides on: identical
+// rule-set → every iSet model reused, answers unchanged.
+TEST(Updates, BuildWithReuseIsExactOnIdenticalArrays) {
+  const RuleSet rules = generate_classbench(AppClass::kIpc, 1, 2000, 84);
+  NuevoMatch a = make_nm();
+  a.build(rules);
+  ASSERT_FALSE(a.isets().empty());
+
+  NuevoMatch b = make_nm();
+  b.build(rules, &a);
+  EXPECT_EQ(b.reused_isets(), a.isets().size());
+  expect_equal_on_trace(a, b, rules, 85);
+
+  // Without a donor, nothing is reused.
+  NuevoMatch c = make_nm();
+  c.build(rules);
+  EXPECT_EQ(c.reused_isets(), 0u);
 }
 
 TEST(OnlineUpdates, SerializeRoundTripWithPendingRemainderRules) {
