@@ -45,11 +45,31 @@
 // reader CASes the same slot every time (its own cache line — no sharing,
 // no registration lifetime to manage, and a domain can be destroyed and a
 // new one constructed at the same address without stale-hint hazards: the
-// hint is only an index, and a mismatched slot is simply re-claimed). With
-// more than kSlots concurrent readers, enter() spins until a slot frees —
-// a degraded but correct overload mode far beyond the design point.
+// hint is only an index, and a mismatched or out-of-range slot is simply
+// re-claimed from the start).
+//
+// The slot array GROWS ON DEMAND in fixed chunks (a serving tier with
+// hundreds of threads sharing one classifier was the ROADMAP case): slots
+// live in kChunkSlots-sized chunks reached through a fixed directory of
+// atomic chunk pointers, installed densely in order by whichever reader
+// first finds every existing slot busy. Existing slots NEVER move — a
+// chunk, once installed, is freed only by the Domain destructor — so a
+// concurrent exit() or writer scan can keep using any slot index it ever
+// observed. Growth is a plain `new` + one CAS (losers free their chunk and
+// re-probe); after the burst that forced it, the capacity remains, so
+// oversubscription is a one-time allocation, not a steady-state spin. Only
+// past kMaxChunks * kChunkSlots slots (4096 — far beyond any real thread
+// count) does enter() degrade to the old spin-until-free behavior.
+//
+// The Dekker pairing extends to the directory: a reader's chunk-install
+// CAS and slot CAS are both seq_cst, and the writer's scan loads chunk
+// pointers and slots seq_cst. If the scan saw a null chunk pointer, the
+// install CAS — and every slot CAS inside that chunk — comes later in the
+// seq_cst total order, so that reader's protected loads observe the
+// writer's publication; if it saw the chunk, it scanned its slots.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -62,34 +82,53 @@ inline constexpr uint64_t kQuiescent = ~uint64_t{0};
 
 class Domain {
  public:
-  /// Registered-reader slot array size: the max number of concurrently
-  /// *in-flight* lookups/batches before enter() has to wait for a slot.
-  static constexpr size_t kSlots = 128;
+  /// Slots per directory chunk. Two cache lines of directory pointers
+  /// (kMaxChunks) cap the registered-reader population at 4096 — the
+  /// grow-on-demand range; past that, enter() falls back to spinning.
+  static constexpr size_t kChunkSlots = 64;
+  static constexpr size_t kMaxChunks = 64;
+  /// Slots available without any growth (chunk 0 is pre-installed so the
+  /// common case never allocates).
+  static constexpr size_t kInitialSlots = kChunkSlots;
 
-  Domain() = default;
+  Domain() { chunks_[0].store(new Chunk, std::memory_order_relaxed); }
+  ~Domain() {
+    for (auto& c : chunks_) delete c.load(std::memory_order_relaxed);
+  }
   Domain(const Domain&) = delete;
   Domain& operator=(const Domain&) = delete;
 
   /// Announce a read-side critical section; returns the claimed slot index.
-  /// Wait-free while fewer than kSlots readers are simultaneously inside.
+  /// Lock-free: a full probe round that finds every slot busy installs a
+  /// new chunk instead of waiting for another reader to leave.
   [[nodiscard]] size_t enter() const noexcept {
     static thread_local uint32_t hint = 0;
-    for (uint32_t probe = hint;; ++probe) {
-      const size_t s = probe % kSlots;
-      uint64_t expected = kQuiescent;
-      // Re-read the epoch per attempt: a stale (smaller) announcement is
-      // merely conservative, but there is no reason to publish one.
-      const uint64_t e = epoch_.load(std::memory_order_acquire);
-      if (slots_[s].v.compare_exchange_strong(expected, e,
-                                              std::memory_order_seq_cst)) {
-        hint = static_cast<uint32_t>(s);
-        return s;
+    for (;;) {
+      const size_t cap =
+          n_chunks_.load(std::memory_order_acquire) * kChunkSlots;
+      // One probe round over the installed slots, starting at the hint (a
+      // steady-state reader re-claims its private cache line immediately;
+      // a hint from a previous, larger Domain wraps back into range).
+      for (size_t a = 0; a < cap; ++a) {
+        const size_t s = (hint + a) % cap;
+        // Re-read the epoch per attempt: a stale (smaller) announcement is
+        // merely conservative, but there is no reason to publish one.
+        const uint64_t e = epoch_.load(std::memory_order_acquire);
+        uint64_t expected = kQuiescent;
+        if (chunk(s)->slots[s % kChunkSlots].v.compare_exchange_strong(
+                expected, e, std::memory_order_seq_cst)) {
+          hint = static_cast<uint32_t>(s);
+          return s;
+        }
       }
+      grow();  // every installed slot busy: add capacity (no-op at the cap,
+               // which degrades this loop to the pre-growth spin)
     }
   }
 
   void exit(size_t slot) const noexcept {
-    slots_[slot].v.store(kQuiescent, std::memory_order_release);
+    chunk(slot)->slots[slot % kChunkSlots].v.store(kQuiescent,
+                                                   std::memory_order_release);
   }
 
   /// Writer side: bump the global epoch; the returned value stamps the
@@ -99,21 +138,58 @@ class Domain {
   }
 
   /// Smallest epoch announced by any in-critical-section reader (quiescent
-  /// slots don't count); kQuiescent when no reader is inside.
+  /// slots don't count); kQuiescent when no reader is inside. Scans the
+  /// directory with seq_cst loads — the writer half of the Dekker pairing
+  /// (a chunk installed after a null-pointer load cannot hold a reader
+  /// that misses this writer's publication; see the header comment).
   [[nodiscard]] uint64_t min_active() const noexcept {
     uint64_t min = kQuiescent;
-    for (const PaddedSlot& s : slots_) {
-      const uint64_t e = s.v.load(std::memory_order_seq_cst);
-      if (e < min) min = e;
+    for (const auto& cp : chunks_) {
+      const Chunk* c = cp.load(std::memory_order_seq_cst);
+      if (c == nullptr) break;  // chunks install densely in order
+      for (const PaddedSlot& s : c->slots) {
+        const uint64_t e = s.v.load(std::memory_order_seq_cst);
+        if (e < min) min = e;
+      }
     }
     return min;
+  }
+
+  /// Installed capacity (tests / telemetry).
+  [[nodiscard]] size_t capacity() const noexcept {
+    return n_chunks_.load(std::memory_order_acquire) * kChunkSlots;
   }
 
  private:
   struct alignas(64) PaddedSlot {
     std::atomic<uint64_t> v{kQuiescent};
   };
-  mutable PaddedSlot slots_[kSlots];
+  struct Chunk {
+    PaddedSlot slots[kChunkSlots];
+  };
+
+  [[nodiscard]] Chunk* chunk(size_t slot) const noexcept {
+    return chunks_[slot / kChunkSlots].load(std::memory_order_relaxed);
+  }
+
+  void grow() const noexcept {
+    const size_t n = n_chunks_.load(std::memory_order_acquire);
+    if (n >= kMaxChunks) return;
+    Chunk* fresh = new Chunk;  // alloc failure terminates; acceptable here
+    Chunk* expected = nullptr;
+    if (!chunks_[n].compare_exchange_strong(expected, fresh,
+                                            std::memory_order_seq_cst)) {
+      delete fresh;  // another reader grew first; use theirs
+    }
+    // Either way chunks_[n] is now installed; publish the new capacity
+    // (CAS so racing losers can publish when the winner hasn't yet).
+    size_t expect_n = n;
+    n_chunks_.compare_exchange_strong(expect_n, n + 1,
+                                      std::memory_order_acq_rel);
+  }
+
+  mutable std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  mutable std::atomic<size_t> n_chunks_{1};
   std::atomic<uint64_t> epoch_{1};
 };
 

@@ -221,6 +221,9 @@ size_t OnlineNuevoMatch::insert_batch(std::span<const Rule> rules) {
       ++seq;
     }
     if (churn_dirty) publish_layer_locked(churn_dirty, /*base_dirty=*/false);
+    // The commit is reader-visible; invalidate decision caches (the bump
+    // must follow the publication — coherence_stamp()'s contract).
+    if (accepted > 0) coherence_.fetch_add(1, std::memory_order_release);
     pressure = built_size_ > 0
                    ? static_cast<double>(migrated_) / static_cast<double>(built_size_)
                    : 0.0;
@@ -249,6 +252,9 @@ size_t OnlineNuevoMatch::erase_batch(std::span<const uint32_t> rule_ids) {
   // iSet tombstones are already visible in place; only churn/base changes
   // need a copy-on-write publication.
   if (churn_dirty || base_dirty) publish_layer_locked(churn_dirty, base_dirty);
+  // Tombstone-only erases mutated the live view too, so any accepted op
+  // invalidates decision caches.
+  if (accepted > 0) coherence_.fetch_add(1, std::memory_order_release);
   return accepted;
 }
 
@@ -300,6 +306,10 @@ void OnlineNuevoMatch::install_generation_locked(
   gen_owner_ = std::move(fresh);
   layer_owner_ = std::move(fresh_layer);
   retired_.collect(epochs_.min_active());
+  // A swap preserves every answer (journals replayed), but cached decisions
+  // predate the replayed erases' tombstone relocations — invalidate anyway;
+  // conservative invalidation is always coherent.
+  coherence_.fetch_add(1, std::memory_order_release);
 }
 
 void OnlineNuevoMatch::publish_fresh(std::shared_ptr<Generation> fresh,

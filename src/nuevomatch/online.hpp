@@ -236,6 +236,27 @@ class OnlineNuevoMatch final : public Classifier {
   /// Serialization entry point.
   void with_stable_view(const std::function<void(const NuevoMatch&)>& fn) const;
 
+  // --- cache coherence ----------------------------------------------------
+  /// Monotone stamp bumped (release) AFTER every completed mutation becomes
+  /// reader-visible: each insert/erase commit (copy-on-write layer publish
+  /// and/or in-place iSet tombstone flips) and each generation install
+  /// (build/adopt/retrain swap). A decision cache in front of this engine
+  /// (pipeline::FlowCache) reads the stamp BEFORE classifying a missed
+  /// packet and stores it with the cached decision; a lookup serves the
+  /// entry only while the current stamp still equals the stored one.
+  ///
+  /// Why that is coherent: an acquire read returning stamp S means every
+  /// mutation whose release-bump is <= S happened-before the read, so the
+  /// classification that follows sees all of them; any later mutation bumps
+  /// past S, so the entry can never be served after that mutation's
+  /// insert/erase call has returned. The only overlap is a lookup racing
+  /// the mutating call itself, which is linearized before it — exactly the
+  /// guarantee a lock-free lookup racing erase() gives without a cache.
+  /// (DESIGN.md "Pipeline" has the full memory-ordering rationale.)
+  [[nodiscard]] uint64_t coherence_stamp() const noexcept {
+    return coherence_.load(std::memory_order_acquire);
+  }
+
   // --- shard introspection -------------------------------------------------
   [[nodiscard]] int update_shards() const noexcept {
     return static_cast<int>(shards_.size());
@@ -356,6 +377,7 @@ class OnlineNuevoMatch final : public Classifier {
   /// global epoch — the wait-free read path's only shared state.
   mutable epoch::Domain epochs_;
   std::atomic<const Generation*> gen_pub_{nullptr};
+  std::atomic<uint64_t> coherence_{1};  // see coherence_stamp()
   std::atomic<uint64_t> generation_count_{0};
   std::atomic<size_t> live_count_{0};
   std::atomic<size_t> last_retrain_reused_{0};

@@ -1,0 +1,155 @@
+// Click-style composable dataplane elements (see /root/related README and
+// DESIGN.md "Pipeline"): the classifier stops being a library you call and
+// becomes a stage in a packet-processing graph. Elements are batch-oriented
+// — the unit of work is a Burst of up to kBurstSize packets, pushed through
+// the graph by a source element — and are wired into a DAG either
+// programmatically or by the textual config parser (graph.hpp):
+//
+//   src :: PcapSource(trace.pcap);
+//   src -> FlowCache(8192) -> Classifier(acl.rules) -> Dispatch(permit, deny);
+//
+// Element contract:
+//   * process(Burst&) consumes one burst, mutates it in place, and pushes
+//     it (or per-port splits of it) downstream via forward(). The burst is
+//     STACK-OWNED BY THE SOURCE's pump loop: an element may read and write
+//     it during process() but must not retain a pointer past return —
+//     anything it wants to keep (recorded decisions, frames written to
+//     disk) it copies out. Splitting elements (Dispatch) build their
+//     per-port bursts in their own reused buffers, which is safe because
+//     the graph is a DAG (Graph::initialize rejects cycles), so process()
+//     can never re-enter the same element.
+//   * per-packet annotations travel IN the burst (result / action /
+//     resolved bits / cache-fill note), Click-annotation style, so stages
+//     compose without knowing each other: FlowCache resolves what it can
+//     and notes the fill obligation; Classifier resolves the rest and
+//     honors the note; Dispatch routes on whatever is resolved.
+//   * sources implement pump() instead of receiving process() calls;
+//     Graph::run() drives every source to exhaustion and then calls
+//     finish() on each element in declaration order (flush file writers,
+//     final stats).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pipeline/flow_cache.hpp"
+
+namespace nuevomatch::pipeline {
+
+/// Packets per burst. 32 keeps one burst's five-tuples + annotations inside
+/// a few cache lines and matches the SIMD tile width of the batched
+/// inference kernels (kernel.hpp processes 8-lane tiles; a 32-packet burst
+/// is four full tiles with no remainder lanes).
+inline constexpr size_t kBurstSize = 32;
+
+/// One batch of packets moving through the graph, with per-packet
+/// annotations. `resolved` bit i means result[i]/action[i] are final — a
+/// downstream Classifier skips those lanes.
+struct Burst {
+  std::array<Packet, kBurstSize> pkt;
+  std::array<uint64_t, kBurstSize> ts_ns;    ///< capture/synthesis timestamp
+  std::array<uint64_t, kBurstSize> index;    ///< source-assigned packet number
+  std::array<MatchResult, kBurstSize> result;
+  std::array<int32_t, kBurstSize> action;    ///< resolved rule action; -1 = none
+  uint32_t size = 0;
+  uint32_t resolved = 0;                     ///< bitmask over [0, size)
+  /// Cache-fill note: set by FlowCache for bursts with unresolved lanes.
+  /// The element that resolves a lane inserts the decision into `fill`
+  /// stamped with `fill_stamp` (read BEFORE classification — the coherence
+  /// contract, flow_cache.hpp).
+  FlowCache* fill = nullptr;
+  uint64_t fill_stamp = 0;
+
+  void reset() noexcept {
+    size = 0;
+    resolved = 0;
+    fill = nullptr;
+    fill_stamp = 0;
+  }
+  [[nodiscard]] bool is_resolved(size_t i) const noexcept {
+    return (resolved >> i) & 1u;
+  }
+  void mark_resolved(size_t i) noexcept { resolved |= 1u << i; }
+};
+static_assert(kBurstSize <= 32, "resolved bitmask is 32 bits");
+
+class Graph;
+
+class Element {
+ public:
+  virtual ~Element() = default;
+  Element() = default;
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  /// Config-language type name ("FlowCache", "Dispatch", ...).
+  [[nodiscard]] virtual std::string_view kind() const = 0;
+  [[nodiscard]] virtual size_t n_outputs() const { return 1; }
+  [[nodiscard]] virtual bool is_source() const { return false; }
+
+  /// Consume one burst and push it (possibly split) downstream.
+  virtual void process(Burst& b) = 0;
+
+  /// Post-wiring hook: runs once, after every connection is made and before
+  /// the first burst (elements locate their collaborators here — e.g.
+  /// FlowCache finds the graph's Classifier to couple coherence stamps).
+  virtual void initialize(Graph&) {}
+
+  /// End-of-stream: flush writers, close files. Declaration order.
+  virtual void finish() {}
+
+  /// One human-readable stats line for Graph::report() ("" = silent).
+  [[nodiscard]] virtual std::string report() const { return {}; }
+
+  /// Instance name (from `name :: Kind(...)`, or auto-generated).
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Element* output(size_t port) const noexcept {
+    return port < outs_.size() ? outs_[port] : nullptr;
+  }
+
+ protected:
+  /// Push a burst out of `port`; an unconnected port drops (by design — a
+  /// Dispatch leg nobody wired is a drop leg).
+  void forward(Burst& b, size_t port = 0) {
+    if (b.size > 0 && port < outs_.size() && outs_[port] != nullptr)
+      outs_[port]->process(b);
+  }
+
+ private:
+  friend class Graph;
+  std::string name_;
+  std::vector<Element*> outs_;
+};
+
+/// A packet source: pumped by Graph::run() instead of receiving bursts.
+class SourceElement : public Element {
+ public:
+  [[nodiscard]] bool is_source() const final { return true; }
+  /// Fill `b` (already reset) with the next burst; false at end of stream.
+  /// A partial final burst returns true with b.size < kBurstSize.
+  [[nodiscard]] virtual bool pump(Burst& b) = 0;
+  void process(Burst&) final {}  // sources have no input side
+};
+
+/// Factory signature for the config language: args are the raw
+/// comma-separated strings between the parentheses, trimmed.
+using ElementFactory =
+    std::function<std::unique_ptr<Element>(const std::vector<std::string>& args)>;
+
+/// Register a factory under a kind name; returns false if the name is
+/// taken. The built-in elements self-register on first registry access.
+bool register_element(std::string kind, ElementFactory factory);
+
+/// Instantiate a registered kind; throws std::runtime_error for unknown
+/// kinds or bad args (factories signal bad args the same way).
+[[nodiscard]] std::unique_ptr<Element> make_element(
+    std::string_view kind, const std::vector<std::string>& args);
+
+}  // namespace nuevomatch::pipeline

@@ -1,0 +1,229 @@
+// The built-in dataplane elements. Config-language signatures:
+//
+//   PcapSource(file.pcap)                 packets from a capture file
+//   TraceSource(rules.file, n[, kind])    synthetic trace over a rule file;
+//                                         kind: uniform | zipf[:alpha] | caida
+//   FlowCache(capacity[, shards])         update-coherent exact-match cache
+//   Classifier(rules.file[, parallel][, manual][, threshold=X][, shards=N])
+//                                         OnlineNuevoMatch slow path (32-pkt
+//                                         match_batch bursts). Options:
+//                                         `parallel` routes through
+//                                         BatchParallelEngine; `manual`
+//                                         disables auto-retrain (swaps only
+//                                         via retrain_now()); `threshold=X`
+//                                         sets the absorption retrain
+//                                         threshold; `shards=N` the journal
+//                                         shard count
+//   Dispatch(name0, name1, ...)           route on the matched rule's action
+//                                         (action i -> port i; miss or
+//                                         out-of-range -> last port)
+//   Counter([label])                      count packets passing through
+//   Sink([record])                        terminal drop + stats; `record`
+//                                         keeps (index, decision) per packet
+//   PcapSink(file.pcap)                   write synthesized frames, then
+//                                         forward (a tap, not a terminal)
+//
+// Every element also has a programmatic constructor; benches and tests
+// build graphs without config text and attach pre-built engines
+// (ClassifierElement::attach) before Graph::initialize() runs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nuevomatch/online.hpp"
+#include "nuevomatch/parallel.hpp"
+#include "pipeline/element.hpp"
+#include "trace/pcap.hpp"
+#include "trace/trace.hpp"
+
+namespace nuevomatch::pipeline {
+
+/// Register every element above; called automatically on first
+/// make_element()/Graph::parse(). Idempotent.
+void register_builtin_elements();
+
+// --- sources ----------------------------------------------------------------
+
+class PcapSource final : public SourceElement {
+ public:
+  explicit PcapSource(const std::string& path);
+  [[nodiscard]] std::string_view kind() const override { return "PcapSource"; }
+  [[nodiscard]] bool pump(Burst& b) override;
+  [[nodiscard]] std::string report() const override;
+  /// Frames that could not be projected onto a five-tuple (non-IPv4 ...).
+  [[nodiscard]] uint64_t skipped() const noexcept { return skipped_; }
+  [[nodiscard]] uint64_t packets() const noexcept { return packets_; }
+
+ private:
+  std::unique_ptr<PcapReader> reader_;
+  uint64_t packets_ = 0;
+  uint64_t skipped_ = 0;
+};
+
+class TraceSource final : public SourceElement {
+ public:
+  /// Programmatic: pump a pre-built packet vector.
+  explicit TraceSource(std::vector<Packet> packets);
+  /// Config-language: generate a trace over a ClassBench-format rule file.
+  TraceSource(const std::string& rules_path, size_t n_packets,
+              const TraceConfig& cfg);
+  [[nodiscard]] std::string_view kind() const override { return "TraceSource"; }
+  [[nodiscard]] bool pump(Burst& b) override;
+  [[nodiscard]] std::string report() const override;
+  /// Rewind so the same trace can be pumped again (bench warm-up passes).
+  void rewind() noexcept { next_ = 0; }
+  [[nodiscard]] const std::vector<Packet>& packets() const noexcept {
+    return packets_;
+  }
+
+ private:
+  std::vector<Packet> packets_;
+  size_t next_ = 0;
+};
+
+// --- processing -------------------------------------------------------------
+
+class ClassifierElement;
+
+class FlowCacheElement final : public Element {
+ public:
+  explicit FlowCacheElement(size_t capacity, size_t shards = 8);
+  [[nodiscard]] std::string_view kind() const override { return "FlowCache"; }
+  void process(Burst& b) override;
+  /// Couples the coherence stamp to the graph's Classifier (if any).
+  void initialize(Graph& g) override;
+  [[nodiscard]] std::string report() const override;
+  [[nodiscard]] FlowCache& cache() noexcept { return cache_; }
+
+ private:
+  FlowCache cache_;
+};
+
+class ClassifierElement final : public Element {
+ public:
+  struct Options {
+    bool parallel = false;        ///< two-core BatchParallelEngine path
+    double retrain_threshold = 0.05;
+    bool auto_retrain = true;
+    int update_shards = 4;
+  };
+
+  /// Empty shell: attach an engine before Graph::initialize().
+  ClassifierElement() = default;
+  /// Build an OnlineNuevoMatch (TupleMerge remainder) over a ClassBench-
+  /// format rule file.
+  ClassifierElement(const std::string& rules_path, Options opts);
+
+  [[nodiscard]] std::string_view kind() const override { return "Classifier"; }
+  void process(Burst& b) override;
+  void initialize(Graph& g) override;
+  [[nodiscard]] std::string report() const override;
+
+  /// Attach a shared online engine (tests/benches; several elements may
+  /// share one). Call set_actions() too if Dispatch routing matters.
+  void attach(std::shared_ptr<OnlineNuevoMatch> engine);
+  /// Attach any frozen Classifier (e.g. bare TupleSpaceSearch) as a scalar
+  /// slow path: per-packet match(), no coherence stamps (the engine is
+  /// immutable, so a constant stamp IS coherent).
+  void attach_scalar(std::shared_ptr<const nuevomatch::Classifier> engine);
+  void enable_parallel();
+
+  /// The online engine, or null when a scalar engine is attached.
+  [[nodiscard]] OnlineNuevoMatch* online() const noexcept { return online_.get(); }
+
+  /// Rule-id -> action map used to annotate decisions for Dispatch. Built
+  /// from the rule file automatically; programmatic attachments provide it
+  /// here. Rules inserted later default to action -1 (Dispatch's last
+  /// port) unless refreshed — the map is read-only while the graph runs.
+  void set_actions(std::span<const Rule> rules);
+
+  [[nodiscard]] uint64_t classified() const noexcept { return classified_; }
+
+ private:
+  [[nodiscard]] int32_t action_of(int32_t rule_id) const;
+
+  std::shared_ptr<OnlineNuevoMatch> online_;
+  std::shared_ptr<const nuevomatch::Classifier> scalar_;
+  std::unique_ptr<BatchParallelEngine> parallel_;
+  bool want_parallel_ = false;
+  std::unordered_map<uint32_t, int32_t> actions_;
+  uint64_t classified_ = 0;
+  uint64_t bursts_ = 0;
+};
+
+class Dispatch final : public Element {
+ public:
+  explicit Dispatch(std::vector<std::string> port_names);
+  [[nodiscard]] std::string_view kind() const override { return "Dispatch"; }
+  [[nodiscard]] size_t n_outputs() const override { return names_.size(); }
+  void process(Burst& b) override;
+  [[nodiscard]] std::string report() const override;
+  [[nodiscard]] uint64_t port_packets(size_t port) const {
+    return counts_.at(port);
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<uint64_t> counts_;
+  std::vector<Burst> split_;  // reused per-port staging (DAG => no reentry)
+};
+
+class Counter final : public Element {
+ public:
+  explicit Counter(std::string label = {});
+  [[nodiscard]] std::string_view kind() const override { return "Counter"; }
+  void process(Burst& b) override;
+  [[nodiscard]] std::string report() const override;
+  [[nodiscard]] uint64_t packets() const noexcept { return packets_; }
+  [[nodiscard]] uint64_t bursts() const noexcept { return bursts_; }
+
+ private:
+  std::string label_;
+  uint64_t packets_ = 0;
+  uint64_t bursts_ = 0;
+};
+
+// --- terminals --------------------------------------------------------------
+
+class Sink final : public Element {
+ public:
+  struct Record {
+    uint64_t index;
+    int32_t rule_id;
+    int32_t priority;
+    int32_t action;
+  };
+
+  explicit Sink(bool record = false);
+  [[nodiscard]] std::string_view kind() const override { return "Sink"; }
+  void process(Burst& b) override;
+  [[nodiscard]] std::string report() const override;
+  [[nodiscard]] uint64_t packets() const noexcept { return packets_; }
+  /// Recorded decisions in arrival order (empty unless `record`).
+  [[nodiscard]] const std::vector<Record>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  bool record_;
+  uint64_t packets_ = 0;
+  std::vector<Record> records_;
+};
+
+class PcapSink final : public Element {
+ public:
+  explicit PcapSink(const std::string& path, PcapWriterOptions opts = {});
+  [[nodiscard]] std::string_view kind() const override { return "PcapSink"; }
+  void process(Burst& b) override;
+  void finish() override;
+  [[nodiscard]] std::string report() const override;
+
+ private:
+  std::unique_ptr<PcapWriter> writer_;
+  uint64_t packets_ = 0;
+};
+
+}  // namespace nuevomatch::pipeline

@@ -1,0 +1,119 @@
+#include "pipeline/flow_cache.hpp"
+
+#include <bit>
+
+#include "nuevomatch/online.hpp"
+
+namespace nuevomatch::pipeline {
+
+FlowCache::FlowCache(size_t capacity, size_t shards) {
+  if (shards == 0) shards = 1;
+  if (capacity < shards * kWays) capacity = shards * kWays;
+  sets_per_shard_ = std::bit_ceil((capacity / shards + kWays - 1) / kWays);
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->entries.resize(sets_per_shard_ * kWays);
+    sh->hand.resize(sets_per_shard_, 0);
+    shards_.push_back(std::move(sh));
+  }
+}
+
+uint64_t FlowCache::current_stamp() const noexcept {
+  return stamp_src_ != nullptr ? stamp_src_->coherence_stamp() : 0;
+}
+
+bool FlowCache::lookup(const Packet& p, Decision& out) {
+  const uint64_t h = hash(p);
+  Shard& sh = *shards_[h % shards_.size()];
+  const size_t set = (h / shards_.size()) & (sets_per_shard_ - 1);
+  // One stamp read covers the whole probe: entries newer than this read are
+  // rejected too (their stamp differs), which only costs a recomputation.
+  const uint64_t now = current_stamp();
+  std::lock_guard lk{sh.mu};
+  Entry* base = sh.entries.data() + set * kWays;
+  for (size_t w = 0; w < kWays; ++w) {
+    Entry& e = base[w];
+    if (e.stamp == kEmpty || e.key != p.field) continue;
+    if (e.stamp < now) {
+      // Stamps are monotone, so an older stamp means the classifier
+      // definitively mutated since this decision was computed: the entry
+      // is dead, whatever the mutation was. Retire it so the way frees up.
+      e.stamp = kEmpty;
+      ++sh.stale;
+      return false;
+    }
+    if (e.stamp > now) {
+      // OUR stamp read is the stale one (a concurrent reader refilled this
+      // flow after a commit we haven't observed). The entry may well be
+      // valid, but we cannot prove it against an old stamp — miss, and
+      // leave the fresher entry for readers with a current view.
+      ++sh.misses;
+      return false;
+    }
+    out = e.d;
+    ++sh.hits;
+    return true;
+  }
+  ++sh.misses;
+  return false;
+}
+
+void FlowCache::insert(const Packet& p, const Decision& d, uint64_t stamp) {
+  if (stamp == kEmpty) return;  // reserved sentinel; unreachable in practice
+  const uint64_t h = hash(p);
+  Shard& sh = *shards_[h % shards_.size()];
+  const size_t set = (h / shards_.size()) & (sets_per_shard_ - 1);
+  std::lock_guard lk{sh.mu};
+  Entry* base = sh.entries.data() + set * kWays;
+  Entry* victim = nullptr;
+  for (size_t w = 0; w < kWays; ++w) {
+    Entry& e = base[w];
+    if (e.key == p.field && e.stamp != kEmpty) {
+      // The flow is already cached. Never replace a fresher-stamped entry
+      // with an older-stamped one: a reader whose burst-level stamp read
+      // predates a concurrent refill would otherwise downgrade a valid
+      // entry into one every current-view lookup retires as stale.
+      if (e.stamp > stamp) return;
+      victim = &e;  // re-stamp the existing entry for this flow
+      break;
+    }
+    if (victim == nullptr && e.stamp == kEmpty) victim = &e;
+  }
+  if (victim == nullptr) {
+    victim = base + sh.hand[set];
+    sh.hand[set] = static_cast<uint8_t>((sh.hand[set] + 1) % kWays);
+    ++sh.evictions;
+  }
+  victim->key = p.field;
+  victim->d = d;
+  victim->stamp = stamp;
+  ++sh.inserts;
+}
+
+void FlowCache::clear() {
+  for (auto& sh : shards_) {
+    std::lock_guard lk{sh->mu};
+    for (Entry& e : sh->entries) e.stamp = kEmpty;
+    for (uint8_t& hd : sh->hand) hd = 0;
+  }
+}
+
+FlowCache::Stats FlowCache::stats() const {
+  Stats s;
+  for (const auto& sh : shards_) {
+    std::lock_guard lk{sh->mu};
+    s.hits += sh->hits;
+    s.misses += sh->misses;
+    s.stale += sh->stale;
+    s.inserts += sh->inserts;
+    s.evictions += sh->evictions;
+  }
+  return s;
+}
+
+size_t FlowCache::capacity() const noexcept {
+  return shards_.size() * sets_per_shard_ * kWays;
+}
+
+}  // namespace nuevomatch::pipeline

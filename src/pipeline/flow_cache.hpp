@@ -1,0 +1,129 @@
+// Sharded exact-match flow cache — the dataplane front-end that absorbs
+// traffic skew before the classifier (the OVS EMC role the paper models in
+// §5.2). Promoted out of examples/ovs_cache_accel.cpp and made
+// UPDATE-COHERENT: every cached decision is stamped with the classifier's
+// coherence stamp (OnlineNuevoMatch::coherence_stamp()), read BEFORE the
+// decision was computed, and a lookup serves an entry only while the
+// current stamp still equals the stored one — so a cached decision never
+// survives the rule insert/erase (or generation swap) that could change it.
+// RVH (PAPERS.md) motivates exactly this: an update-native fast path is
+// worthless if a front-end cache keeps serving pre-update answers.
+//
+// Shape: set-associative (kWays per set) over hash-sharded fixed-size
+// arrays — no allocation after construction, eviction is a bounded
+// round-robin within one set, and the full five-tuple key is compared on
+// every probe (a hash-only key could alias two flows onto one decision; the
+// pipeline's oracle differential would catch it, so we store the tuple).
+// Shards take one small mutex each so several pipeline threads can share
+// one cache; a single-threaded caller pays one uncontended lock (and one
+// stamp load) per PROBE — deliberately per packet, not per burst: the stamp
+// check at each probe is what keeps the coherence contract at packet
+// granularity when a commit lands mid-burst. (A shard-grouped burst probe
+// that amortizes the locking is a ROADMAP item; the fix there is to
+// re-check the stamp per shard hold, not to hoist it out of the burst.)
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nuevomatch {
+
+class OnlineNuevoMatch;
+
+namespace pipeline {
+
+/// A cached classification decision (what Dispatch routes on).
+struct Decision {
+  int32_t rule_id = MatchResult::kNoMatch;
+  int32_t priority = 0;
+  int32_t action = -1;  ///< resolved rule action; -1 = miss / unknown
+};
+
+class FlowCache {
+ public:
+  static constexpr size_t kWays = 4;
+
+  /// `capacity` is rounded up to shards * ways * power-of-two sets.
+  explicit FlowCache(size_t capacity, size_t shards = 8);
+
+  /// Couple the cache to an online classifier: current_stamp() follows its
+  /// coherence stamp and every mutation invalidates all entries. Null (the
+  /// default) pins the stamp to a constant — a pure cache for frozen
+  /// rule-sets.
+  void set_stamp_source(const OnlineNuevoMatch* src) noexcept { stamp_src_ = src; }
+
+  /// The stamp a caller must read BEFORE classifying a missed packet and
+  /// pass back to insert() with the computed decision (coherence contract —
+  /// see OnlineNuevoMatch::coherence_stamp()).
+  [[nodiscard]] uint64_t current_stamp() const noexcept;
+
+  /// Serve a cached decision for `p` if one exists and its stamp is still
+  /// current. Counts hit/miss/stale statistics.
+  [[nodiscard]] bool lookup(const Packet& p, Decision& out);
+
+  /// Cache `d` for `p`, stamped with `stamp` (from current_stamp(), read
+  /// before `d` was computed). An entry whose stamp is already obsolete is
+  /// still stored — the next lookup simply rejects it — so callers never
+  /// need to re-read the stamp after classifying.
+  void insert(const Packet& p, const Decision& d, uint64_t stamp);
+
+  /// Drop every entry (bulk reconfiguration; not needed for coherence).
+  void clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;    ///< no entry for the key
+    uint64_t stale = 0;     ///< entry found but its stamp was obsolete
+    uint64_t inserts = 0;
+    uint64_t evictions = 0; ///< inserts that displaced a live entry
+    [[nodiscard]] double hit_rate() const noexcept {
+      const uint64_t total = hits + misses + stale;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] size_t capacity() const noexcept;
+  [[nodiscard]] size_t shards() const noexcept { return shards_.size(); }
+
+ private:
+  struct Entry {
+    std::array<uint32_t, kNumFields> key{};
+    Decision d;
+    uint64_t stamp = kEmpty;
+  };
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::vector<Entry> entries;  // sets * kWays
+    std::vector<uint8_t> hand;   // per-set round-robin victim cursor
+    uint64_t hits = 0, misses = 0, stale = 0, inserts = 0, evictions = 0;
+  };
+
+  [[nodiscard]] static uint64_t hash(const Packet& p) noexcept {
+    uint64_t h = 14695981039346656037ull;  // FNV-1a over the five fields
+    for (const uint32_t v : p.field) {
+      h ^= v;
+      h *= 1099511628211ull;
+    }
+    // Finalize: FNV's low bits are weak, and we index sets with them.
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    return h;
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t sets_per_shard_;  // power of two
+  const OnlineNuevoMatch* stamp_src_ = nullptr;
+};
+
+}  // namespace pipeline
+}  // namespace nuevomatch

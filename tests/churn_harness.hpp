@@ -45,6 +45,7 @@
 #include "cutsplit/cutsplit.hpp"
 #include "nuevomatch/online.hpp"
 #include "nuevomatch/parallel.hpp"
+#include "pipeline/flow_cache.hpp"
 #include "trace/trace.hpp"
 #include "trace/verification.hpp"
 #include "tuplemerge/tuplemerge.hpp"
@@ -60,6 +61,12 @@ struct ChurnConfig {
   int n_writers = 2;
   int n_scalar_readers = 1;  ///< OnlineNuevoMatch::match readers
   int n_batch_readers = 1;   ///< BatchParallelEngine (online mode) readers
+  /// Readers fronted by ONE shared update-coherent pipeline::FlowCache:
+  /// hits serve cached decisions, misses classify-and-fill, every served
+  /// answer is still checked against the stable core while writers and
+  /// swaps race — the cache must never let a commit leak a stale decision.
+  int n_cache_readers = 0;
+  size_t cache_capacity = 4096;
 
   int n_steps = 5;
   int inserts_per_writer_step = 40;
@@ -67,6 +74,19 @@ struct ChurnConfig {
 
   size_t core_trace_len = 2000;  ///< raw trace length before hit-filtering
   size_t probes_per_step = 250;  ///< seeded exact-differential probes
+
+  /// Step-synchronized cache-staleness oracle: probes run through a
+  /// PERSISTENT FlowCache that carries entries across steps (and across the
+  /// forced swaps below), re-probing every rule earlier steps touched. An
+  /// entry cached before an erase/insert that changes its packet's answer
+  /// MUST be invalidated by the commit's coherence-stamp bump — a served
+  /// stale decision diverges from the oracle right here.
+  bool cache_probes = false;
+
+  /// Force one background retrain/swap inside every schedule step, so
+  /// cached decisions and epoch pins ride through swaps mid-schedule (the
+  /// ISSUE 5 acceptance gate: ≥3 swaps with a cache-fronted reader).
+  bool swap_each_step = false;
 
   int update_shards = 4;
   double retrain_threshold = 0.02;
@@ -110,6 +130,9 @@ struct ChurnConfig {
   c.auto_retrain = rng.chance(0.5);
   c.min_swaps = rng.between(1, 3);
   c.cutsplit_remainder = rng.chance(0.35);
+  c.n_cache_readers = static_cast<int>(rng.between(0, 2));
+  c.cache_probes = rng.chance(0.5);
+  c.swap_each_step = rng.chance(0.3);
   return c;
 }
 
@@ -118,6 +141,9 @@ struct ChurnResult {
   uint64_t concurrent_mismatches = 0; ///< stable-core divergences (want 0)
   uint64_t probes = 0;                ///< step-synchronized oracle probes
   uint64_t probe_mismatches = 0;      ///< oracle divergences (want 0)
+  uint64_t cache_probes = 0;          ///< probes served through the probe cache
+  uint64_t cache_served = 0;          ///< ...of which were cache HITS
+  uint64_t cache_mismatches = 0;      ///< cache-served oracle divergences (want 0)
   uint64_t scheduled_ops = 0;         ///< ops the schedule generated
   uint64_t applied_ops = 0;           ///< ops the classifier accepted
   uint64_t swaps = 0;                 ///< generations published after build
@@ -195,6 +221,36 @@ class ChurnHarness {
         }
       });
     }
+    // Cache-fronted readers share ONE update-coherent flow cache in front
+    // of the classifier (the pipeline's FlowCache -> Classifier shape,
+    // without the graph): a hit serves the cached decision, a miss reads
+    // the coherence stamp BEFORE classifying and fills. Commits racing
+    // these readers invalidate entries via the stamp; every served answer —
+    // cached or fresh — must still equal the stable core's.
+    pipeline::FlowCache shared_cache{cfg_.cache_capacity};
+    shared_cache.set_stamp_source(&online);
+    for (int t = 0; t < cfg_.n_cache_readers; ++t) {
+      readers.emplace_back([&, t] {
+        size_t i = static_cast<size_t>(t) * 29;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const size_t k = i++ % core_.packets.size();
+          const Packet& p = core_.packets[k];
+          pipeline::Decision d;
+          int32_t got;
+          if (shared_cache.lookup(p, d)) {
+            got = d.rule_id;
+          } else {
+            const uint64_t stamp = shared_cache.current_stamp();
+            const MatchResult r = online.match(p);
+            got = r.rule_id;
+            shared_cache.insert(p, pipeline::Decision{r.rule_id, r.priority, -1},
+                                stamp);
+          }
+          if (got != core_.expected[k]) mismatches.fetch_add(1);
+          lookups.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
     for (int t = 0; t < cfg_.n_batch_readers; ++t) {
       readers.emplace_back([&, t] {
         // Each batch reader owns an engine; classify() pins one generation
@@ -219,6 +275,11 @@ class ChurnHarness {
     // Probe engine: exercises the batched two-core path during the
     // step-synchronized phases (no writers active, swaps still possible).
     BatchParallelEngine probe_engine{online};
+    // Persistent probe cache for the staleness oracle: entries survive from
+    // step to step — exactly what must NOT survive is a decision whose rule
+    // the next step's writers erase.
+    pipeline::FlowCache probe_cache{cfg_.cache_capacity};
+    probe_cache.set_stamp_source(&online);
 
     std::atomic<uint64_t> applied{0};
     for (int s = 0; s < cfg_.n_steps; ++s) {
@@ -246,7 +307,13 @@ class ChurnHarness {
           }
         }
       }
-      verify_step(online, probe_engine, oracle, s, res);
+      if (cfg_.swap_each_step) {
+        // Land one retrain/swap per step with cached decisions and epoch
+        // pins from earlier steps still live.
+        online.retrain_now();
+        online.quiesce();
+      }
+      verify_step(online, probe_engine, oracle, probe_cache, s, res);
     }
 
     // Drive the system through the demanded number of swap cycles even when
@@ -311,7 +378,8 @@ class ChurnHarness {
   }
 
   void verify_step(const OnlineNuevoMatch& online, BatchParallelEngine& engine,
-                   const LinearSearch& oracle, int step, ChurnResult& res) {
+                   const LinearSearch& oracle, pipeline::FlowCache& cache,
+                   int step, ChurnResult& res) {
     // Seeded probes over the base distribution...
     TraceConfig tc;
     tc.n_packets = cfg_.probes_per_step;
@@ -320,13 +388,24 @@ class ChurnHarness {
     // ...plus a targeted packet inside every rule this step touched: an
     // insert that never landed, or an erase that resurrected, answers
     // differently from the oracle right here.
+    std::vector<Packet> targeted;
     for (int w = 0; w < cfg_.n_writers; ++w) {
       for (const Op& op : schedule_[static_cast<size_t>(w)][static_cast<size_t>(step)]) {
         Packet p;
         for (int f = 0; f < kNumFields; ++f)
           p.field[static_cast<size_t>(f)] = op.rule.field[static_cast<size_t>(f)].lo;
         probes.push_back(p);
+        targeted.push_back(p);
       }
+    }
+    // ...plus, for the cache-staleness oracle, every packet EARLIER steps
+    // targeted: their answers are precisely the ones this step's ops (and
+    // the ops of the steps between) may have changed, and the persistent
+    // probe cache may still hold a decision for them from a previous
+    // verify pass — which the intervening commits must have invalidated.
+    if (cfg_.cache_probes) {
+      probes.insert(probes.end(), probe_history_.begin(), probe_history_.end());
+      probe_history_.insert(probe_history_.end(), targeted.begin(), targeted.end());
     }
 
     std::vector<MatchResult> batched(probes.size());
@@ -340,6 +419,33 @@ class ChurnHarness {
       if (online.match(probes[i]).rule_id != want) ++res.probe_mismatches;
       if (batched[i].rule_id != want) ++res.probe_mismatches;
     }
+
+    if (!cfg_.cache_probes) return;
+    // Cache-staleness differential: two passes through the persistent cache.
+    // Pass 0 mostly misses (every step's commits bumped the stamp since the
+    // last verify) and re-fills; pass 1 re-probes the SAME packets — with
+    // writers quiescent the stamp is stable, so these are genuine cache
+    // hits (asserted via res.cache_served) and every served decision, hit
+    // or fill, must match the oracle. A coherence bug shows up in pass 0:
+    // an entry filled at step s-1 whose packet's answer changed at step s
+    // would be served stale here.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const Packet& p : probes) {
+        pipeline::Decision d;
+        int32_t got;
+        if (cache.lookup(p, d)) {
+          got = d.rule_id;
+          ++res.cache_served;
+        } else {
+          const uint64_t stamp = cache.current_stamp();
+          const MatchResult r = online.match(p);
+          got = r.rule_id;
+          cache.insert(p, pipeline::Decision{r.rule_id, r.priority, -1}, stamp);
+        }
+        ++res.cache_probes;
+        if (got != oracle.match(p).rule_id) ++res.cache_mismatches;
+      }
+    }
   }
 
   static constexpr uint32_t kChurnIdBase = 1'000'000;
@@ -351,6 +457,8 @@ class ChurnHarness {
   StableCore core_;
   // schedule_[writer][step] → op list
   std::vector<std::vector<std::vector<Op>>> schedule_;
+  // Every packet any completed step targeted (cache-staleness re-probes).
+  std::vector<Packet> probe_history_;
   uint64_t scheduled_ops_ = 0;
 };
 

@@ -104,8 +104,50 @@ TEST(ChurnFuzzer, EnvSeededRandomizedConfigs) {
     EXPECT_EQ(res.concurrent_mismatches, 0u)
         << res.concurrent_lookups << " concurrent lookups";
     EXPECT_EQ(res.probe_mismatches, 0u) << res.probes << " probes";
+    EXPECT_EQ(res.cache_mismatches, 0u)
+        << res.cache_probes << " cache-fronted probes";
     EXPECT_GE(res.swaps, cfg.min_swaps);
   }
+}
+
+// The ISSUE 5 acceptance gate: a FlowCache-fronted reader races insert/erase
+// commits across ≥3 retrain swaps with ZERO stale-decision oracle
+// mismatches. Two layers again: concurrent cache-fronted readers verify
+// against the stable core while writers and per-step forced swaps race them
+// (the TSAN half), and the persistent probe cache re-probes every packet
+// earlier steps touched against the step-synchronized oracle — an entry
+// that survived the commit that should have invalidated it diverges there
+// (the functional half). cache_served > 0 proves the cache actually serves
+// hits (a cache that never hits would pass vacuously).
+TEST(ChurnFlowCache, CacheFrontedReadersCoherentAcrossSwaps) {
+  ChurnConfig cfg;
+  cfg.seed = 77;
+  cfg.n_rules = 800;
+  cfg.n_writers = 2;
+  cfg.n_scalar_readers = 0;
+  cfg.n_batch_readers = 1;
+  cfg.n_cache_readers = 2;
+  cfg.n_steps = 4;
+  cfg.swap_each_step = true;   // 4 swaps land while cached entries persist
+  cfg.cache_probes = true;
+  cfg.auto_retrain = false;    // deterministic: swaps only where forced
+  cfg.retrain_threshold = 1.0;
+  cfg.min_swaps = 3;
+  ChurnHarness harness{cfg};
+
+  const ChurnResult res = harness.run();
+
+  EXPECT_EQ(res.applied_ops, res.scheduled_ops);
+  EXPECT_EQ(res.concurrent_mismatches, 0u)
+      << "a cache-fronted or batch reader racing writers/swaps saw a wrong "
+         "answer (" << res.concurrent_lookups << " lookups)";
+  EXPECT_EQ(res.probe_mismatches, 0u);
+  EXPECT_EQ(res.cache_mismatches, 0u)
+      << "the flow cache served a STALE decision (" << res.cache_probes
+      << " cache-fronted probes, " << res.cache_served << " hits)";
+  EXPECT_GT(res.cache_served, 0u)
+      << "the probe cache never served a hit - the staleness oracle is vacuous";
+  EXPECT_GE(res.swaps, 3u) << "cached decisions must ride through >=3 swaps";
 }
 
 // Two writers inserting the SAME rule-id serialize on the writer lock;

@@ -1,0 +1,125 @@
+// epoch::Domain — the grow-on-demand chunked slot directory (ROADMAP item
+// retired in PR 5): oversubscribing the registered-reader slots must GROW
+// capacity instead of spinning, previously-claimed slot indices must stay
+// valid across growth (chunks never move), and the reclamation protocol
+// must stay exact while readers occupy slots in late chunks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "nuevomatch/epoch.hpp"
+
+namespace nuevomatch::epoch {
+namespace {
+
+TEST(EpochDomain, OversubscriptionGrowsInsteadOfSpinning) {
+  Domain d;
+  EXPECT_EQ(d.capacity(), Domain::kInitialSlots);
+
+  // Claim far more slots than one chunk holds WITHOUT exiting any — the
+  // pre-growth Domain would spin forever right here.
+  constexpr size_t kClaim = Domain::kInitialSlots * 3 + 7;
+  std::vector<size_t> slots;
+  slots.reserve(kClaim);
+  for (size_t i = 0; i < kClaim; ++i) slots.push_back(d.enter());
+  EXPECT_GE(d.capacity(), kClaim);
+
+  // Every claim got a distinct slot.
+  std::vector<size_t> sorted = slots;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+
+  // All readers are announced; releasing them all quiesces the domain.
+  EXPECT_NE(d.min_active(), kQuiescent);
+  for (const size_t s : slots) d.exit(s);
+  EXPECT_EQ(d.min_active(), kQuiescent);
+
+  // Slots claimed before growth remain valid afterwards (chunks are
+  // install-only): re-claim and release a low slot now that capacity is 4x.
+  const size_t again = d.enter();
+  EXPECT_LT(again, d.capacity());
+  d.exit(again);
+}
+
+TEST(EpochDomain, ReclamationStaysExactAcrossGrowth) {
+  Domain d;
+  // Push one chunk's worth of readers in so the next enter() grows.
+  std::vector<size_t> held;
+  for (size_t i = 0; i < Domain::kInitialSlots; ++i) held.push_back(d.enter());
+
+  // A reader in a GROWN chunk must block reclamation exactly like one in
+  // chunk 0.
+  const size_t late = d.enter();
+  EXPECT_GE(late, Domain::kInitialSlots);
+  for (const size_t s : held) d.exit(s);
+
+  RetireList retired;
+  auto obj = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = obj;
+  retired.retire(std::move(obj), d.retire_stamp());
+  retired.collect(d.min_active());
+  EXPECT_FALSE(watch.expired()) << "freed under an active late-chunk reader";
+
+  d.exit(late);
+  retired.collect(d.min_active());
+  EXPECT_TRUE(watch.expired());
+}
+
+// Many threads enter/exit while a writer retires + collects: the directory
+// install CASes race the scans. Run under TSAN in CI; the functional
+// assertion is that nothing retired is freed while its reader is inside.
+TEST(EpochDomain, ConcurrentGrowthAndReclamation) {
+  Domain d;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> entries{0};
+  constexpr int kThreads = 8;
+  constexpr int kHeldPerThread = 24;
+
+  // Pre-fill most of chunk 0 from this thread so the reader threads' claims
+  // overflow it and race the chunk-1/2 installs against each other and
+  // against the writer's directory scans (regardless of how the scheduler
+  // interleaves them, any one thread's 24 held slots exceed the 8 left).
+  std::vector<size_t> pinned;
+  for (size_t i = 0; i < Domain::kInitialSlots - 8; ++i) pinned.push_back(d.enter());
+
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      std::vector<size_t> held;
+      held.reserve(kHeldPerThread);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < kHeldPerThread; ++i) held.push_back(d.enter());
+        entries.fetch_add(kHeldPerThread, std::memory_order_relaxed);
+        for (const size_t s : held) d.exit(s);
+        held.clear();
+      }
+    });
+  }
+
+  RetireList retired;
+  std::vector<std::weak_ptr<int>> watches;
+  for (int round = 0; round < 200; ++round) {
+    auto obj = std::make_shared<int>(round);
+    watches.emplace_back(obj);
+    retired.retire(std::move(obj), d.retire_stamp());
+    retired.collect(d.min_active());
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  for (const size_t s : pinned) d.exit(s);
+
+  retired.collect(d.min_active());
+  EXPECT_EQ(retired.size(), 0u);
+  for (const auto& w : watches) EXPECT_TRUE(w.expired());
+  EXPECT_GT(entries.load(), 0u);
+  EXPECT_GE(d.capacity(), 2 * Domain::kChunkSlots);
+}
+
+}  // namespace
+}  // namespace nuevomatch::epoch

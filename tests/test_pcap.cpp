@@ -1,0 +1,218 @@
+// The libpcap-free pcap reader/writer (trace/pcap.hpp): round-trips through
+// every header variant the reader claims to support — both magic-number
+// byte orders AND the nanosecond-timestamp magic — plus the frame
+// parse/synthesize differential and the failure paths (bad magic,
+// truncated records), so PcapSource can trust the layer beneath it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "classbench/generator.hpp"
+#include "trace/pcap.hpp"
+#include "trace/trace.hpp"
+
+namespace nuevomatch {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// Deterministic mixed-protocol packet sample: TCP, UDP, ICMP (port-less),
+/// SCTP, odd protocols — the synthesis/parse pair must round-trip each.
+std::vector<Packet> sample_packets() {
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 200, 7);
+  std::vector<Packet> pkts = representative_packets(rules, 7);
+  pkts.resize(64);
+  const uint32_t protos[] = {6, 17, 1, 132, 47};  // tcp udp icmp sctp gre
+  for (size_t i = 0; i < pkts.size(); ++i) {
+    pkts[i].field[kProto] = protos[i % std::size(protos)];
+    if (pkts[i][kProto] == 1 || pkts[i][kProto] == 47) {
+      // Port-less protocols carry no L4 ports on the wire; the parsed
+      // packet comes back with 0 there, so put 0 in to round-trip exactly.
+      pkts[i].field[kSrcPort] = 0;
+      pkts[i].field[kDstPort] = 0;
+    }
+  }
+  return pkts;
+}
+
+struct Variant {
+  bool nanosecond;
+  bool byte_swapped;
+};
+
+class PcapRoundTrip : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(PcapRoundTrip, PacketsAndTimestampsSurviveEveryHeaderVariant) {
+  const auto [nanosecond, swapped] = GetParam();
+  const std::vector<Packet> pkts = sample_packets();
+  const std::string path = tmp_path("roundtrip.pcap");
+
+  PcapWriterOptions opts;
+  opts.nanosecond = nanosecond;
+  opts.byte_swapped = swapped;
+  constexpr uint64_t kBase = 1'700'000'000ull * 1'000'000'000ull;
+  ASSERT_TRUE(write_pcap_packets(path, pkts, opts, kBase));
+
+  PcapReader r{path};
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.nanosecond(), nanosecond);
+  EXPECT_EQ(r.byte_swapped(), swapped);
+  EXPECT_EQ(r.link_type(), kLinkEthernet);
+
+  PcapRecord rec;
+  size_t i = 0;
+  while (r.next(rec)) {
+    ASSERT_LT(i, pkts.size());
+    // 1 µs spacing is exact in both timestamp precisions.
+    EXPECT_EQ(rec.ts_ns, kBase + i * 1'000) << "packet " << i;
+    const auto parsed = parse_frame(rec.frame, r.link_type());
+    ASSERT_TRUE(parsed.has_value()) << "packet " << i;
+    EXPECT_EQ(parsed->field, pkts[i].field) << "packet " << i;
+    ++i;
+  }
+  EXPECT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(i, pkts.size());
+
+  // The convenience loader agrees.
+  size_t skipped = 123;
+  const auto all = read_pcap_packets(path, &skipped);
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(all->size(), pkts.size());
+  for (size_t k = 0; k < pkts.size(); ++k) EXPECT_EQ((*all)[k].field, pkts[k].field);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, PcapRoundTrip,
+                         ::testing::Values(Variant{false, false},
+                                           Variant{false, true},
+                                           Variant{true, false},
+                                           Variant{true, true}),
+                         [](const auto& info) {
+                           return std::string(info.param.nanosecond ? "nsec" : "usec") +
+                                  (info.param.byte_swapped ? "_swapped" : "_native");
+                         });
+
+TEST(PcapRoundTripRaw, RawLinkTypeFilesRoundTripToo) {
+  const std::vector<Packet> pkts = sample_packets();
+  const std::string path = tmp_path("roundtrip_raw.pcap");
+  PcapWriterOptions opts;
+  opts.link_type = kLinkRawIpv4;  // records are bare IP datagrams
+  ASSERT_TRUE(write_pcap_packets(path, pkts, opts));
+  PcapReader r{path};
+  ASSERT_TRUE(r.ok()) << r.error();
+  EXPECT_EQ(r.link_type(), kLinkRawIpv4);
+  size_t skipped = 9;
+  const auto back = read_pcap_packets(path, &skipped);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(back->size(), pkts.size());
+  for (size_t i = 0; i < pkts.size(); ++i) EXPECT_EQ((*back)[i].field, pkts[i].field);
+
+  // A link type the parser cannot read back is refused up front, never
+  // written as a silently unparseable file.
+  PcapWriterOptions bogus;
+  bogus.link_type = 12345;
+  EXPECT_FALSE(write_pcap_packets(tmp_path("bogus_lt.pcap"), pkts, bogus));
+}
+
+TEST(PcapFrameParse, SynthesisDifferentialPerProtocol) {
+  for (const uint32_t proto : {6u, 17u, 132u, 136u}) {
+    Packet p;
+    p.field = {0x0A000001, 0xC0A80102, 443, 51515, proto};
+    const auto back = parse_frame(synthesize_frame(p));
+    ASSERT_TRUE(back.has_value()) << "proto " << proto;
+    EXPECT_EQ(back->field, p.field) << "proto " << proto;
+  }
+  // Port-less protocol: ports do not survive (there is no L4 header).
+  Packet icmp;
+  icmp.field = {1, 2, 0, 0, 1};
+  const auto back = parse_frame(synthesize_frame(icmp));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->field, icmp.field);
+}
+
+TEST(PcapFrameParse, VlanTagAndRawLinkType) {
+  Packet p;
+  p.field = {0x01020304, 0x05060708, 1000, 2000, 6};
+  std::vector<uint8_t> frame = synthesize_frame(p);
+  // Splice one 802.1Q tag after the MACs: TPID 0x8100, TCI, old ethertype.
+  std::vector<uint8_t> tagged(frame.begin(), frame.begin() + 12);
+  tagged.insert(tagged.end(), {0x81, 0x00, 0x00, 0x2A});
+  tagged.insert(tagged.end(), frame.begin() + 12, frame.end());
+  const auto via_vlan = parse_frame(tagged);
+  ASSERT_TRUE(via_vlan.has_value());
+  EXPECT_EQ(via_vlan->field, p.field);
+
+  // LINKTYPE_RAW: the frame IS the IP datagram.
+  const std::vector<uint8_t> ip_only(frame.begin() + 14, frame.end());
+  const auto via_raw = parse_frame(ip_only, kLinkRawIpv4);
+  ASSERT_TRUE(via_raw.has_value());
+  EXPECT_EQ(via_raw->field, p.field);
+}
+
+TEST(PcapFrameParse, RejectsWhatItCannotProject) {
+  Packet p;
+  p.field = {1, 2, 3, 4, 6};
+  std::vector<uint8_t> frame = synthesize_frame(p);
+
+  // Non-IPv4 ethertype (ARP).
+  std::vector<uint8_t> arp = frame;
+  arp[12] = 0x08;
+  arp[13] = 0x06;
+  EXPECT_FALSE(parse_frame(arp).has_value());
+
+  // Truncated mid-IP-header.
+  EXPECT_FALSE(parse_frame({frame.data(), 20}).has_value());
+  EXPECT_FALSE(parse_frame({frame.data(), 0}).has_value());
+
+  // Non-first fragment: no L4 header to read; ports must come back 0, not
+  // garbage read from payload bytes.
+  std::vector<uint8_t> frag = frame;
+  frag[14 + 6] = 0x00;
+  frag[14 + 7] = 0x10;  // fragment offset 16
+  const auto parsed = parse_frame(frag);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)[kSrcPort], 0u);
+  EXPECT_EQ((*parsed)[kDstPort], 0u);
+  EXPECT_EQ((*parsed)[kProto], 6u);
+}
+
+TEST(PcapReaderErrors, BadMagicAndTruncatedRecord) {
+  const std::string bad = tmp_path("bad_magic.pcap");
+  {
+    std::FILE* f = std::fopen(bad.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const uint8_t junk[24] = {0xDE, 0xAD, 0xBE, 0xEF};
+    std::fwrite(junk, 1, sizeof junk, f);
+    std::fclose(f);
+  }
+  PcapReader r1{bad};
+  EXPECT_FALSE(r1.ok());
+  EXPECT_NE(r1.error().find("magic"), std::string::npos);
+
+  // A valid file cut off mid-record must report an error, not a clean EOF.
+  const std::string truncated = tmp_path("truncated.pcap");
+  const std::vector<Packet> pkts = sample_packets();
+  ASSERT_TRUE(write_pcap_packets(truncated, {pkts.data(), 2}));
+  const auto full = std::filesystem::file_size(truncated);
+  std::filesystem::resize_file(truncated, full - 7);
+  PcapReader r2{truncated};
+  ASSERT_TRUE(r2.ok());
+  PcapRecord rec;
+  EXPECT_TRUE(r2.next(rec));   // first record intact
+  EXPECT_FALSE(r2.next(rec));  // second is cut off...
+  EXPECT_FALSE(r2.ok());       // ...and that is an ERROR, not EOF
+}
+
+TEST(PcapReaderErrors, MissingFile) {
+  PcapReader r{tmp_path("does_not_exist.pcap")};
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace nuevomatch
