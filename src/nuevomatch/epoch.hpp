@@ -76,6 +76,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/failpoint.hpp"
+
 namespace nuevomatch::epoch {
 
 inline constexpr uint64_t kQuiescent = ~uint64_t{0};
@@ -175,6 +177,11 @@ class Domain {
   void grow() const noexcept {
     const size_t n = n_chunks_.load(std::memory_order_acquire);
     if (n >= kMaxChunks) return;
+    // Injected chunk-allocation failure (failpoint "epoch.grow"): return
+    // without installing, exactly as if capacity were exhausted — enter()
+    // degrades to the pre-growth spin-until-free loop and recovers the
+    // moment the point is disarmed. Graceful, never fatal.
+    if (failpoint::should_fire(failpoint::kEpochGrow)) return;
     Chunk* fresh = new Chunk;  // alloc failure terminates; acceptable here
     Chunk* expected = nullptr;
     if (!chunks_[n].compare_exchange_strong(expected, fresh,

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <exception>
+#include <stdexcept>
 #include <utility>
+
+#include "common/failpoint.hpp"
 
 namespace nuevomatch {
 
 OnlineNuevoMatch::OnlineNuevoMatch(OnlineConfig cfg) : cfg_(std::move(cfg)) {
+  backoff_rng_.reseed(cfg_.backoff_seed);
   // An empty generation (with an empty layer) up front means match() never
   // needs a null check.
   gen_owner_ = std::make_shared<Generation>(cfg_.base);
@@ -107,7 +111,10 @@ void OnlineNuevoMatch::match_batch(std::span<const Packet> packets,
 void OnlineNuevoMatch::journal_locked(Op op) {
   Shard& sh = shard_for(op.kind == Op::Kind::kInsert ? op.rule.id : op.id);
   sh.ops.fetch_add(1, std::memory_order_relaxed);
-  if (journal_open_) sh.journal.push_back(std::move(op));
+  if (journal_open_) {
+    sh.journal.push_back(std::move(op));
+    journal_depth_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 bool OnlineNuevoMatch::insert_locked(const Rule& r, bool& churn_dirty) {
@@ -199,62 +206,104 @@ void OnlineNuevoMatch::publish_layer_locked(bool churn_dirty, bool base_dirty) {
   gen_owner_->layer.store(fresh.get(), std::memory_order_seq_cst);
   retired_.retire(layer_owner_, epochs_.retire_stamp());
   layer_owner_ = std::move(fresh);
+  churn_size_.store(
+      layer_owner_->churn != nullptr ? layer_owner_->churn->rules.size() : 0,
+      std::memory_order_relaxed);
   retired_.collect(epochs_.min_active());
 }
 
 size_t OnlineNuevoMatch::insert_batch(std::span<const Rule> rules) {
   if (rules.empty()) return 0;
+  const bool bounded = cfg_.max_churn_rules > 0 || cfg_.max_journal_ops > 0;
+  const bool block = cfg_.overload_policy == OverloadPolicy::kBlock;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(cfg_.overload_block_timeout_ms);
   size_t accepted = 0;
-  double pressure = 0.0;
-  {
-    std::lock_guard lk{wmu_};
-    // One writer-lock hold, one op-sequence range, one publication.
-    pending_inserts_.clear();
-    pending_churn_erases_.clear();
-    uint64_t seq = op_seq_.fetch_add(rules.size(), std::memory_order_relaxed);
-    bool churn_dirty = false;
-    for (const Rule& r : rules) {
-      if (insert_locked(r, churn_dirty)) {
-        journal_locked(Op{Op::Kind::kInsert, r, r.id, seq});
-        ++accepted;
+  size_t next = 0;  // first op not yet admitted
+  // Unbounded (the default): the loop body runs exactly once — one
+  // writer-lock hold, one op-sequence range, one publication, identical to
+  // the pre-overload-control commit. With a cap armed, each iteration
+  // commits the slice overload control admits; kBlock waits for capacity
+  // between slices, kShed (and a kBlock timeout) drops the rest.
+  for (;;) {
+    size_t slice = 0;
+    double pressure = 0.0;
+    {
+      std::lock_guard lk{wmu_};
+      pending_inserts_.clear();
+      pending_churn_erases_.clear();
+      uint64_t seq =
+          op_seq_.fetch_add(rules.size() - next, std::memory_order_relaxed);
+      size_t room = bounded ? insert_room_locked() : SIZE_MAX;
+      bool churn_dirty = false;
+      while (next < rules.size() && room > 0) {
+        const Rule& r = rules[next++];
+        if (insert_locked(r, churn_dirty)) {
+          journal_locked(Op{Op::Kind::kInsert, r, r.id, seq});
+          ++slice;
+          // Each accepted insert grows the churn delta and (journal open)
+          // the journal by one; duplicates consume no capacity.
+          if (room != SIZE_MAX) --room;
+        }
+        ++seq;
       }
-      ++seq;
+      if (churn_dirty) publish_layer_locked(churn_dirty, /*base_dirty=*/false);
+      // The commit is reader-visible; invalidate decision caches (the bump
+      // must follow the publication — coherence_stamp()'s contract).
+      if (slice > 0) coherence_.fetch_add(1, std::memory_order_release);
+      pressure = built_size_ > 0
+                     ? static_cast<double>(migrated_) / static_cast<double>(built_size_)
+                     : 0.0;
     }
-    if (churn_dirty) publish_layer_locked(churn_dirty, /*base_dirty=*/false);
-    // The commit is reader-visible; invalidate decision caches (the bump
-    // must follow the publication — coherence_stamp()'s contract).
-    if (accepted > 0) coherence_.fetch_add(1, std::memory_order_release);
-    pressure = built_size_ > 0
-                   ? static_cast<double>(migrated_) / static_cast<double>(built_size_)
-                   : 0.0;
+    accepted += slice;
+    if (slice > 0 && cfg_.auto_retrain && pressure >= cfg_.retrain_threshold)
+      request_retrain(/*forced=*/false);
+    if (next >= rules.size()) break;
+    if (!block || std::chrono::steady_clock::now() >= deadline) {
+      // Shed the rest: the caller sees a short count, health() the tally.
+      shed_ops_.fetch_add(rules.size() - next, std::memory_order_relaxed);
+      break;
+    }
+    // Wait for a commit to free capacity (swap, erase, journal drain). The
+    // predicate reads the mirror atomics, so a notify that lands before we
+    // acquire ov_mu_ is still observed; the next slice re-checks
+    // authoritatively under wmu_.
+    std::unique_lock lk{ov_mu_};
+    ov_cv_.wait_until(lk, deadline, [&] { return approx_room(); });
   }
-  if (accepted > 0 && cfg_.auto_retrain && pressure >= cfg_.retrain_threshold)
-    request_retrain(/*forced=*/false);
   return accepted;
 }
 
 size_t OnlineNuevoMatch::erase_batch(std::span<const uint32_t> rule_ids) {
   if (rule_ids.empty()) return 0;
+  // Erases never consume overload capacity — they shrink state, so capping
+  // them could wedge the one operation that relieves pressure.
   size_t accepted = 0;
-  std::lock_guard lk{wmu_};
-  pending_inserts_.clear();
-  pending_churn_erases_.clear();
-  uint64_t seq = op_seq_.fetch_add(rule_ids.size(), std::memory_order_relaxed);
-  bool churn_dirty = false;
-  bool base_dirty = false;
-  for (const uint32_t id : rule_ids) {
-    if (erase_locked(id, churn_dirty, base_dirty)) {
-      journal_locked(Op{Op::Kind::kErase, Rule{}, id, seq});
-      ++accepted;
+  bool freed = false;
+  {
+    std::lock_guard lk{wmu_};
+    pending_inserts_.clear();
+    pending_churn_erases_.clear();
+    uint64_t seq = op_seq_.fetch_add(rule_ids.size(), std::memory_order_relaxed);
+    bool churn_dirty = false;
+    bool base_dirty = false;
+    for (const uint32_t id : rule_ids) {
+      if (erase_locked(id, churn_dirty, base_dirty)) {
+        journal_locked(Op{Op::Kind::kErase, Rule{}, id, seq});
+        ++accepted;
+      }
+      ++seq;
     }
-    ++seq;
+    // iSet tombstones are already visible in place; only churn/base changes
+    // need a copy-on-write publication.
+    if (churn_dirty || base_dirty) publish_layer_locked(churn_dirty, base_dirty);
+    // Tombstone-only erases mutated the live view too, so any accepted op
+    // invalidates decision caches.
+    if (accepted > 0) coherence_.fetch_add(1, std::memory_order_release);
+    freed = churn_dirty;  // a churn erase shrank the delta
   }
-  // iSet tombstones are already visible in place; only churn/base changes
-  // need a copy-on-write publication.
-  if (churn_dirty || base_dirty) publish_layer_locked(churn_dirty, base_dirty);
-  // Tombstone-only erases mutated the live view too, so any accepted op
-  // invalidates decision caches.
-  if (accepted > 0) coherence_.fetch_add(1, std::memory_order_release);
+  if (freed) notify_overload();
   return accepted;
 }
 
@@ -298,6 +347,8 @@ void OnlineNuevoMatch::install_generation_locked(
                             std::memory_order_relaxed);
     }
   }
+  journal_depth_.store(0, std::memory_order_relaxed);
+  churn_size_.store(0, std::memory_order_relaxed);  // fresh layer is empty
 
   gen_pub_.store(fresh.get(), std::memory_order_seq_cst);
   const uint64_t stamp = epochs_.retire_stamp();
@@ -320,18 +371,54 @@ void OnlineNuevoMatch::publish_fresh(std::shared_ptr<Generation> fresh,
     std::unique_lock lk{wk_mu_};
     retrain_requested_ = false;
     wk_cv_.wait(lk, [&] { return !retrain_running_; });
+    // A cycle that failed while we waited may have re-armed a backoff
+    // retry; this install supersedes it — and failure accounting restarts
+    // from a clean slate (a fresh generation has no retrain history).
+    retrain_requested_ = false;
+    retrain_retry_ = false;
+    backoff_ms_ = 0;
+    backoff_until_ = {};
+    last_error_.clear();
   }
+  retrain_failures_.store(0, std::memory_order_relaxed);
+  degraded_.store(false, std::memory_order_release);
   // A retrain requested between the wait above and the lock below loses
   // either way: its snapshot section runs after this install (fresh rules),
   // or it already ran and the journal_open_ reset here discards it at replay.
-  std::lock_guard lk{wmu_};
-  install_generation_locked(std::move(fresh), shard_ops, /*reset_counters=*/true);
+  {
+    std::lock_guard lk{wmu_};
+    install_generation_locked(std::move(fresh), shard_ops, /*reset_counters=*/true);
+  }
+  notify_overload();  // the install reset the delta and the journal
 }
 
 void OnlineNuevoMatch::build(std::span<const Rule> rules) {
   auto fresh = std::make_shared<Generation>(cfg_.base);
-  // Train before cancelling the worker: the long part needs no exclusion.
-  fresh->nm.build(rules);
+  try {
+    if (failpoint::should_fire(failpoint::kOnlineBuild))
+      throw std::runtime_error("failpoint: online.build");
+    // Train before cancelling the worker: the long part needs no exclusion.
+    fresh->nm.build(rules);
+  } catch (const std::exception& e) {
+    // Graceful degradation instead of an unusable engine: an engine whose
+    // training failed can still answer every query correctly with the
+    // remainder side alone — restore() with zero iSets routes all rules to
+    // the configured remainder engine and skips RQ-RMI training entirely.
+    // health() raises the degraded flag; a later successful retrain_now()
+    // (or build()/adopt()) swaps a trained index in and clears it.
+    fresh = std::make_shared<Generation>(cfg_.base);
+    fresh->nm.restore({}, std::vector<Rule>(rules.begin(), rules.end()));
+    publish_fresh(std::move(fresh));
+    // publish_fresh wipes failure state; record the degradation after it.
+    retrain_failures_.store(1, std::memory_order_relaxed);
+    retrain_failures_total_.fetch_add(1, std::memory_order_relaxed);
+    degraded_.store(true, std::memory_order_release);
+    {
+      std::lock_guard lk{wk_mu_};
+      last_error_ = std::string{"initial build: "} + e.what();
+    }
+    return;
+  }
   publish_fresh(std::move(fresh));
 }
 
@@ -373,6 +460,11 @@ bool OnlineNuevoMatch::retrain_in_progress() const {
 void OnlineNuevoMatch::retrain_now() { request_retrain(/*forced=*/true); }
 
 void OnlineNuevoMatch::request_retrain(bool forced) {
+  // Degraded mode suppresses auto-retrains: the backoff ladder already
+  // burned max_retrain_failures attempts, so pressure-triggered requests
+  // would spin CPU on a persistently failing train. Recovery is explicit —
+  // retrain_now() (forced) still attempts, and a success clears the flag.
+  if (!forced && degraded_.load(std::memory_order_acquire)) return;
   {
     std::lock_guard lk{wk_mu_};
     if (stop_) return;
@@ -460,30 +552,106 @@ std::string OnlineNuevoMatch::name() const {
 void OnlineNuevoMatch::worker_loop() {
   for (;;) {
     bool forced = false;
+    bool retry = false;
     {
       std::unique_lock lk{wk_mu_};
       wk_cv_.wait(lk, [&] { return retrain_requested_ || stop_; });
+      // Backoff gate: a failed cycle's retry waits out its delay here
+      // (retrain_requested_ stays true, so quiesce() keeps waiting through
+      // the whole failure→retry→success sequence); an explicit
+      // retrain_now() or shutdown breaks through immediately.
+      while (!stop_ && !retrain_forced_ &&
+             std::chrono::steady_clock::now() < backoff_until_) {
+        wk_cv_.wait_until(lk, backoff_until_);
+      }
       if (stop_) return;
       retrain_requested_ = false;
       forced = retrain_forced_;
       retrain_forced_ = false;
+      retry = retrain_retry_;
+      retrain_retry_ = false;
       retrain_running_ = true;
     }
     // Auto-triggered requests re-arm on every insert past the threshold, so
     // a burst overlapping a running retrain leaves a pending request whose
     // work the swap already absorbed (journal replay). Skip the redundant
     // seconds-long cycle unless the live pressure still warrants it; an
-    // explicit retrain_now() always runs.
-    if (forced || absorption() >= cfg_.retrain_threshold) retrain_cycle();
+    // explicit retrain_now() always runs — and so does a backoff retry (the
+    // failed cycle was warranted when triggered; its journal was dropped,
+    // so current pressure alone under-reports the debt).
+    CycleOutcome outcome = CycleOutcome::kCancelled;
+    if (forced || retry || absorption() >= cfg_.retrain_threshold)
+      outcome = retrain_cycle();
     {
       std::lock_guard lk{wk_mu_};
       retrain_running_ = false;
+      if (outcome == CycleOutcome::kSwapped) {
+        // Recovery: a successful swap clears the failure ladder, the
+        // degraded flag, and the recorded error.
+        retrain_failures_.store(0, std::memory_order_relaxed);
+        degraded_.store(false, std::memory_order_release);
+        backoff_ms_ = 0;
+        backoff_until_ = {};
+        last_error_.clear();
+      } else if (outcome == CycleOutcome::kFailed) {
+        const uint64_t k =
+            retrain_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+        retrain_failures_total_.fetch_add(1, std::memory_order_relaxed);
+        const auto cap =
+            static_cast<uint64_t>(std::max(1, cfg_.max_retrain_failures));
+        if (k >= cap) {
+          // Degraded: stop burning CPU on a persistently failing train. The
+          // old generation + churn delta keep serving correct answers;
+          // request_retrain() suppresses further auto attempts until an
+          // explicit retrain_now()/build()/adopt() recovers.
+          degraded_.store(true, std::memory_order_release);
+          backoff_ms_ = 0;
+          backoff_until_ = {};
+        } else {
+          // Exponential backoff with seeded jitter: delay doubles per
+          // consecutive failure (clamped to backoff_max_ms), then jitters
+          // uniformly within [d/2, d] so co-failing engines desynchronize —
+          // deterministically, from cfg_.backoff_seed.
+          const int shift = static_cast<int>(std::min<uint64_t>(k - 1, 20));
+          uint64_t d =
+              std::min<uint64_t>(static_cast<uint64_t>(cfg_.backoff_initial_ms)
+                                     << shift,
+                                 cfg_.backoff_max_ms);
+          if (d > 0) d = d / 2 + backoff_rng_.below(d / 2 + 1);
+          backoff_ms_ = d;
+          backoff_until_ =
+              std::chrono::steady_clock::now() + std::chrono::milliseconds(d);
+          retrain_requested_ = true;
+          retrain_retry_ = true;
+        }
+      }
     }
-    wk_cv_.notify_all();  // wake quiesce()rs
+    wk_cv_.notify_all();  // wake quiesce()rs / a publish_fresh() waiter
   }
 }
 
-void OnlineNuevoMatch::retrain_cycle() {
+OnlineNuevoMatch::CycleOutcome OnlineNuevoMatch::abandon_cycle(const char* what) {
+  {
+    std::lock_guard lk{wmu_};
+    // journal_open_ false here means a concurrent build()/adopt() already
+    // installed over this cycle: it is superseded, not failed — recording a
+    // failure against the fresh install would be a lie.
+    if (!journal_open_) return CycleOutcome::kCancelled;
+    // The journals are dropped because every journaled update was also
+    // applied to the live view — nothing is lost.
+    journal_open_ = false;
+    for (const auto& sh : shards_) sh->journal.clear();
+    journal_depth_.store(0, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard lk{wk_mu_};
+    last_error_ = what;
+  }
+  notify_overload();  // the dropped journal freed capacity
+  return CycleOutcome::kFailed;
+}
+
+OnlineNuevoMatch::CycleOutcome OnlineNuevoMatch::retrain_cycle() {
   // 1) Snapshot the logical rule-set and open the journals. Writers are
   //    excluded only for the duration of one composition pass. `prev` keeps
   //    the donor generation alive for the model-reuse scan during training
@@ -508,15 +676,14 @@ void OnlineNuevoMatch::retrain_cycle() {
   //    the concurrently-flipped tombstone flags.
   auto fresh = std::make_shared<Generation>(cfg_.base);
   try {
+    if (failpoint::should_fire(failpoint::kOnlineRetrain))
+      throw std::runtime_error("failpoint: online.retrain");
     fresh->nm.build(snapshot, &prev->nm);
-  } catch (const std::exception&) {
-    // Training failure keeps the old generation serving; the journals are
-    // dropped because every journaled update was also applied to the live
-    // view — nothing is lost.
-    std::lock_guard lk{wmu_};
-    journal_open_ = false;
-    for (const auto& sh : shards_) sh->journal.clear();
-    return;
+  } catch (const std::exception& e) {
+    // Training failure keeps the old generation serving. The error is
+    // preserved (count + message in health()), and the worker schedules a
+    // backoff retry — see worker_loop.
+    return abandon_cycle(e.what());
   }
   last_retrain_reused_.store(fresh->nm.reused_isets(), std::memory_order_relaxed);
 
@@ -541,12 +708,15 @@ void OnlineNuevoMatch::retrain_cycle() {
       merged.insert(merged.end(), sh->journal.begin(), sh->journal.end());
       sh->journal.clear();
     }
+    journal_depth_.store(0, std::memory_order_relaxed);
     std::sort(merged.begin(), merged.end(),
               [](const Op& a, const Op& b) { return a.seq < b.seq; });
     return merged;
   };
   const auto replay = [&](const std::vector<Op>& ops) {
     for (const Op& op : ops) {
+      if (failpoint::should_fire(failpoint::kOnlineReplay))
+        throw std::runtime_error("failpoint: online.replay");
       if (op.kind == Op::Kind::kInsert) {
         fresh->nm.insert(op.rule);
       } else {
@@ -555,28 +725,99 @@ void OnlineNuevoMatch::retrain_cycle() {
     }
   };
   std::vector<Op> carry;  // drained but not yet replayed (always in seq order)
-  for (int round = 0; round < 4; ++round) {
+  try {
+    for (int round = 0; round < 4; ++round) {
+      {
+        std::lock_guard lk{wmu_};
+        // A concurrent build()/adopt() invalidates this cycle by resetting
+        // journal_open_ (install_generation_locked): the snapshot predates
+        // the explicit reset, so publishing it would resurrect pre-build
+        // rules.
+        if (!journal_open_) return CycleOutcome::kCancelled;
+        carry = drain_locked();
+      }
+      notify_overload();  // the drain freed journal capacity
+      if (carry.size() < 256) break;  // small enough to finish under the lock
+      replay(carry);
+      carry.clear();
+    }
     {
       std::lock_guard lk{wmu_};
-      // A concurrent build()/adopt() invalidates this cycle by resetting
-      // journal_open_ (install_generation_locked): the snapshot predates
-      // the explicit reset, so publishing it would resurrect pre-build
-      // rules.
-      if (!journal_open_) return;
-      carry = drain_locked();
+      if (!journal_open_) return CycleOutcome::kCancelled;
+      replay(carry);            // the last drained batch, if the loop broke early
+      replay(drain_locked());   // stragglers journaled since
+      install_generation_locked(std::move(fresh), /*shard_ops=*/nullptr,
+                                /*reset_counters=*/false);
     }
-    if (carry.size() < 256) break;  // small enough to finish under the lock
-    replay(carry);
-    carry.clear();
+  } catch (const std::exception& e) {
+    // A replay failure abandons the fresh generation exactly like a
+    // training failure: the live view already holds every journaled update,
+    // so dropping the journal loses nothing.
+    return abandon_cycle(e.what());
   }
+  notify_overload();  // the install reset the delta and the journal
+  return CycleOutcome::kSwapped;
+}
+
+// --- health -----------------------------------------------------------------
+
+EngineHealth OnlineNuevoMatch::health() const {
+  EngineHealth h;
+  h.degraded = degraded_.load(std::memory_order_acquire);
+  h.generation = generations();
+  h.retrain_failures = retrain_failures_.load(std::memory_order_relaxed);
+  h.retrain_failures_total =
+      retrain_failures_total_.load(std::memory_order_relaxed);
+  h.journal_depth = journal_depth_.load(std::memory_order_relaxed);
+  h.churn_rules = churn_size_.load(std::memory_order_relaxed);
+  h.shed_ops = shed_ops_.load(std::memory_order_relaxed);
+  h.absorption = absorption();  // takes wmu_ (released before wk_mu_ below)
   {
-    std::lock_guard lk{wmu_};
-    if (!journal_open_) return;
-    replay(carry);            // the last drained batch, if the loop broke early
-    replay(drain_locked());   // stragglers journaled since
-    install_generation_locked(std::move(fresh), /*shard_ops=*/nullptr,
-                              /*reset_counters=*/false);
+    std::lock_guard lk{wk_mu_};
+    h.retrain_pending = retrain_requested_ || retrain_running_;
+    // retrain_retry_ is armed by a failed cycle and cleared when the worker
+    // begins the retry attempt — exactly the backoff window.
+    h.in_backoff = retrain_retry_;
+    h.backoff_ms = backoff_ms_;
+    h.last_error = last_error_;
   }
+  return h;
+}
+
+// --- overload control helpers ----------------------------------------------
+
+size_t OnlineNuevoMatch::insert_room_locked() const {
+  size_t room = SIZE_MAX;
+  if (cfg_.max_churn_rules > 0) {
+    const size_t used = churn_size_.load(std::memory_order_relaxed);
+    room = used >= cfg_.max_churn_rules ? 0 : cfg_.max_churn_rules - used;
+  }
+  if (cfg_.max_journal_ops > 0 && journal_open_) {
+    const size_t used = journal_depth_.load(std::memory_order_relaxed);
+    room = std::min(room, used >= cfg_.max_journal_ops
+                              ? size_t{0}
+                              : cfg_.max_journal_ops - used);
+  }
+  return room;
+}
+
+bool OnlineNuevoMatch::approx_room() const noexcept {
+  if (cfg_.max_churn_rules > 0 &&
+      churn_size_.load(std::memory_order_relaxed) >= cfg_.max_churn_rules)
+    return false;
+  if (cfg_.max_journal_ops > 0 &&
+      journal_depth_.load(std::memory_order_relaxed) >= cfg_.max_journal_ops)
+    return false;
+  return true;
+}
+
+void OnlineNuevoMatch::notify_overload() const {
+  // The empty critical section orders the capacity-freeing stores (made
+  // before this call) against a blocked writer's predicate check under
+  // ov_mu_, closing the lost-wakeup window without holding ov_mu_ while
+  // publishing.
+  { std::lock_guard lk{ov_mu_}; }
+  ov_cv_.notify_all();
 }
 
 }  // namespace nuevomatch

@@ -60,21 +60,43 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "nuevomatch/epoch.hpp"
 #include "nuevomatch/nuevomatch.hpp"
 
 namespace nuevomatch {
+
+/// Writer-side behavior when an insert would push the churn delta or the
+/// retrain journal past its configured cap (OnlineConfig::max_churn_rules /
+/// max_journal_ops).
+enum class OverloadPolicy : uint8_t {
+  /// Reject the overflowing inserts: insert() returns false, insert_batch()
+  /// accepts a prefix; every shed op is counted in health().shed_ops. The
+  /// controller sees the refusal immediately and can retry after the next
+  /// swap drains the delta.
+  kShed,
+  /// Block the writer (lock-free readers are unaffected) until a commit
+  /// frees capacity — a swap resets the delta, an erase shrinks it, a
+  /// journal drain empties the shards — or `overload_block_timeout_ms`
+  /// elapses, after which the remaining ops are shed as above. Under this
+  /// policy one insert_batch() may commit in several slices as capacity
+  /// frees up, so burst-atomic visibility is NOT guaranteed when the cap
+  /// is hit (each slice is still commit-atomic).
+  kBlock,
+};
 
 struct OnlineConfig {
   /// Configuration of every generation (initial build and each retrain).
@@ -102,6 +124,77 @@ struct OnlineConfig {
   /// the shards exist for deterministic replay bookkeeping and checkpoint
   /// compatibility, not writer-side locking. Clamped to [1, 256].
   int update_shards = 4;
+
+  // --- fault tolerance (DESIGN.md "Failure model") -------------------------
+  /// Consecutive retrain failures after which the engine enters *degraded*
+  /// mode: it keeps serving the old generation + churn delta correctly, but
+  /// stops auto-retrying (an explicit retrain_now() still attempts, and a
+  /// success clears the flag). Clamped to >= 1.
+  int max_retrain_failures = 5;
+  /// Exponential-backoff schedule between failed retrain attempts: attempt
+  /// k (1-based) retries after jitter(min(backoff_initial_ms << (k-1),
+  /// backoff_max_ms)), where jitter picks uniformly from [d/2, d] out of a
+  /// stream seeded with `backoff_seed` — deterministic for a given seed, so
+  /// fault drills replay exactly.
+  uint32_t backoff_initial_ms = 10;
+  uint32_t backoff_max_ms = 2000;
+  uint64_t backoff_seed = 0x9E3779B9u;
+
+  // --- overload control ----------------------------------------------------
+  /// Cap on the churn delta (update-layer insert count). 0 = unbounded
+  /// (the pre-PR-6 behavior). Erases always pass — they shrink state.
+  size_t max_churn_rules = 0;
+  /// Cap on journal depth (ops queued across all shards while a retrain is
+  /// in flight). 0 = unbounded. Only inserts are capped, as above.
+  size_t max_journal_ops = 0;
+  /// What a writer does when an insert hits either cap.
+  OverloadPolicy overload_policy = OverloadPolicy::kShed;
+  /// kBlock only: how long a writer waits for capacity before shedding.
+  uint32_t overload_block_timeout_ms = 100;
+};
+
+/// One consistent-enough snapshot of the engine's fault/overload state —
+/// the operator surface the pipeline's Classifier element and the churn
+/// harness consume. Counters are sampled individually (relaxed atomics plus
+/// one short writer/worker lock hold each), so a snapshot taken mid-commit
+/// can mix adjacent states; every field is monotone or self-describing, so
+/// that is benign for health reporting.
+struct EngineHealth {
+  /// True after max_retrain_failures consecutive retrain failures (or an
+  /// initial-build fallback): serving continues on the old generation +
+  /// churn delta, auto-retrain is suppressed, operator action is expected.
+  bool degraded = false;
+  /// Generations published so far (mirrors generations()).
+  uint64_t generation = 0;
+  /// Consecutive retrain failures since the last successful swap (resets
+  /// to zero on success).
+  uint64_t retrain_failures = 0;
+  /// All retrain failures over the engine's lifetime (never resets).
+  uint64_t retrain_failures_total = 0;
+  /// what() of the most recent retrain/build failure; empty after a
+  /// successful swap (the satellite fix for the silently-swallowed
+  /// exception in retrain_cycle()).
+  std::string last_error;
+  /// A retrain is requested or currently running.
+  bool retrain_pending = false;
+  /// A failed retrain is waiting out its backoff delay before retrying.
+  bool in_backoff = false;
+  /// The delay of the currently scheduled (or most recent) backoff wait.
+  uint64_t backoff_ms = 0;
+  /// Ops queued in the retrain journal right now (0 when no retrain is in
+  /// flight).
+  size_t journal_depth = 0;
+  /// Rules in the published churn delta right now.
+  size_t churn_rules = 0;
+  /// Inserts rejected by overload control since construction.
+  uint64_t shed_ops = 0;
+  /// Absorption ratio (mirrors absorption()).
+  double absorption = 0.0;
+
+  /// The one-glance operator verdict.
+  [[nodiscard]] bool ok() const noexcept {
+    return !degraded && retrain_failures == 0;
+  }
 };
 
 class OnlineNuevoMatch final : public Classifier {
@@ -222,7 +315,13 @@ class OnlineNuevoMatch final : public Classifier {
     return last_retrain_reused_.load(std::memory_order_relaxed);
   }
   /// Request a background retrain now (idempotent while one is pending).
+  /// Breaks through a backoff wait, and is the operator's recovery path out
+  /// of degraded mode: a successful forced retrain clears the flag.
   void retrain_now();
+  /// Fault/overload snapshot (see EngineHealth). Safe from any thread;
+  /// takes the writer and worker locks briefly (never nested), so it is a
+  /// control-plane call, not a data-path one.
+  [[nodiscard]] EngineHealth health() const;
   /// Block until no retrain is pending or running. Tests, benchmarks and
   /// serialization use this to reach a stable state.
   void quiesce() const;
@@ -361,14 +460,34 @@ class OnlineNuevoMatch final : public Classifier {
                                  const std::vector<uint64_t>* shard_ops,
                                  bool reset_counters);
 
+  /// How a retrain cycle ended. kFailed feeds the retry/backoff/degraded
+  /// machinery; kCancelled (a concurrent build()/adopt() superseded the
+  /// cycle, or pressure subsided) is not a failure.
+  enum class CycleOutcome : uint8_t { kSwapped, kFailed, kCancelled };
+
   void worker_loop();
-  void retrain_cycle();
+  [[nodiscard]] CycleOutcome retrain_cycle();
+  /// Failure path out of retrain_cycle(): close + clear the journal, record
+  /// `what` as the last error. Returns kCancelled instead when a concurrent
+  /// install already closed the journal (the cycle was moot, not broken).
+  [[nodiscard]] CycleOutcome abandon_cycle(const char* what);
   /// build()/adopt(): cancel pending retrains, install `fresh` as the live
   /// generation and reset the whole update path (journals, layer, counters —
-  /// per-shard op counters set to `shard_ops` or zeroed when null).
+  /// per-shard op counters set to `shard_ops` or zeroed when null; failure/
+  /// backoff state cleared — a fresh install is a clean slate).
   void publish_fresh(std::shared_ptr<Generation> fresh,
                      const std::vector<uint64_t>* shard_ops = nullptr);
   void request_retrain(bool forced);
+
+  /// How many more inserts overload control admits right now (SIZE_MAX when
+  /// unbounded). Requires wmu_.
+  [[nodiscard]] size_t insert_room_locked() const;
+  /// Approximate room check from atomics only — the kBlock wait predicate
+  /// (the admitting slice re-checks authoritatively under wmu_).
+  [[nodiscard]] bool approx_room() const noexcept;
+  /// Wake writers blocked on overload capacity. Call WITHOUT wmu_ held,
+  /// after a commit that may have freed capacity (swap, erase, drain).
+  void notify_overload() const;
 
   OnlineConfig cfg_;
 
@@ -401,13 +520,39 @@ class OnlineNuevoMatch final : public Classifier {
   std::atomic<uint64_t> op_seq_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  /// Worker signalling (guards the four flags below).
+  // --- fault/overload telemetry (atomics: health() reads them lock-free) --
+  std::atomic<bool> degraded_{false};
+  std::atomic<uint64_t> retrain_failures_{0};        // consecutive
+  std::atomic<uint64_t> retrain_failures_total_{0};  // lifetime
+  std::atomic<uint64_t> shed_ops_{0};
+  /// Mirrors the shard journals' total size (maintained under wmu_, read by
+  /// approx_room()/health() without it).
+  std::atomic<size_t> journal_depth_{0};
+  /// Mirrors the published churn delta's size, same discipline.
+  std::atomic<size_t> churn_size_{0};
+
+  /// Overload wait channel (kBlock). Leaf lock: taken with no other lock
+  /// held by waiters; notifiers touch it only via notify_overload() after
+  /// releasing wmu_.
+  mutable std::mutex ov_mu_;
+  mutable std::condition_variable ov_cv_;
+
+  /// Worker signalling (guards the flags below plus the backoff schedule
+  /// and the last-error string).
   mutable std::mutex wk_mu_;
   mutable std::condition_variable wk_cv_;
   bool retrain_requested_ = false;
   bool retrain_forced_ = false;  // explicit retrain_now(): never skipped
   bool retrain_running_ = false;
   bool stop_ = false;
+  /// A failed cycle re-armed itself: the next attempt runs regardless of
+  /// absorption (the failed cycle was warranted when triggered) after
+  /// waiting out backoff_until_.
+  bool retrain_retry_ = false;
+  uint64_t backoff_ms_ = 0;
+  std::chrono::steady_clock::time_point backoff_until_{};
+  Rng backoff_rng_{1};
+  std::string last_error_;
   std::thread worker_;
 };
 

@@ -296,6 +296,26 @@ std::string ClassifierElement::report() const {
                 static_cast<unsigned long long>(online_->generations()),
                 static_cast<unsigned long long>(online_->update_ops()),
                 parallel_ != nullptr ? ", two-core" : "");
+    // The operator surface: a healthy engine reports one word, an unhealthy
+    // one reports exactly what is wrong (the reason a run's numbers are off
+    // should be in the run's own report, not in a debugger).
+    const EngineHealth h = online_->health();
+    if (h.ok()) {
+      line += "\n  health: ok";
+    } else {
+      line += fmt("\n  health: %s — %llu consecutive retrain failure(s) "
+                  "(%llu lifetime)",
+                  h.degraded ? "DEGRADED" : "retrying",
+                  static_cast<unsigned long long>(h.retrain_failures),
+                  static_cast<unsigned long long>(h.retrain_failures_total));
+      if (h.in_backoff)
+        line += fmt(", backoff %llu ms",
+                    static_cast<unsigned long long>(h.backoff_ms));
+      if (!h.last_error.empty()) line += ", last error: " + h.last_error;
+    }
+    if (h.shed_ops > 0)
+      line += fmt("\n  overload: %llu inserts shed",
+                  static_cast<unsigned long long>(h.shed_ops));
   } else if (scalar_ != nullptr) {
     line += " (scalar engine: " + scalar_->name() + ")";
   }

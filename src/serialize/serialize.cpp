@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/failpoint.hpp"
 #include "serialize/bytes.hpp"
 
 namespace nuevomatch::serialize {
@@ -197,6 +198,10 @@ std::vector<uint8_t> save_model(const rqrmi::RqRmi& model) {
 }
 
 std::optional<rqrmi::RqRmi> load_model(std::span<const uint8_t> bytes) {
+  // Injected read failure (failpoint "serialize.load"): a checkpoint that
+  // cannot be read reports failure through the same fail-soft channel as a
+  // corrupt one — callers must already handle std::nullopt.
+  if (failpoint::should_fire(failpoint::kSerializeLoad)) return std::nullopt;
   ByteReader r{bytes};
   if (!r.check_crc()) return std::nullopt;
   if (!r.expect_tag(kModelMagic) || r.get_u32() != kFormatVersion) return std::nullopt;
@@ -214,6 +219,7 @@ std::vector<uint8_t> save_rules(std::span<const Rule> rules) {
 }
 
 std::optional<RuleSet> load_rules(std::span<const uint8_t> bytes) {
+  if (failpoint::should_fire(failpoint::kSerializeLoad)) return std::nullopt;
   ByteReader r{bytes};
   if (!r.check_crc()) return std::nullopt;
   if (!r.expect_tag(kRulesMagic) || r.get_u32() != kFormatVersion) return std::nullopt;
@@ -232,6 +238,7 @@ std::vector<uint8_t> save_classifier(const NuevoMatch& nm) {
 
 std::optional<NuevoMatch> load_classifier(std::span<const uint8_t> bytes,
                                           NuevoMatchConfig cfg) {
+  if (failpoint::should_fire(failpoint::kSerializeLoad)) return std::nullopt;
   ByteReader r{bytes};
   if (!r.check_crc()) return std::nullopt;
   if (!r.expect_tag(kClassifierMagic) || r.get_u32() != kFormatVersion)
@@ -261,6 +268,7 @@ std::vector<uint8_t> save_online(const OnlineNuevoMatch& online) {
 
 std::unique_ptr<OnlineNuevoMatch> load_online(std::span<const uint8_t> bytes,
                                               OnlineConfig cfg) {
+  if (failpoint::should_fire(failpoint::kSerializeLoad)) return nullptr;
   ByteReader r{bytes};
   if (!r.check_crc()) return nullptr;
   if (!r.expect_tag(kOnlineMagic) || r.get_u32() != kFormatVersion) return nullptr;

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/failpoint.hpp"
+
 namespace nuevomatch {
 
 namespace {
@@ -95,7 +97,23 @@ PcapReader::PcapReader(const std::string& path) {
         return;
       }
   }
+  const uint16_t version = swapped_ ? bswap16(gh.version_major) : gh.version_major;
+  if (version != 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, ": unsupported pcap version %u", version);
+    error_ = path + buf;
+    return;
+  }
   link_type_ = swapped_ ? bswap32(gh.network) : gh.network;
+  if (link_type_ != kLinkEthernet && link_type_ != kLinkRawIpv4) {
+    // Reject at open: every frame of an unknown link type would fail to
+    // project onto a five-tuple, and a silent 100% skip rate looks exactly
+    // like an empty trace. Better one clean per-file error.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, ": unsupported pcap link type %u", link_type_);
+    error_ = path + buf;
+    return;
+  }
 }
 
 PcapReader::~PcapReader() {
@@ -104,31 +122,37 @@ PcapReader::~PcapReader() {
 
 bool PcapReader::next(PcapRecord& out) {
   if (!ok() || f_ == nullptr) return false;
+  // Per-record errors carry the 1-based record index: "record 3: ..." is
+  // actionable on a multi-gigabyte capture, "truncated body" is not.
+  const auto fail = [&](const char* what) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "pcap record %llu: %s",
+                  static_cast<unsigned long long>(n_records_ + 1), what);
+    error_ = buf;
+    return false;
+  };
   RecordHeader rh;
   const size_t got = std::fread(&rh, 1, sizeof rh, f_);
   if (got == 0) return false;  // clean EOF
-  if (got != sizeof rh) {
-    error_ = "truncated pcap record header";
-    return false;
-  }
+  if (got != sizeof rh) return fail("truncated record header");
   if (swapped_) {
     rh.ts_sec = bswap32(rh.ts_sec);
     rh.ts_frac = bswap32(rh.ts_frac);
     rh.incl_len = bswap32(rh.incl_len);
     rh.orig_len = bswap32(rh.orig_len);
   }
-  if (rh.incl_len > (1u << 26)) {  // 64 MiB: no sane snaplen, corrupt file
-    error_ = "pcap record incl_len implausibly large";
-    return false;
-  }
+  if (rh.incl_len > (1u << 26))  // 64 MiB: no sane snaplen, corrupt file
+    return fail("incl_len implausibly large");
+  if (rh.incl_len > rh.orig_len)
+    return fail("incl_len exceeds orig_len (corrupt lengths)");
   out.frame.resize(rh.incl_len);
-  if (rh.incl_len > 0 && std::fread(out.frame.data(), 1, rh.incl_len, f_) != rh.incl_len) {
-    error_ = "truncated pcap record body";
-    return false;
-  }
+  if (rh.incl_len > 0 &&
+      std::fread(out.frame.data(), 1, rh.incl_len, f_) != rh.incl_len)
+    return fail("truncated record body");
   out.orig_len = rh.orig_len;
   out.ts_ns = static_cast<uint64_t>(rh.ts_sec) * 1'000'000'000ull +
               static_cast<uint64_t>(rh.ts_frac) * (nanosecond_ ? 1ull : 1'000ull);
+  ++n_records_;
   return true;
 }
 
@@ -190,6 +214,9 @@ void PcapWriter::write(uint64_t ts_ns, std::span<const uint8_t> frame) {
 // --- frame parse / synthesis ------------------------------------------------
 
 std::optional<Packet> parse_frame(std::span<const uint8_t> frame, uint32_t link_type) {
+  // Injected parse failure (failpoint "pcap.parse"): the frame reports as
+  // unprojectable through the same skip-and-count channel as real damage.
+  if (failpoint::should_fire(failpoint::kPcapParse)) return std::nullopt;
   size_t off = 0;
   if (link_type == kLinkEthernet) {
     if (frame.size() < 14) return std::nullopt;

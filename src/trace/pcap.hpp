@@ -40,9 +40,14 @@ struct PcapRecord {
 inline constexpr uint32_t kLinkEthernet = 1;    // LINKTYPE_EN10MB
 inline constexpr uint32_t kLinkRawIpv4 = 101;   // LINKTYPE_RAW
 
-/// Streaming reader. Construction reads and validates the global header;
-/// a bad magic or truncated header leaves the reader !ok() with an error
-/// message (no exceptions on the data path).
+/// Streaming reader. Construction reads and validates the global header:
+/// a bad magic, truncated header, unsupported format version, or a link
+/// type this parser cannot project onto five-tuples (anything but EN10MB /
+/// RAW) leaves the reader !ok() with a per-file error message — callers
+/// never have to discover a garbage link type by watching every frame
+/// skip. Record-level damage (truncated header/body, incl_len > orig_len,
+/// implausible lengths) fails next() with the 1-based record index in the
+/// error. No exceptions on the data path.
 class PcapReader {
  public:
   explicit PcapReader(const std::string& path);
@@ -66,6 +71,7 @@ class PcapReader {
   uint32_t link_type_ = kLinkEthernet;
   bool nanosecond_ = false;
   bool swapped_ = false;
+  uint64_t n_records_ = 0;  ///< records read so far (error-message index)
 };
 
 struct PcapWriterOptions {

@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -41,6 +42,7 @@
 
 #include "classbench/generator.hpp"
 #include "classifiers/linear.hpp"
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 #include "cutsplit/cutsplit.hpp"
 #include "nuevomatch/online.hpp"
@@ -88,6 +90,21 @@ struct ChurnConfig {
   /// ISSUE 5 acceptance gate: ≥3 swaps with a cache-fronted reader).
   bool swap_each_step = false;
 
+  /// Fault-injection drill (the ISSUE 6 acceptance gate): at the schedule's
+  /// midpoint step, arm the `online.retrain` failpoint to fail this many
+  /// consecutive training attempts, force a retrain, and ride the
+  /// failure → backoff → retry ladder while writers and readers keep
+  /// racing — capturing what health() reported along the way. After the
+  /// schedule the point is disarmed and a forced retrain must recover. The
+  /// oracle checks run unchanged throughout: a failed retrain must never
+  /// change an answer. 0 = off.
+  int fault_retrain_failures = 0;
+  /// Engine fault knobs in drill mode (passed through to OnlineConfig;
+  /// small backoff values keep the drill fast under test).
+  int max_retrain_failures = 5;
+  uint32_t backoff_initial_ms = 4;
+  uint32_t backoff_max_ms = 64;
+
   int update_shards = 4;
   double retrain_threshold = 0.02;
   bool auto_retrain = true;
@@ -133,6 +150,12 @@ struct ChurnConfig {
   c.n_cache_readers = static_cast<int>(rng.between(0, 2));
   c.cache_probes = rng.chance(0.5);
   c.swap_each_step = rng.chance(0.3);
+  // A quarter of the draws run the retrain fault drill too, sometimes deep
+  // enough to cross into degraded mode mid-churn.
+  if (rng.chance(0.25)) {
+    c.fault_retrain_failures = static_cast<int>(rng.between(1, 4));
+    c.max_retrain_failures = static_cast<int>(rng.between(2, 5));
+  }
   return c;
 }
 
@@ -147,6 +170,13 @@ struct ChurnResult {
   uint64_t scheduled_ops = 0;         ///< ops the schedule generated
   uint64_t applied_ops = 0;           ///< ops the classifier accepted
   uint64_t swaps = 0;                 ///< generations published after build
+
+  // Fault-drill observations (populated when fault_retrain_failures > 0).
+  uint64_t fault_failures_seen = 0;  ///< max consecutive failures health() showed
+  bool degraded_seen = false;        ///< health().degraded observed mid-drill
+  bool backoff_seen = false;         ///< health().in_backoff observed mid-drill
+  bool fault_error_seen = false;     ///< health().last_error was non-empty
+  EngineHealth final_health;         ///< snapshot after the run's last swap
 };
 
 class ChurnHarness {
@@ -196,6 +226,9 @@ class ChurnHarness {
     ocfg.retrain_threshold = cfg_.retrain_threshold;
     ocfg.auto_retrain = cfg_.auto_retrain;
     ocfg.update_shards = cfg_.update_shards;
+    ocfg.max_retrain_failures = cfg_.max_retrain_failures;
+    ocfg.backoff_initial_ms = cfg_.backoff_initial_ms;
+    ocfg.backoff_max_ms = cfg_.backoff_max_ms;
     OnlineNuevoMatch online{ocfg};
     online.build(base_);
     const uint64_t gen0 = online.generations();
@@ -313,7 +346,39 @@ class ChurnHarness {
         online.retrain_now();
         online.quiesce();
       }
+      if (cfg_.fault_retrain_failures > 0 && s == cfg_.n_steps / 2) {
+        // The drill: the next fault_retrain_failures training attempts
+        // throw. Force a retrain and ride the failure → backoff → retry
+        // ladder, sampling health() — readers keep hammering the stable
+        // core and the step oracle below keeps probing, so any answer the
+        // failure path changes is caught immediately.
+        failpoint::arm(failpoint::kOnlineRetrain,
+                       failpoint::Trigger::first(
+                           static_cast<uint64_t>(cfg_.fault_retrain_failures)));
+        online.retrain_now();
+        for (;;) {
+          const EngineHealth h = online.health();
+          res.fault_failures_seen =
+              std::max(res.fault_failures_seen, h.retrain_failures);
+          res.degraded_seen |= h.degraded;
+          res.backoff_seen |= h.in_backoff;
+          res.fault_error_seen |= !h.last_error.empty();
+          // The ladder ends in recovery (pending clears on success) or in
+          // degraded mode (auto-retries stop).
+          if (h.degraded || !h.retrain_pending) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
       verify_step(online, probe_engine, oracle, probe_cache, s, res);
+    }
+
+    if (cfg_.fault_retrain_failures > 0) {
+      // Recovery: disarm and force one clean retrain. A still-degraded
+      // engine accepts the forced attempt (that is the operator's
+      // recovery path); success must clear every failure flag.
+      failpoint::disarm(failpoint::kOnlineRetrain);
+      online.retrain_now();
+      online.quiesce();
     }
 
     // Drive the system through the demanded number of swap cycles even when
@@ -333,6 +398,7 @@ class ChurnHarness {
     res.concurrent_mismatches = mismatches.load();
     res.applied_ops = applied.load();
     res.swaps = online.generations() - gen0;
+    res.final_health = online.health();
     return res;
   }
 

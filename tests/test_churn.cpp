@@ -150,6 +150,94 @@ TEST(ChurnFlowCache, CacheFrontedReadersCoherentAcrossSwaps) {
   EXPECT_GE(res.swaps, 3u) << "cached decisions must ride through >=3 swaps";
 }
 
+// The ISSUE 6 acceptance gate: the retrain failpoint armed to fail 3
+// consecutive attempts mid-churn. The engine must serve with ZERO oracle
+// mismatches through failure → backoff → degraded (3 == max_retrain_failures
+// consecutive failures), health() must report the failures, the backoff
+// window, the degraded flag and the preserved error message — and a later
+// unarmed forced retrain must recover to a fresh, healthy generation. Runs
+// under the TSAN CI leg with writers and readers racing the whole ladder.
+TEST(ChurnFaultInjection, ThreeFailuresDegradeThenRecover) {
+  ChurnConfig cfg;
+  cfg.seed = 101;
+  cfg.n_rules = 800;
+  cfg.n_writers = 2;
+  cfg.n_scalar_readers = 1;
+  cfg.n_batch_readers = 1;
+  cfg.n_steps = 3;                 // drill fires after step 1's writers join
+  cfg.fault_retrain_failures = 3;
+  cfg.max_retrain_failures = 3;    // the third failure crosses into degraded
+  cfg.backoff_initial_ms = 8;      // two observable backoff windows (8, 16 ms)
+  cfg.auto_retrain = false;        // deterministic: only the drill's retrains
+  cfg.retrain_threshold = 1.0;
+  cfg.min_swaps = 1;
+  ChurnHarness harness{cfg};
+
+  const ChurnResult res = harness.run();
+
+  // Serving stayed correct through the whole failure ladder.
+  EXPECT_EQ(res.applied_ops, res.scheduled_ops);
+  EXPECT_EQ(res.concurrent_mismatches, 0u)
+      << "a reader racing the failing retrains saw a wrong answer ("
+      << res.concurrent_lookups << " lookups)";
+  EXPECT_EQ(res.probe_mismatches, 0u)
+      << "the engine diverged from the oracle while degraded (" << res.probes
+      << " probes)";
+
+  // health() told the whole story while it happened...
+  EXPECT_EQ(res.fault_failures_seen, 3u)
+      << "health() never reported the 3 consecutive retrain failures";
+  EXPECT_TRUE(res.backoff_seen) << "health() never reported a backoff window";
+  EXPECT_TRUE(res.degraded_seen)
+      << "3 consecutive failures must cross into degraded mode";
+  EXPECT_TRUE(res.fault_error_seen)
+      << "the injected error message was swallowed";
+
+  // ...and the disarmed forced retrain recovered to a fresh generation.
+  EXPECT_GE(res.swaps, 1u) << "recovery never published a fresh generation";
+  EXPECT_TRUE(res.final_health.ok())
+      << "post-recovery health still unhealthy: degraded="
+      << res.final_health.degraded
+      << " failures=" << res.final_health.retrain_failures
+      << " last_error=" << res.final_health.last_error;
+  EXPECT_FALSE(res.final_health.degraded);
+  EXPECT_EQ(res.final_health.retrain_failures, 0u);
+  EXPECT_TRUE(res.final_health.last_error.empty());
+  EXPECT_EQ(res.final_health.retrain_failures_total, 3u);
+}
+
+// Below the degraded threshold the ladder must recover BY ITSELF: two
+// injected failures back off and retry, the third attempt trains for real
+// and swaps — no operator action, no degraded flag, failure state wiped.
+TEST(ChurnFaultInjection, BackoffAutoRecoveryBelowDegradedThreshold) {
+  ChurnConfig cfg;
+  cfg.seed = 202;
+  cfg.n_rules = 600;
+  cfg.n_writers = 1;
+  cfg.n_scalar_readers = 1;
+  cfg.n_batch_readers = 0;
+  cfg.n_steps = 3;
+  cfg.fault_retrain_failures = 2;
+  cfg.max_retrain_failures = 5;    // ladder succeeds before the threshold
+  cfg.backoff_initial_ms = 8;
+  cfg.auto_retrain = false;
+  cfg.retrain_threshold = 1.0;
+  cfg.min_swaps = 1;
+  ChurnHarness harness{cfg};
+
+  const ChurnResult res = harness.run();
+
+  EXPECT_EQ(res.concurrent_mismatches, 0u);
+  EXPECT_EQ(res.probe_mismatches, 0u);
+  EXPECT_EQ(res.fault_failures_seen, 2u);
+  EXPECT_TRUE(res.backoff_seen);
+  EXPECT_FALSE(res.degraded_seen)
+      << "2 failures with max=5 must never report degraded";
+  EXPECT_GE(res.swaps, 1u);
+  EXPECT_TRUE(res.final_health.ok());
+  EXPECT_EQ(res.final_health.retrain_failures_total, 2u);
+}
+
 // Two writers inserting the SAME rule-id serialize on the writer lock;
 // exactly one insert() may win, and the journal must carry the winner once —
 // never the loser, never a duplicate. Regression for the duplicate-insert

@@ -10,7 +10,11 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <span>
+
 #include "classbench/generator.hpp"
+#include "common/failpoint.hpp"
 #include "trace/pcap.hpp"
 #include "trace/trace.hpp"
 
@@ -212,6 +216,157 @@ TEST(PcapReaderErrors, BadMagicAndTruncatedRecord) {
 TEST(PcapReaderErrors, MissingFile) {
   PcapReader r{tmp_path("does_not_exist.pcap")};
   EXPECT_FALSE(r.ok());
+}
+
+// --- hardening: corrupt captures fail cleanly, never crash ------------------
+
+std::vector<uint8_t> slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + got);
+  std::fclose(f);
+  return bytes;
+}
+
+void spit(const std::string& path, std::span<const uint8_t> bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+TEST(PcapHardening, TruncationAtEveryByteFailsCleanlyOrEofExactly) {
+  // A capture cut at ANY byte must either read back as a clean EOF (cuts
+  // exactly on a record boundary) or surface an error — never crash, never
+  // silently drop a half-read record. The boundary set makes the assertion
+  // exact, not just "no crash".
+  std::vector<Packet> pkts = sample_packets();
+  pkts.resize(3);
+  const std::string full_path = tmp_path("sweep_full.pcap");
+  ASSERT_TRUE(write_pcap_packets(full_path, pkts));
+  const std::vector<uint8_t> full = slurp(full_path);
+
+  std::vector<size_t> boundaries{24};  // global header alone = empty capture
+  for (const Packet& p : pkts)
+    boundaries.push_back(boundaries.back() + 16 + synthesize_frame(p).size());
+  ASSERT_EQ(boundaries.back(), full.size());
+
+  const std::string cut_path = tmp_path("sweep_cut.pcap");
+  for (size_t keep = 0; keep < full.size(); ++keep) {
+    spit(cut_path, std::span{full}.first(keep));
+    PcapReader r{cut_path};
+    if (keep < 24) {
+      EXPECT_FALSE(r.ok()) << "keep " << keep;
+      EXPECT_FALSE(r.error().empty()) << "keep " << keep;
+      continue;
+    }
+    ASSERT_TRUE(r.ok()) << "keep " << keep;
+    PcapRecord rec;
+    size_t n = 0;
+    while (r.next(rec)) ++n;
+    const bool on_boundary =
+        std::find(boundaries.begin(), boundaries.end(), keep) != boundaries.end();
+    EXPECT_EQ(r.ok(), on_boundary) << "keep " << keep;
+    if (!on_boundary) EXPECT_FALSE(r.error().empty()) << "keep " << keep;
+  }
+}
+
+TEST(PcapHardening, GarbageLinkTypeRejectedAtOpen) {
+  const std::vector<Packet> pkts = sample_packets();
+  const std::string path = tmp_path("badlink.pcap");
+  ASSERT_TRUE(write_pcap_packets(path, {pkts.data(), 2}));
+  std::vector<uint8_t> bytes = slurp(path);
+  bytes[20] = 147;  // network field (offset 20), little-endian
+  bytes[21] = bytes[22] = bytes[23] = 0;
+  spit(path, bytes);
+  PcapReader r{path};
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("unsupported pcap link type 147"), std::string::npos)
+      << r.error();
+  EXPECT_NE(r.error().find("badlink.pcap"), std::string::npos)
+      << "per-file errors must name the file: " << r.error();
+}
+
+TEST(PcapHardening, BadVersionRejectedAtOpen) {
+  const std::vector<Packet> pkts = sample_packets();
+  const std::string path = tmp_path("badver.pcap");
+  ASSERT_TRUE(write_pcap_packets(path, {pkts.data(), 1}));
+  std::vector<uint8_t> bytes = slurp(path);
+  bytes[4] = 7;  // version_major (offset 4), little-endian
+  bytes[5] = 0;
+  spit(path, bytes);
+  PcapReader r{path};
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("unsupported pcap version 7"), std::string::npos)
+      << r.error();
+}
+
+TEST(PcapHardening, CorruptLengthsCarryRecordIndex) {
+  const std::vector<Packet> pkts = sample_packets();
+  const std::string path = tmp_path("badlen.pcap");
+  ASSERT_TRUE(write_pcap_packets(path, {pkts.data(), 2}));
+  const std::vector<uint8_t> good = slurp(path);
+  const size_t rec2 = 24 + 16 + synthesize_frame(pkts[0]).size();
+
+  // incl_len > orig_len: declared capture longer than the original frame.
+  {
+    std::vector<uint8_t> bytes = good;
+    bytes[rec2 + 8] += 1;  // incl_len (record header offset 8), little-endian
+    spit(path, bytes);
+    PcapReader r{path};
+    ASSERT_TRUE(r.ok());
+    PcapRecord rec;
+    EXPECT_TRUE(r.next(rec));   // record 1 untouched
+    EXPECT_FALSE(r.next(rec));  // record 2 corrupt
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("record 2"), std::string::npos) << r.error();
+    EXPECT_NE(r.error().find("incl_len exceeds orig_len"), std::string::npos)
+        << r.error();
+  }
+
+  // Absurd incl_len: rejected before any allocation attempt.
+  {
+    std::vector<uint8_t> bytes = good;
+    bytes[rec2 + 8] = bytes[rec2 + 9] = bytes[rec2 + 10] = 0xFF;
+    bytes[rec2 + 11] = 0x7F;
+    spit(path, bytes);
+    PcapReader r{path};
+    ASSERT_TRUE(r.ok());
+    PcapRecord rec;
+    EXPECT_TRUE(r.next(rec));
+    EXPECT_FALSE(r.next(rec));
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("record 2"), std::string::npos) << r.error();
+    EXPECT_NE(r.error().find("implausibly large"), std::string::npos) << r.error();
+  }
+}
+
+TEST(PcapFailpoint, InjectedParseFailureCountsAsSkip) {
+  const std::vector<Packet> pkts = sample_packets();
+  const std::string path = tmp_path("fp_parse.pcap");
+  ASSERT_TRUE(write_pcap_packets(path, {pkts.data(), 5}));
+
+  {
+    // Exactly the 2nd frame "fails to parse": skipped, not fatal.
+    failpoint::Scoped arm{failpoint::kPcapParse, failpoint::Trigger::nth(2)};
+    size_t skipped = 0;
+    const auto got = read_pcap_packets(path, &skipped);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(skipped, 1u);
+    EXPECT_EQ(got->size(), 4u);
+    EXPECT_EQ((*got)[1].field, pkts[2].field) << "the skip must not shift "
+                                                 "neighboring frames";
+  }
+  // Disarmed: the same file reads in full.
+  size_t skipped = 9;
+  const auto got = read_pcap_packets(path, &skipped);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(got->size(), 5u);
 }
 
 }  // namespace

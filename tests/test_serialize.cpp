@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "classbench/generator.hpp"
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 #include "serialize/bytes.hpp"
 #include "serialize/serialize.hpp"
@@ -215,6 +216,137 @@ TEST(Corruption, TrailingGarbageRejected) {
   auto padded = bytes;
   padded.push_back(0);
   EXPECT_FALSE(load_rules(padded).has_value());
+}
+
+// --- corrupt-input fuzz sweeps ----------------------------------------------
+// Exhaustive, not sampled: EVERY truncated prefix and EVERY single-bit flip
+// of a valid blob must come back nullopt/nullptr — never a crash, never a
+// classifier built from garbage. Inputs are kept small: each prefix/flip
+// pays an O(n) CRC pass, so the sweeps are O(n^2).
+
+OnlineConfig online_cfg() {
+  OnlineConfig cfg;
+  cfg.base = tm_config();
+  cfg.auto_retrain = false;
+  return cfg;
+}
+
+std::vector<uint8_t> small_online_blob() {
+  OnlineNuevoMatch online{online_cfg()};
+  const RuleSet rules = generate_classbench(AppClass::kAcl, 1, 60, 21);
+  online.build(rules);
+  return save_online(online);
+}
+
+/// Rewrite the CRC-32 trailer so a corrupted body passes check_crc() — the
+/// only way to drive the structural validation behind the checksum.
+void refresh_crc(std::vector<uint8_t>& b) {
+  ASSERT_GE(b.size(), 4u);
+  const uint32_t c = crc32(std::span<const uint8_t>(b).first(b.size() - 4));
+  for (size_t i = 0; i < 4; ++i)
+    b[b.size() - 4 + i] = static_cast<uint8_t>(c >> (8 * i));
+}
+
+TEST(CorruptionFuzz, ModelEveryTruncatedPrefixRejected) {
+  const auto bytes = save_model(trained_model(24, 41));
+  const std::span<const uint8_t> all{bytes};
+  for (size_t keep = 0; keep < bytes.size(); ++keep)
+    ASSERT_FALSE(load_model(all.subspan(0, keep)).has_value()) << "keep " << keep;
+}
+
+TEST(CorruptionFuzz, OnlineEveryTruncatedPrefixRejected) {
+  const auto bytes = small_online_blob();
+  const std::span<const uint8_t> all{bytes};
+  for (size_t keep = 0; keep < bytes.size(); ++keep)
+    ASSERT_EQ(load_online(all.subspan(0, keep), online_cfg()), nullptr)
+        << "keep " << keep;
+}
+
+TEST(CorruptionFuzz, ModelEveryBitFlipRejected) {
+  const auto bytes = save_model(trained_model(24, 42));
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bad = bytes;
+      bad[pos] ^= static_cast<uint8_t>(1u << bit);
+      // A body flip breaks the CRC; a trailer flip breaks it from the other
+      // side. Either way: no model.
+      ASSERT_FALSE(load_model(bad).has_value()) << "pos " << pos << " bit " << bit;
+    }
+  }
+}
+
+TEST(CorruptionFuzz, OnlineEveryBitFlipRejected) {
+  const auto bytes = small_online_blob();
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bad = bytes;
+      bad[pos] ^= static_cast<uint8_t>(1u << bit);
+      ASSERT_EQ(load_online(bad, online_cfg()), nullptr)
+          << "pos " << pos << " bit " << bit;
+    }
+  }
+}
+
+TEST(CorruptionFuzz, ModelBitFlipBehindValidCrcNeverCrashes) {
+  // With the checksum healed, the flip reaches the structural checks. A
+  // payload flip (a weight, an error bound) may legitimately load — the
+  // contract is: reject OR return a well-formed model, never crash or
+  // allocate absurdly on a poisoned length field.
+  const auto bytes = save_model(trained_model(24, 43));
+  for (size_t pos = 0; pos + 4 < bytes.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bad = bytes;
+      bad[pos] ^= static_cast<uint8_t>(1u << bit);
+      refresh_crc(bad);
+      const auto m = load_model(bad);
+      if (m.has_value()) {
+        (void)m->lookup(0.5f);
+        (void)m->num_intervals();
+      }
+    }
+  }
+}
+
+TEST(CorruptionFuzz, OnlineBitFlipBehindValidCrcNeverCrashes) {
+  // Same contract for the NMOL frame. Each successful load constructs a
+  // full engine (worker thread included), so sweep one rotating bit per
+  // third byte instead of all eight per byte — every region of the frame is
+  // still hit.
+  const auto bytes = small_online_blob();
+  Packet probe{};
+  for (size_t pos = 0; pos + 4 < bytes.size(); pos += 3) {
+    auto bad = bytes;
+    bad[pos] ^= static_cast<uint8_t>(1u << ((pos * 5 + 3) % 8));
+    refresh_crc(bad);
+    const auto engine = load_online(bad, online_cfg());
+    if (engine != nullptr) {
+      (void)engine->match(probe);
+      (void)engine->size();
+    }
+  }
+}
+
+TEST(SerializeFailpoint, LoadFailpointFailsEveryLoader) {
+  const auto model_bytes = save_model(trained_model(16, 44));
+  const auto rule_bytes = save_rules(generate_classbench(AppClass::kIpc, 1, 40, 45));
+  NuevoMatch nm{tm_config()};
+  nm.build(generate_classbench(AppClass::kAcl, 1, 60, 46));
+  const auto cls_bytes = save_classifier(nm);
+  const auto online_bytes = small_online_blob();
+  {
+    failpoint::Scoped arm{failpoint::kSerializeLoad,
+                          failpoint::Trigger::always()};
+    EXPECT_FALSE(load_model(model_bytes).has_value());
+    EXPECT_FALSE(load_rules(rule_bytes).has_value());
+    EXPECT_FALSE(load_classifier(cls_bytes, tm_config()).has_value());
+    EXPECT_EQ(load_online(online_bytes, online_cfg()), nullptr);
+  }
+  // Disarmed, the same bytes load fine: the failpoint is injection, not
+  // state corruption.
+  EXPECT_TRUE(load_model(model_bytes).has_value());
+  EXPECT_TRUE(load_rules(rule_bytes).has_value());
+  EXPECT_TRUE(load_classifier(cls_bytes, tm_config()).has_value());
+  EXPECT_NE(load_online(online_bytes, online_cfg()), nullptr);
 }
 
 TEST(Files, WriteReadRoundTrip) {
