@@ -22,6 +22,10 @@
 //       which is precisely what reader-starvation used to deny them;
 //   (e) writer progress vs reader saturation: one saturated writer against
 //       0/2/4 spinning readers — the no-starvation regression row;
+//   (f) replicated-pipeline readers during churn: the reader side is the
+//       real 2-replica dataplane graph on the Click-style scheduler, every
+//       merged record verified against the stable core while a saturated
+//       writer and fire-and-forget retrains race it;
 //   plus competitor context for the headline updates/sec: TupleMerge alone,
 //   classic Tuple Space Search (hash-per-tuple — the RVH-style hash-table
 //   baseline family, see PAPERS.md "RVH: Range-Vector Hash"), and a
@@ -41,6 +45,8 @@
 #include "common/rng.hpp"
 #include "nuevomatch/online.hpp"
 #include "nuevomatch/parallel.hpp"
+#include "pipeline/elements.hpp"
+#include "pipeline/replicate.hpp"
 #include "trace/verification.hpp"
 
 using namespace nuevomatch;
@@ -559,6 +565,109 @@ int main() {
               "timeshare, so\nthe scaling rows measure CPU-share recovery (the "
               "thing reader-preference used\nto deny writers); multi-core hosts "
               "add real concurrency on top\n");
+
+  // (f) replicated-pipeline readers during churn: the reader side is the
+  // REAL dataplane — a 2-replica TraceSource -> FlowCache -> Classifier ->
+  // Sink graph on a 2-thread Click-style scheduler, all replicas fanned
+  // into the churning engine — instead of a hand-rolled lookup loop. Each
+  // pass is a fresh ReplicatedGraph (runs are one-shot); every merged
+  // record is checked against the stable core, so this row both prices and
+  // verifies the scheduler path under a saturated writer.
+  std::printf("\n-- (f) replicated-pipeline readers during churn --\n");
+  {
+    OnlineConfig pcfg;
+    pcfg.base.remainder_factory = [] { return std::make_unique<TupleMerge>(); };
+    pcfg.base.min_iset_coverage = 0.05;
+    pcfg.retrain_threshold = 1.0;
+    pcfg.auto_retrain = false;
+    auto pr = std::make_shared<OnlineNuevoMatch>(pcfg);
+    pr->build(mw_base);
+    const uint64_t f_gen0 = pr->generations();
+
+    std::atomic<bool> halt{false};
+    std::atomic<uint64_t> f_ops{0};
+    std::thread writer([&] {
+      Rng wrng{99};
+      std::deque<uint32_t> backlog;
+      uint32_t next_id = 700'000'000;
+      uint64_t committed = 0;
+      while (!halt.load(std::memory_order_relaxed)) {
+        Rule r = mw_base[wrng.below(mw_base.size())];
+        r.id = next_id++;
+        r.priority = 2'000'000 + static_cast<int32_t>(r.id & 0xFFFFF);
+        if (pr->insert(r)) {
+          backlog.push_back(r.id);
+          f_ops.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (backlog.size() > 256) {
+          if (pr->erase(backlog.front()))
+            f_ops.fetch_add(1, std::memory_order_relaxed);
+          backlog.pop_front();
+        }
+        if (++committed % 4096 == 0) pr->retrain_now();  // fire-and-forget
+      }
+    });
+
+    uint64_t f_pkts = 0, f_records = 0, f_bad = 0, f_passes = 0;
+    const uint64_t f0 = now_ns();
+    while (now_ns() - f0 < 800'000'000ull) {
+      pipeline::ReplicatedGraph rg{2u, [&](uint32_t, uint32_t) {
+                                     pipeline::Graph g;
+                                     auto& src = g.add(
+                                         std::make_unique<pipeline::TraceSource>(
+                                             mw_core.packets),
+                                         "src");
+                                     auto& cache =
+                                         g.add(std::make_unique<
+                                                   pipeline::FlowCacheElement>(4096),
+                                               "cache");
+                                     auto cls_owned = std::make_unique<
+                                         pipeline::ClassifierElement>();
+                                     cls_owned->attach(pr);
+                                     auto& cls = g.add(std::move(cls_owned), "cls");
+                                     auto& sink = g.add(
+                                         std::make_unique<pipeline::Sink>(true),
+                                         "sink");
+                                     g.connect(src, 0, cache);
+                                     g.connect(cache, 0, cls);
+                                     g.connect(cls, 0, sink);
+                                     return g;
+                                   }};
+      pipeline::ReplicatedRunOptions ropts;
+      ropts.threads = 2;
+      f_pkts += rg.run(ropts);
+      for (const pipeline::Sink::Record& r : rg.merged_records()) {
+        ++f_records;
+        if (r.index >= mw_core.expected.size() ||
+            r.rule_id != mw_core.expected[r.index])
+          ++f_bad;
+      }
+      ++f_passes;
+    }
+    halt.store(true);
+    writer.join();
+    pr->quiesce();
+    const double f_secs = static_cast<double>(now_ns() - f0) / 1e9;
+    const double f_mpps = static_cast<double>(f_pkts) / f_secs / 1e6;
+    const double f_rate = static_cast<double>(f_ops.load()) / f_secs;
+    const uint64_t f_swaps = pr->generations() - f_gen0;
+    mw_bad_total += f_bad;
+    std::printf("%zu passes | %8.2f Mpps | %10.0f updates/s | %llu swaps | "
+                "%llu records checked\n",
+                static_cast<size_t>(f_passes), f_mpps, f_rate,
+                static_cast<unsigned long long>(f_swaps),
+                static_cast<unsigned long long>(f_records));
+    j.row()
+        .set("section", "replicated_readers_churn")
+        .set("replicas", size_t{2})
+        .set("threads", size_t{2})
+        .set("rules", mw_base.size())
+        .set("mpps", f_mpps)
+        .set("updates_per_sec", f_rate)
+        .set("swaps", static_cast<size_t>(f_swaps))
+        .set("records_checked", static_cast<size_t>(f_records))
+        .set("mismatches", static_cast<size_t>(f_bad));
+  }
 
   j.write("BENCH_updates.json");
 

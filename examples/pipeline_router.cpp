@@ -17,7 +17,12 @@
 // verification result, so CI can run this binary as a smoke test on the
 // checked-in golden pcap:
 //
-//   $ ./example_pipeline_router trace.pcap acl.rules [cache_capacity]
+// With a thread count, the SAME config is additionally replicated that many
+// ways (RSS five-tuple split across the sources, per-replica flow caches,
+// one shared engine) and run on a Click-style task scheduler — the merged
+// replica decisions must be packet-for-packet identical to the scalar run:
+//
+//   $ ./example_pipeline_router trace.pcap acl.rules [cache_capacity] [threads]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -30,20 +35,23 @@
 #include "nuevomatch/nuevomatch.hpp"
 #include "pipeline/elements.hpp"
 #include "pipeline/graph.hpp"
+#include "pipeline/replicate.hpp"
 #include "trace/pcap.hpp"
 #include "tuplemerge/tuplemerge.hpp"
 
 using namespace nuevomatch;
 
 int main(int argc, char** argv) {
-  if (argc < 3 || argc > 4) {
-    std::fprintf(stderr, "usage: %s <trace.pcap> <acl.rules> [cache_capacity]\n",
+  if (argc < 3 || argc > 5) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.pcap> <acl.rules> [cache_capacity] [threads]\n",
                  argv[0]);
     return 2;
   }
   const std::string pcap_path = argv[1];
   const std::string rules_path = argv[2];
-  const size_t cache_cap = argc == 4 ? std::strtoull(argv[3], nullptr, 10) : 8192;
+  const size_t cache_cap = argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 8192;
+  const size_t n_threads = argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
 
   // --- assemble the graph from config text --------------------------------
   const std::string config =
@@ -142,8 +150,48 @@ int main(int argc, char** argv) {
 
   std::printf("\noracle differential: %llu mismatches over %zu decisions\n",
               static_cast<unsigned long long>(mismatches), decisions.size());
-  const bool ok = mismatches == 0 && decisions.size() == pumped &&
-                  (!can_swap_midstream || swaps >= 3);
+  bool ok = mismatches == 0 && decisions.size() == pumped &&
+            (!can_swap_midstream || swaps >= 3);
+
+  // --- replicated run: N replicas on N scheduler threads ------------------
+  // Same config text, replicated: replica 0 trains, the rest adopt its
+  // engine; the RSS split partitions the capture by flow. The merged
+  // records must be IDENTICAL to the scalar run's, index for index.
+  if (n_threads > 1) {
+    std::printf("\nreplicated run: %zu replicas on %zu scheduler threads\n",
+                n_threads, n_threads);
+    pipeline::ReplicatedGraph rg = pipeline::ReplicatedGraph::parse(
+        config, static_cast<uint32_t>(n_threads));
+    pipeline::ReplicatedRunOptions ropts;
+    ropts.threads = n_threads;
+    const uint64_t rpumped = rg.run(ropts);
+    const std::vector<pipeline::Sink::Record> merged = rg.merged_records();
+
+    uint64_t diverged = 0;
+    if (merged.size() != decisions.size()) {
+      diverged = merged.size() > decisions.size() ? merged.size() - decisions.size()
+                                                  : decisions.size() - merged.size();
+    } else {
+      for (size_t i = 0; i < merged.size(); ++i) {
+        if (merged[i].index != decisions[i].index ||
+            merged[i].rule_id != decisions[i].rule_id ||
+            merged[i].action != decisions[i].action)
+          ++diverged;
+      }
+    }
+    const pipeline::SchedulerStats& st = rg.last_stats();
+    std::printf("replica fires per thread:");
+    for (const uint64_t f : st.fires_per_thread)
+      std::printf(" %llu", static_cast<unsigned long long>(f));
+    std::printf("  (steals: %llu)\n",
+                static_cast<unsigned long long>(st.steals));
+    std::printf("replica differential: %llu divergences over %zu merged "
+                "records (%llu packets)\n",
+                static_cast<unsigned long long>(diverged), merged.size(),
+                static_cast<unsigned long long>(rpumped));
+    ok = ok && diverged == 0 && rpumped == pumped;
+  }
+
   std::printf("%s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

@@ -19,8 +19,10 @@ std::optional<int> range_to_prefix_len(const Range& r) noexcept {
   const int zero_bits = std::countr_zero(n);
   if (zero_bits > 32) return std::nullopt;
   const int len = 32 - zero_bits;
-  // lo must be aligned to the block size.
-  if (len < 32 && (r.lo & ((1u << (32 - len)) - 1)) != 0) return std::nullopt;
+  // lo must be aligned to the block size. 64-bit shift: len == 0 (the full
+  // /0 range) would shift a 32-bit 1 by 32 — UB; 1ull << 32 is fine and
+  // yields the full 0xFFFFFFFF alignment mask that /0 requires.
+  if ((r.lo & ((1ull << (32 - len)) - 1)) != 0) return std::nullopt;
   return len;
 }
 

@@ -322,6 +322,10 @@ class OnlineNuevoMatch final : public Classifier {
   /// takes the writer and worker locks briefly (never nested), so it is a
   /// control-plane call, not a data-path one.
   [[nodiscard]] EngineHealth health() const;
+  /// The configuration this engine was constructed with (immutable after
+  /// construction). The pipeline scheduler's retrain maintenance task
+  /// reads the absorption threshold through this.
+  [[nodiscard]] const OnlineConfig& config() const noexcept { return cfg_; }
   /// Block until no retrain is pending or running. Tests, benchmarks and
   /// serialization use this to reach a stable state.
   void quiesce() const;

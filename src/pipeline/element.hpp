@@ -128,6 +128,25 @@ class Element {
   std::vector<Element*> outs_;
 };
 
+/// RSS-style five-tuple hash: the replica-split function. Everything a flow
+/// is (all five header fields) goes in, so all packets of a flow land on
+/// the same replica — the property the flow-affinity ordering argument in
+/// DESIGN.md "Scheduler" rests on. Finalized FNV-1a like FlowCache::hash,
+/// but an independent function on purpose: cache sharding inside a replica
+/// and traffic splitting across replicas must not correlate, or one cache
+/// shard per replica would absorb that replica's whole population.
+[[nodiscard]] inline uint32_t rss_hash(const Packet& p) noexcept {
+  uint64_t h = 14695981039346656037ull;
+  for (const uint32_t f : p.field) {
+    h ^= f;
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return static_cast<uint32_t>(h >> 32);
+}
+
 /// A packet source: pumped by Graph::run() instead of receiving bursts.
 class SourceElement : public Element {
  public:
@@ -136,6 +155,27 @@ class SourceElement : public Element {
   /// A partial final burst returns true with b.size < kBurstSize.
   [[nodiscard]] virtual bool pump(Burst& b) = 0;
   void process(Burst&) final {}  // sources have no input side
+
+  /// Replica split (ReplicatedGraph): emit only packets whose rss_hash
+  /// lands on `replica` of `n_replicas`. Filtered-out packets still
+  /// advance the source's stream position, so Burst::index stays the
+  /// GLOBAL trace position — the order-independent merge key the
+  /// replica-vs-scalar differential tests join on.
+  void set_replica_filter(uint32_t replica, uint32_t n_replicas) noexcept {
+    replica_ = replica;
+    n_replicas_ = n_replicas == 0 ? 1 : n_replicas;
+  }
+  [[nodiscard]] uint32_t n_replicas() const noexcept { return n_replicas_; }
+
+ protected:
+  /// Does the replica filter accept this packet? (Always true unfiltered.)
+  [[nodiscard]] bool accepts(const Packet& p) const noexcept {
+    return n_replicas_ <= 1 || rss_hash(p) % n_replicas_ == replica_;
+  }
+
+ private:
+  uint32_t replica_ = 0;
+  uint32_t n_replicas_ = 1;
 };
 
 /// Factory signature for the config language: args are the raw

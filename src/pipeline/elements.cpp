@@ -69,20 +69,34 @@ bool PcapSource::pump(Burst& b) {
       ++skipped_;
       continue;
     }
+    // The stream position advances for every parseable frame, filter or
+    // not: Burst::index is the GLOBAL capture position, so decisions from
+    // different replicas merge 1:1 against a scalar run of the same file.
+    const uint64_t pos = stream_pos_++;
+    if (!accepts(*p)) {
+      ++filtered_;
+      continue;
+    }
     const uint32_t i = b.size++;
     b.pkt[i] = *p;
     b.ts_ns[i] = rec.ts_ns;
-    b.index[i] = packets_++;
+    b.index[i] = pos;
     b.result[i] = MatchResult{};
     b.action[i] = -1;
+    ++packets_;
   }
   return b.size > 0;
 }
 
 std::string PcapSource::report() const {
-  return fmt("pcap source: %llu packets, %llu frames skipped (not IPv4)",
-             static_cast<unsigned long long>(packets_),
-             static_cast<unsigned long long>(skipped_));
+  std::string line =
+      fmt("pcap source: %llu packets, %llu frames skipped (not IPv4)",
+          static_cast<unsigned long long>(packets_),
+          static_cast<unsigned long long>(skipped_));
+  if (n_replicas() > 1)
+    line += fmt(", %llu filtered to other replicas",
+                static_cast<unsigned long long>(filtered_));
+  return line;
 }
 
 // --- TraceSource ------------------------------------------------------------
@@ -100,10 +114,12 @@ TraceSource::TraceSource(const std::string& rules_path, size_t n_packets,
 
 bool TraceSource::pump(Burst& b) {
   while (b.size < kBurstSize && next_ < packets_.size()) {
+    const uint64_t pos = next_++;
+    if (!accepts(packets_[pos])) continue;  // index stays global — see PcapSource
     const uint32_t i = b.size++;
-    b.pkt[i] = packets_[next_];
-    b.ts_ns[i] = static_cast<uint64_t>(next_) * 1'000;
-    b.index[i] = next_++;
+    b.pkt[i] = packets_[pos];
+    b.ts_ns[i] = pos * 1'000;
+    b.index[i] = pos;
     b.result[i] = MatchResult{};
     b.action[i] = -1;
   }
@@ -111,6 +127,9 @@ bool TraceSource::pump(Burst& b) {
 }
 
 std::string TraceSource::report() const {
+  if (n_replicas() > 1)
+    return fmt("trace source: %zu packets (replica filter %u-way)",
+               packets_.size(), n_replicas());
   return fmt("trace source: %zu packets", packets_.size());
 }
 
@@ -205,6 +224,14 @@ void ClassifierElement::attach_scalar(
   scalar_ = std::move(engine);
   online_.reset();
   parallel_.reset();
+}
+
+void ClassifierElement::adopt_shared(const ClassifierElement& proto) {
+  online_ = proto.online_;  // shared_ptr copy: N elements, ONE engine
+  scalar_ = proto.scalar_;
+  parallel_.reset();
+  actions_ = proto.actions_;
+  want_parallel_ = proto.want_parallel_;
 }
 
 void ClassifierElement::enable_parallel() { want_parallel_ = true; }
@@ -431,6 +458,21 @@ std::string PcapSink::report() const {
              static_cast<unsigned long long>(packets_));
 }
 
+// --- ScopedEngineDonor ------------------------------------------------------
+
+namespace {
+// thread_local: a donor installed while parsing replica k must not leak
+// into an unrelated Graph::parse on another thread.
+thread_local const ClassifierElement* g_engine_donor = nullptr;
+}  // namespace
+
+ScopedEngineDonor::ScopedEngineDonor(const ClassifierElement& proto) noexcept
+    : prev_(g_engine_donor) {
+  g_engine_donor = &proto;
+}
+
+ScopedEngineDonor::~ScopedEngineDonor() { g_engine_donor = prev_; }
+
 // --- config-language factories ----------------------------------------------
 
 namespace {
@@ -488,6 +530,13 @@ std::unique_ptr<Element> make_classifier(const std::vector<std::string>& a) {
     } else {
       usage("unknown Classifier option (want parallel, manual, threshold=, shards=)");
     }
+  }
+  // Replica parse in progress: options were validated above, but the engine
+  // (and the training run behind it) comes from the donor, not the file.
+  if (g_engine_donor != nullptr) {
+    auto el = std::make_unique<ClassifierElement>();
+    el->adopt_shared(*g_engine_donor);
+    return el;
   }
   return std::make_unique<ClassifierElement>(a[0], opts);
 }

@@ -55,12 +55,17 @@ class PcapSource final : public SourceElement {
   [[nodiscard]] std::string report() const override;
   /// Frames that could not be projected onto a five-tuple (non-IPv4 ...).
   [[nodiscard]] uint64_t skipped() const noexcept { return skipped_; }
+  /// Packets EMITTED by this source (excludes replica-filtered ones).
   [[nodiscard]] uint64_t packets() const noexcept { return packets_; }
+  /// Parseable frames belonging to other replicas (0 unfiltered).
+  [[nodiscard]] uint64_t filtered() const noexcept { return filtered_; }
 
  private:
   std::unique_ptr<PcapReader> reader_;
   uint64_t packets_ = 0;
   uint64_t skipped_ = 0;
+  uint64_t filtered_ = 0;
+  uint64_t stream_pos_ = 0;  ///< global capture position (index annotation)
 };
 
 class TraceSource final : public SourceElement {
@@ -125,6 +130,12 @@ class ClassifierElement final : public Element {
   /// Attach a shared online engine (tests/benches; several elements may
   /// share one). Call set_actions() too if Dispatch routing matters.
   void attach(std::shared_ptr<OnlineNuevoMatch> engine);
+  /// Become another Classifier's sibling: share its engine (online or
+  /// scalar), action map, and parallel flag. The replica-graph fan-in —
+  /// ReplicatedGraph::parse builds replica 0 normally (one training run)
+  /// and every other replica adopts, all N feeding one engine through the
+  /// epoch domain.
+  void adopt_shared(const ClassifierElement& proto);
   /// Attach any frozen Classifier (e.g. bare TupleSpaceSearch) as a scalar
   /// slow path: per-packet match(), no coherence stamps (the engine is
   /// immutable, so a constant stamp IS coherent).
@@ -211,6 +222,22 @@ class Sink final : public Element {
   bool record_;
   uint64_t packets_ = 0;
   std::vector<Record> records_;
+};
+
+/// Parse-scoped engine sharing for replicated graphs: while an instance is
+/// alive (on this thread), config-language `Classifier(...)` factories
+/// adopt_shared() from the donor instead of loading the rule file and
+/// training their own engine. ReplicatedGraph::parse wraps the parses of
+/// replicas 1..n-1 in one of these; nobody else should need it.
+class ScopedEngineDonor {
+ public:
+  explicit ScopedEngineDonor(const ClassifierElement& proto) noexcept;
+  ~ScopedEngineDonor();
+  ScopedEngineDonor(const ScopedEngineDonor&) = delete;
+  ScopedEngineDonor& operator=(const ScopedEngineDonor&) = delete;
+
+ private:
+  const ClassifierElement* prev_;
 };
 
 class PcapSink final : public Element {

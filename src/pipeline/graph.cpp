@@ -116,6 +116,36 @@ uint64_t Graph::run(const std::function<void(uint64_t)>& tick) {
       if (tick) tick(packets);
     }
   }
+  finish_run();
+  return packets;
+}
+
+bool Graph::step(uint64_t* pumped) {
+  initialize();
+  if (step_src_ == nullptr) {
+    for (const auto& e : elems_) {
+      if (!e->is_source()) continue;
+      if (step_src_ != nullptr)
+        throw std::runtime_error(
+            "Graph::step() needs exactly one source element (this graph has "
+            "several; drive it with run() instead)");
+      step_src_ = static_cast<SourceElement*>(e.get());
+    }
+    if (step_src_ == nullptr)
+      throw std::runtime_error("Graph::step(): graph has no source element");
+  }
+  if (step_eos_) return false;
+  step_burst_.reset();
+  if (!step_src_->pump(step_burst_)) {
+    step_eos_ = true;
+    return false;
+  }
+  if (pumped != nullptr) *pumped += step_burst_.size;
+  if (step_burst_.size > 0) step_src_->forward(step_burst_);
+  return true;
+}
+
+void Graph::finish_run() {
   // Every element gets its finish() (writers flushed, files closed) even
   // when an earlier one throws — the first error is re-thrown afterwards.
   std::exception_ptr first_error;
@@ -127,7 +157,6 @@ uint64_t Graph::run(const std::function<void(uint64_t)>& tick) {
     }
   }
   if (first_error != nullptr) std::rethrow_exception(first_error);
-  return packets;
 }
 
 std::string Graph::report() const {
@@ -284,6 +313,16 @@ Graph Graph::parse(std::string_view config) {
     }
     return n;
   };
+  // Wiring errors (port out of range, port connected twice) surface at a
+  // config line, like every other parse diagnostic — not as a bare
+  // topology exception.
+  const auto connect_checked = [&](const Node& from, Element& to) {
+    try {
+      g.connect(*from.elem, from.port, to);
+    } catch (const std::runtime_error& e) {
+      p.fail(e.what());
+    }
+  };
   // A selector on the final element of a chain has no '->' to feed — it
   // would be dropped silently, and forward() treats unwired ports as
   // intentional drop legs, so the mistake must die here, loudly.
@@ -315,7 +354,7 @@ Graph Graph::parse(std::string_view config) {
         Node prev{g.find(first), 0, false, false};
         for (;;) {
           const Node next = parse_node();
-          g.connect(*prev.elem, prev.port, *next.elem);
+          connect_checked(prev, *next.elem);
           prev = next;
           if (!p.accept("->")) break;
         }
@@ -331,7 +370,7 @@ Graph Graph::parse(std::string_view config) {
     bool connected = false;
     while (p.accept("->")) {
       const Node next = parse_node();
-      g.connect(*prev.elem, prev.port, *next.elem);
+      connect_checked(prev, *next.elem);
       prev = next;
       connected = true;
     }

@@ -60,6 +60,18 @@ class Graph {
   /// Returns the number of packets pumped.
   uint64_t run(const std::function<void(uint64_t)>& tick = {});
 
+  /// Incremental drive — the scheduler's unit of work (one Task fire is
+  /// one step()): pump ONE burst from the graph's source and push it
+  /// through. Returns false at end of stream (and stays false); adds the
+  /// burst's packet count to *pumped when given. Requires exactly one
+  /// source (the replicated dataplane shape); run() keeps the
+  /// multi-source loop. Initializes the graph on first call.
+  [[nodiscard]] bool step(uint64_t* pumped = nullptr);
+  /// finish() every element (writers flushed) — run() does this itself;
+  /// step() drivers call it once after the last step. First error rethrown
+  /// after every element got its finish().
+  void finish_run();
+
   [[nodiscard]] Element* find(std::string_view name) const;
   /// First element of a concrete type (e.g. find_kind<ClassifierElement>()).
   template <typename T>
@@ -84,6 +96,11 @@ class Graph {
   std::unordered_map<std::string, Element*> by_name_;
   int anon_counter_ = 0;
   bool initialized_ = false;
+  // step() state: the single source, end-of-stream latch, and the burst
+  // buffer (a member so a scheduler fire needs no per-step allocation).
+  SourceElement* step_src_ = nullptr;
+  bool step_eos_ = false;
+  Burst step_burst_;
 };
 
 }  // namespace nuevomatch::pipeline

@@ -1,0 +1,181 @@
+#include "pipeline/replicate.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace nuevomatch::pipeline {
+
+ReplicatedGraph::ReplicatedGraph(std::vector<Graph> graphs)
+    : graphs_(std::move(graphs)) {
+  if (graphs_.empty())
+    throw std::runtime_error("ReplicatedGraph needs at least one replica");
+  install_filters();
+}
+
+ReplicatedGraph::ReplicatedGraph(uint32_t n_replicas, const Builder& build)
+    : ReplicatedGraph([&] {
+        if (n_replicas == 0)
+          throw std::runtime_error("ReplicatedGraph needs at least one replica");
+        std::vector<Graph> gs;
+        gs.reserve(n_replicas);
+        for (uint32_t i = 0; i < n_replicas; ++i)
+          gs.push_back(build(i, n_replicas));
+        return gs;
+      }()) {}
+
+ReplicatedGraph ReplicatedGraph::parse(std::string_view config,
+                                       uint32_t n_replicas) {
+  if (n_replicas == 0)
+    throw std::runtime_error("ReplicatedGraph needs at least one replica");
+  std::vector<Graph> gs;
+  gs.reserve(n_replicas);
+  // Replica 0 pays for training; the rest adopt its engine. No donor scope
+  // is opened when replica 0 has no Classifier — each parse is then
+  // self-contained anyway (counters, sinks, caches are per-replica).
+  gs.push_back(Graph::parse(config));
+  const auto* proto = gs.front().find_kind<ClassifierElement>();
+  for (uint32_t i = 1; i < n_replicas; ++i) {
+    if (proto != nullptr) {
+      const ScopedEngineDonor donor(*proto);
+      gs.push_back(Graph::parse(config));
+    } else {
+      gs.push_back(Graph::parse(config));
+    }
+  }
+  return ReplicatedGraph(std::move(gs));
+}
+
+void ReplicatedGraph::install_filters() {
+  const auto n = static_cast<uint32_t>(graphs_.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    bool has_source = false;
+    for (const auto& e : graphs_[i].elements()) {
+      if (!e->is_source()) continue;
+      static_cast<SourceElement&>(*e).set_replica_filter(i, n);
+      has_source = true;
+    }
+    if (!has_source)
+      throw std::runtime_error("ReplicatedGraph: replica graph has no source");
+  }
+}
+
+OnlineNuevoMatch* ReplicatedGraph::shared_online() const {
+  OnlineNuevoMatch* shared = nullptr;
+  for (const Graph& g : graphs_) {
+    for (const auto& e : g.elements()) {
+      const auto* cls = dynamic_cast<const ClassifierElement*>(e.get());
+      if (cls == nullptr || cls->online() == nullptr) continue;
+      if (shared != nullptr && shared != cls->online())
+        throw std::runtime_error(
+            "ReplicatedGraph: replicas hold DIFFERENT online engines — the "
+            "fan-in contract is one shared engine (adopt_shared / attach the "
+            "same shared_ptr in every replica)");
+      shared = cls->online();
+    }
+  }
+  return shared;
+}
+
+uint64_t ReplicatedGraph::run(const ReplicatedRunOptions& opts) {
+  if (ran_) throw std::runtime_error("ReplicatedGraph::run is one-shot");
+  ran_ = true;
+
+  // Initialize on the calling thread: engine checks and cache/classifier
+  // coupling fail here, with a clean stack, not inside a worker.
+  for (Graph& g : graphs_) g.initialize();
+
+  std::atomic<uint64_t> total{0};
+  Scheduler::Options sopt;
+  sopt.quantum = opts.quantum;
+  Scheduler sched(opts.threads, sopt);
+
+  const auto n_threads = static_cast<uint32_t>(sched.threads());
+  for (uint32_t i = 0; i < graphs_.size(); ++i) {
+    Graph* g = &graphs_[i];
+    Task::Options topt;
+    topt.home = i % n_threads;  // round-robin initial placement
+    topt.label = "replica@" + std::to_string(i);
+    sched.add(
+        [g, &total, &opts]() -> TaskState {
+          uint64_t pumped = 0;
+          if (!g->step(&pumped)) return TaskState::kDone;
+          const uint64_t cum =
+              total.fetch_add(pumped, std::memory_order_relaxed) + pumped;
+          if (opts.tick) opts.tick(cum);
+          return TaskState::kWorked;
+        },
+        std::move(topt));
+  }
+
+  if (opts.retrain_task) {
+    if (OnlineNuevoMatch* eng = shared_online(); eng != nullptr) {
+      Task::Options topt;
+      topt.daemon = true;
+      topt.label = "retrain-maintenance";
+      sched.add(
+          [eng]() -> TaskState {
+            if (eng->retrain_in_progress()) return TaskState::kIdle;
+            if (eng->absorption() < eng->config().retrain_threshold)
+              return TaskState::kIdle;
+            eng->retrain_now();
+            return TaskState::kWorked;
+          },
+          std::move(topt));
+    }
+  }
+
+  sched.run();
+  stats_ = sched.stats();
+  for (Graph& g : graphs_) g.finish_run();
+  return total.load(std::memory_order_relaxed);
+}
+
+std::vector<Sink::Record> ReplicatedGraph::merged_records() const {
+  std::vector<Sink::Record> all;
+  for (const Graph& g : graphs_) {
+    for (const auto& e : g.elements()) {
+      const auto* s = dynamic_cast<const Sink*>(e.get());
+      if (s == nullptr) continue;
+      all.insert(all.end(), s->records().begin(), s->records().end());
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Sink::Record& a, const Sink::Record& b) {
+              return a.index < b.index;
+            });
+  return all;
+}
+
+uint64_t ReplicatedGraph::total_counter_packets() const {
+  uint64_t total = 0;
+  for (const Graph& g : graphs_) {
+    for (const auto& e : g.elements()) {
+      if (const auto* c = dynamic_cast<const Counter*>(e.get()); c != nullptr)
+        total += c->packets();
+    }
+  }
+  return total;
+}
+
+uint64_t ReplicatedGraph::total_sink_packets() const {
+  uint64_t total = 0;
+  for (const Graph& g : graphs_) {
+    for (const auto& e : g.elements()) {
+      if (const auto* s = dynamic_cast<const Sink*>(e.get()); s != nullptr)
+        total += s->packets();
+    }
+  }
+  return total;
+}
+
+std::string ReplicatedGraph::report() const {
+  std::string out;
+  for (size_t i = 0; i < graphs_.size(); ++i) {
+    out += "replica " + std::to_string(i) + ":\n";
+    out += graphs_[i].report();
+  }
+  return out;
+}
+
+}  // namespace nuevomatch::pipeline

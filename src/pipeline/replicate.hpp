@@ -1,0 +1,113 @@
+// Per-core pipeline replication (DESIGN.md "Scheduler"): N copies of one
+// element graph, an RSS five-tuple split across their sources, one shared
+// OnlineNuevoMatch fanned into through the epoch domain, all driven by the
+// Click-style task scheduler (scheduler.hpp) — one Task per replica, one
+// fire = one burst through the whole replica graph, background retrain as
+// a daemon task.
+//
+//   ReplicatedGraph rg = ReplicatedGraph::parse(config_text, 4);
+//   ReplicatedRunOptions opts;
+//   opts.threads = 4;
+//   const uint64_t packets = rg.run(opts);
+//   for (const Sink::Record& r : rg.merged_records()) ...
+//
+// What is replicated and what is shared:
+//   * each replica owns its elements — source (filtered), FlowCache,
+//     Classifier element, Dispatch/Counter/Sink — so the hot path touches
+//     no cross-replica state at all;
+//   * the online engine behind every replica's Classifier is ONE object
+//     (config parses share it via ScopedEngineDonor; programmatic builders
+//     attach the same shared_ptr); its wait-free read path was built for
+//     exactly this fan-in;
+//   * decisions carry the source's GLOBAL stream position in Burst::index,
+//     so merged_records() is a total, order-independent join key against a
+//     scalar run of the same input — the differential-test contract.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pipeline/elements.hpp"
+#include "pipeline/graph.hpp"
+#include "pipeline/scheduler.hpp"
+
+namespace nuevomatch::pipeline {
+
+struct ReplicatedRunOptions {
+  size_t threads = 1;   ///< scheduler threads (1 = deterministic inline run)
+  uint32_t quantum = 8; ///< bursts per scheduler slice (fairness knob)
+  /// Schedule the shared engine's retrain as a daemon task: when the
+  /// absorption ratio crosses the engine's configured threshold, kick
+  /// retrain_now() from whatever thread the daemon lands on — Click's
+  /// "background work is just another task". Meant for engines built with
+  /// auto_retrain=false; harmless (idle) otherwise.
+  bool retrain_task = false;
+  /// Runs after every burst with the CUMULATIVE packet count across all
+  /// replicas. May fire concurrently from several scheduler threads —
+  /// the hook must be thread-safe (differential tests serialize inside).
+  std::function<void(uint64_t)> tick;
+};
+
+class ReplicatedGraph {
+ public:
+  /// Builds one replica's graph. Called n times; each returned graph must
+  /// have exactly one source. Sharing the engine across replicas is the
+  /// builder's business (attach the same shared_ptr in each call); the
+  /// replica filter is installed on every source afterwards by the
+  /// constructor, so builders don't set it themselves.
+  using Builder = std::function<Graph(uint32_t replica, uint32_t n_replicas)>;
+
+  ReplicatedGraph(uint32_t n_replicas, const Builder& build);
+
+  /// Config-text form: replica 0 parses (and trains) normally; replicas
+  /// 1..n-1 parse under a ScopedEngineDonor so their Classifier elements
+  /// adopt replica 0's engine instead of training their own.
+  [[nodiscard]] static ReplicatedGraph parse(std::string_view config,
+                                             uint32_t n_replicas);
+
+  [[nodiscard]] uint32_t replicas() const noexcept {
+    return static_cast<uint32_t>(graphs_.size());
+  }
+  [[nodiscard]] Graph& replica(size_t i) { return graphs_[i]; }
+  [[nodiscard]] const Graph& replica(size_t i) const { return graphs_[i]; }
+
+  /// The one online engine behind every replica's Classifier, or null
+  /// when the replicas have no online Classifier (scalar/none). Throws if
+  /// replicas disagree — that graph shape is a bug, not a configuration.
+  [[nodiscard]] OnlineNuevoMatch* shared_online() const;
+
+  /// Drive all replicas to exhaustion on `opts.threads` scheduler threads
+  /// (the calling thread is one of them), then finish_run() each replica.
+  /// One-shot, like Scheduler::run. Returns total packets pumped.
+  uint64_t run(const ReplicatedRunOptions& opts = {});
+
+  /// Scheduler telemetry from the last run().
+  [[nodiscard]] const SchedulerStats& last_stats() const noexcept {
+    return stats_;
+  }
+
+  // --- order-independent merged views (the differential-test surface) ----
+  /// All recording Sinks' records across replicas, sorted by the global
+  /// stream index. A replicated run over the same input as a scalar run
+  /// must produce the IDENTICAL vector.
+  [[nodiscard]] std::vector<Sink::Record> merged_records() const;
+  /// Sum of Counter::packets() over all replicas (aggregate totals merge
+  /// by addition — order never matters for counts).
+  [[nodiscard]] uint64_t total_counter_packets() const;
+  [[nodiscard]] uint64_t total_sink_packets() const;
+  /// Per-replica reports concatenated, replica-tagged.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  explicit ReplicatedGraph(std::vector<Graph> graphs);
+  void install_filters();
+
+  std::vector<Graph> graphs_;
+  SchedulerStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace nuevomatch::pipeline

@@ -1,0 +1,212 @@
+#include "pipeline/scheduler.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace nuevomatch::pipeline {
+
+namespace {
+// Scheduler thread index of the current OS thread while inside run(); -1
+// elsewhere. One scheduler runs at a time per OS thread, so a plain
+// thread_local is enough even when schedulers nest across threads.
+thread_local int tl_thread_id = -1;
+}  // namespace
+
+int Scheduler::current_thread() noexcept { return tl_thread_id; }
+
+Scheduler::Scheduler(size_t n_threads, Options opt) : opt_(opt) {
+  if (n_threads == 0) n_threads = 1;
+  if (opt_.quantum == 0) opt_.quantum = 1;
+  states_.reserve(n_threads);
+  for (size_t i = 0; i < n_threads; ++i)
+    states_.push_back(std::make_unique<ThreadState>());
+}
+
+Task& Scheduler::add(Task::Fire fire, Task::Options topt) {
+  if (ran_) throw std::runtime_error("Scheduler::add after run()");
+  if (topt.label.empty()) topt.label = "task@" + std::to_string(tasks_.size());
+  topt.home = topt.home % static_cast<uint32_t>(states_.size());
+  tasks_.push_back(
+      std::unique_ptr<Task>(new Task(std::move(fire), std::move(topt))));
+  return *tasks_.back();
+}
+
+Task* Scheduler::pop_local(ThreadState& ts) {
+  const std::lock_guard<std::mutex> lk(ts.mu);
+  if (ts.queue.empty()) return nullptr;
+  Task* t = ts.queue.front();
+  ts.queue.pop_front();
+  return t;
+}
+
+Task* Scheduler::try_steal(uint32_t thief) {
+  const size_t n = states_.size();
+  for (size_t off = 1; off < n; ++off) {
+    ThreadState& victim = *states_[(thief + off) % n];
+    const std::lock_guard<std::mutex> lk(victim.mu);
+    for (auto it = victim.queue.begin(); it != victim.queue.end(); ++it) {
+      if (!(*it)->opt_.migratable) continue;
+      Task* t = *it;
+      victim.queue.erase(it);
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::record_error() noexcept {
+  {
+    const std::lock_guard<std::mutex> lk(err_mu_);
+    if (first_error_ == nullptr) first_error_ = std::current_exception();
+  }
+  request_stop();
+}
+
+void Scheduler::thread_loop(uint32_t tid) {
+  tl_thread_id = static_cast<int>(tid);
+  ThreadState& me = *states_[tid];
+  while (!stop_.load(std::memory_order_acquire) &&
+         live_.load(std::memory_order_acquire) > 0) {
+    Task* t = pop_local(me);
+    bool stolen = false;
+    if (t == nullptr && states_.size() > 1) {
+      t = try_steal(tid);
+      stolen = t != nullptr;
+    }
+    if (t == nullptr) {
+      // Nothing runnable here right now: another thread holds the last
+      // live tasks mid-fire. Yield until they finish or push back.
+      std::this_thread::yield();
+      continue;
+    }
+    if (stolen) {
+      ++me.steals;
+      if (t->last_thread_ != tid)
+        t->migrations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // The task is popped — invisible to every other thread — for the whole
+    // quantum: its fires are serialized, and the queue mutex hand-off
+    // orders them across threads.
+    t->last_thread_ = tid;
+    TaskState st = TaskState::kIdle;
+    uint32_t left = opt_.quantum;
+    do {
+      try {
+        st = t->fire_();
+      } catch (...) {
+        record_error();
+        st = TaskState::kDone;  // a throwing task never fires again
+      }
+      t->fires_.fetch_add(1, std::memory_order_relaxed);
+      ++me.fires;
+      if (st == TaskState::kWorked) {
+        t->worked_.fetch_add(1, std::memory_order_relaxed);
+        ++me.worked;
+        me.consec_idle = 0;
+      } else if (st == TaskState::kIdle) {
+        ++me.idle_fires;
+      }
+    } while (st == TaskState::kWorked && --left > 0);
+    if (st == TaskState::kDone) {
+      t->done_.store(true, std::memory_order_release);
+      if (!t->opt_.daemon) live_.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      {
+        const std::lock_guard<std::mutex> lk(me.mu);
+        me.queue.push_back(t);
+      }
+      // A queue of nothing-but-idle tasks (e.g. only the retrain daemon is
+      // left alive somewhere) must not hot-spin; back off after a streak.
+      if (st == TaskState::kIdle && ++me.consec_idle >= 8) {
+        me.consec_idle = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+  tl_thread_id = -1;
+}
+
+void Scheduler::run() {
+  if (ran_) throw std::runtime_error("Scheduler::run is one-shot");
+  ran_ = true;
+
+  size_t live = 0;
+  for (const auto& t : tasks_) {
+    if (!t->opt_.daemon) ++live;
+  }
+  live_.store(live, std::memory_order_release);
+  for (const auto& t : tasks_) {
+    t->last_thread_ = t->opt_.home;
+    ThreadState& home = *states_[t->opt_.home];
+    const std::lock_guard<std::mutex> lk(home.mu);
+    home.queue.push_back(t.get());
+  }
+  if (live == 0 && !tasks_.empty()) {
+    // Only daemon tasks — nothing to wait for; run() would spin forever.
+    stop_.store(true, std::memory_order_release);
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(states_.size() - 1);
+  const int outer_id = tl_thread_id;
+  if (live > 0) {
+    for (uint32_t tid = 1; tid < states_.size(); ++tid)
+      workers.emplace_back([this, tid] { thread_loop(tid); });
+    thread_loop(0);
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Drain fire: every daemon still alive gets exactly one more fire now
+  // that all non-daemon work is done. Daemons are fired opportunistically
+  // during the run, but nothing guarantees a thread ever reaches one — on
+  // a one-core box the spawned worker can steal and finish every pipeline
+  // task before the calling thread enters its loop, in which case a daemon
+  // homed there would get ZERO fires and a pending maintenance action
+  // (e.g. a retrain kick) would be silently skipped. Skipped after
+  // request_stop() or a task error: a stopped scheduler starts no new work.
+  if (!stop_.load(std::memory_order_acquire)) {
+    tl_thread_id = 0;
+    ThreadState& t0 = *states_[0];
+    for (const auto& t : tasks_) {
+      if (!t->opt_.daemon || t->done()) continue;
+      t->last_thread_ = 0;
+      TaskState st = TaskState::kIdle;
+      try {
+        st = t->fire_();
+      } catch (...) {
+        record_error();
+        st = TaskState::kDone;
+      }
+      t->fires_.fetch_add(1, std::memory_order_relaxed);
+      ++t0.fires;
+      if (st == TaskState::kWorked) {
+        t->worked_.fetch_add(1, std::memory_order_relaxed);
+        ++t0.worked;
+      } else if (st == TaskState::kIdle) {
+        ++t0.idle_fires;
+      } else {
+        t->done_.store(true, std::memory_order_release);
+      }
+    }
+  }
+  tl_thread_id = outer_id;
+
+  stats_ = SchedulerStats{};
+  stats_.fires_per_thread.reserve(states_.size());
+  for (const auto& s : states_) {
+    stats_.fires += s->fires;
+    stats_.worked += s->worked;
+    stats_.idle_fires += s->idle_fires;
+    stats_.steals += s->steals;
+    stats_.fires_per_thread.push_back(s->fires);
+  }
+
+  std::exception_ptr err;
+  {
+    const std::lock_guard<std::mutex> lk(err_mu_);
+    err = first_error_;
+  }
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+}  // namespace nuevomatch::pipeline

@@ -1,0 +1,175 @@
+// Click-style task scheduler: the Task / RouterThread analogue that turns
+// the single-threaded element graph into a per-core replicated dataplane
+// (DESIGN.md "Scheduler").
+//
+// Model — run-to-completion tasks on per-thread run queues:
+//
+//   * A Task wraps a fire callback. One fire is one unit of run-to-
+//     completion work (for a pipeline replica: pump one burst from the
+//     source and push it through the whole graph). The callback reports
+//     kWorked (made progress), kIdle (nothing to do right now), or kDone
+//     (permanently finished — the task leaves its queue forever).
+//   * Each scheduler thread owns a run queue and loops: pop the front
+//     task, fire it up to `quantum` consecutive times while it keeps
+//     reporting kWorked, push it back, take the next. The quantum is the
+//     fairness knob — a saturated source cannot starve its queue-mates
+//     for longer than one quantum (Click's task tickets, simplified to a
+//     fixed slice).
+//   * An idle thread steals: it locks another thread's queue and takes one
+//     migratable task. Migration happens only BETWEEN fires — a task is
+//     popped (invisible to other threads) while firing, so a task's fires
+//     are totally ordered no matter how often it migrates, and every
+//     handoff goes through a queue mutex. That release/acquire pair is
+//     what lets tasks keep plain (non-atomic) element state: the next
+//     thread to fire a task sees everything the previous one wrote.
+//   * Daemon tasks (background retrain kicks, housekeeping) never count
+//     toward liveness: the scheduler exits when every NON-daemon task is
+//     done, daemons simply stop being fired. Each live daemon is fired
+//     exactly once more while the scheduler drains (unless stopped by
+//     request_stop() or an error), so a short or lopsided run can never
+//     skip a pending maintenance action entirely.
+//
+// The flow-affinity argument (why per-flow packet order survives all of
+// this) is in DESIGN.md: a flow hashes to exactly one replica, a replica
+// is exactly one task, and a task's fires are totally ordered.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nuevomatch::pipeline {
+
+/// What one fire of a task accomplished.
+enum class TaskState : uint8_t {
+  kWorked,  ///< made progress; may be fired again immediately
+  kIdle,    ///< nothing to do right now; reschedule and try later
+  kDone,    ///< permanently finished; remove from the scheduler
+};
+
+class Scheduler;
+
+/// A schedulable unit of run-to-completion work. Created via
+/// Scheduler::add(); the Scheduler owns it (references stay valid for the
+/// scheduler's lifetime — stats can be read after run() returns).
+class Task {
+ public:
+  using Fire = std::function<TaskState()>;
+
+  struct Options {
+    uint32_t home = 0;        ///< queue the task starts on (mod n_threads)
+    bool migratable = true;   ///< may be stolen by an idle thread
+    bool daemon = false;      ///< does not keep the scheduler alive
+    std::string label;        ///< for stats / debugging
+  };
+
+  [[nodiscard]] const std::string& label() const noexcept { return opt_.label; }
+  [[nodiscard]] bool done() const noexcept {
+    return done_.load(std::memory_order_acquire);
+  }
+  /// Total fire() invocations / fires that reported kWorked.
+  [[nodiscard]] uint64_t fires() const noexcept {
+    return fires_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t worked() const noexcept {
+    return worked_.load(std::memory_order_relaxed);
+  }
+  /// Times the task was stolen onto a different thread than it last ran on.
+  [[nodiscard]] uint64_t migrations() const noexcept {
+    return migrations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Scheduler;
+  Task(Fire fire, Options opt) : fire_(std::move(fire)), opt_(std::move(opt)) {}
+
+  Fire fire_;
+  Options opt_;
+  std::atomic<uint64_t> fires_{0};
+  std::atomic<uint64_t> worked_{0};
+  std::atomic<uint64_t> migrations_{0};
+  std::atomic<bool> done_{false};
+  uint32_t last_thread_ = 0;  // written only by the thread holding the task
+};
+
+/// Post-run scheduler telemetry (aggregated after every worker joins).
+struct SchedulerStats {
+  uint64_t fires = 0;       ///< task fires across all threads
+  uint64_t worked = 0;      ///< fires that reported kWorked
+  uint64_t idle_fires = 0;  ///< fires that reported kIdle
+  uint64_t steals = 0;      ///< successful cross-thread steals
+  std::vector<uint64_t> fires_per_thread;
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    /// Max consecutive fires of one task before yielding the thread to its
+    /// queue-mates. Click's STRIDE slice equivalent.
+    uint32_t quantum = 8;
+  };
+
+  // Two constructors instead of `Options opt = {}`: gcc rejects a braced
+  // default argument of a nested class with default member initializers.
+  explicit Scheduler(size_t n_threads) : Scheduler(n_threads, Options{}) {}
+  Scheduler(size_t n_threads, Options opt);
+
+  /// Register a task before run(). The returned reference stays valid for
+  /// the scheduler's lifetime.
+  Task& add(Task::Fire fire, Task::Options topt = {});
+
+  /// Run until every non-daemon task reports kDone (or request_stop()).
+  /// The CALLING thread becomes scheduler thread 0; n_threads-1 workers
+  /// are spawned. One-shot: a Scheduler instance runs once. A task
+  /// callback that throws stops the scheduler cleanly (in-flight fires
+  /// complete) and the first exception is re-thrown here after all
+  /// workers joined.
+  void run();
+
+  /// Ask every thread to drain out. Safe from any thread, including from
+  /// inside a task fire; threads finish their current fire (bursts are
+  /// never abandoned mid-element) and exit.
+  void request_stop() noexcept { stop_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] size_t threads() const noexcept { return states_.size(); }
+  /// Valid after run() returns.
+  [[nodiscard]] const SchedulerStats& stats() const noexcept { return stats_; }
+
+  /// Scheduler thread index of the calling thread, or -1 outside a fire.
+  /// Lets tests (and affinity-aware tasks) observe where they run.
+  [[nodiscard]] static int current_thread() noexcept;
+
+ private:
+  struct ThreadState {
+    std::mutex mu;
+    std::deque<Task*> queue;  // guarded by mu
+    // Thread-private counters (aggregated into stats_ after joins).
+    uint64_t fires = 0;
+    uint64_t worked = 0;
+    uint64_t idle_fires = 0;
+    uint64_t steals = 0;
+    uint32_t consec_idle = 0;
+  };
+
+  void thread_loop(uint32_t tid);
+  [[nodiscard]] Task* pop_local(ThreadState& ts);
+  [[nodiscard]] Task* try_steal(uint32_t thief);
+  void record_error() noexcept;
+
+  Options opt_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<std::unique_ptr<ThreadState>> states_;
+  std::atomic<size_t> live_{0};  ///< non-daemon tasks not yet done
+  std::atomic<bool> stop_{false};
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;  // guarded by err_mu_
+  SchedulerStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace nuevomatch::pipeline

@@ -48,6 +48,7 @@
 #include "nuevomatch/online.hpp"
 #include "nuevomatch/parallel.hpp"
 #include "pipeline/flow_cache.hpp"
+#include "pipeline/replicate.hpp"
 #include "trace/trace.hpp"
 #include "trace/verification.hpp"
 #include "tuplemerge/tuplemerge.hpp"
@@ -69,6 +70,16 @@ struct ChurnConfig {
   /// swaps race — the cache must never let a commit leak a stale decision.
   int n_cache_readers = 0;
   size_t cache_capacity = 4096;
+  /// Readers that are REAL pipeline replicas: each reader thread repeatedly
+  /// builds an N-replica TraceSource → FlowCache → Classifier → Sink graph
+  /// over the stable core (all replicas fanned into the one online engine
+  /// under churn) and runs it on a Click-style scheduler, then checks the
+  /// merged records against the core answers. This is the full dataplane —
+  /// RSS split, per-replica caches, scheduler migration, epoch pinning —
+  /// racing writers and swaps, not a hand-rolled lookup loop.
+  int n_replica_readers = 0;
+  uint32_t replica_count = 2;   ///< replicas per replicated-graph pass
+  size_t replica_threads = 2;   ///< scheduler threads per pass
 
   int n_steps = 5;
   int inserts_per_writer_step = 40;
@@ -148,6 +159,11 @@ struct ChurnConfig {
   c.min_swaps = rng.between(1, 3);
   c.cutsplit_remainder = rng.chance(0.35);
   c.n_cache_readers = static_cast<int>(rng.between(0, 2));
+  if (rng.chance(0.5)) {
+    c.n_replica_readers = 1;
+    c.replica_count = static_cast<uint32_t>(rng.between(2, 4));
+    c.replica_threads = rng.between(1, 2);
+  }
   c.cache_probes = rng.chance(0.5);
   c.swap_each_step = rng.chance(0.3);
   // A quarter of the draws run the retrain fault drill too, sometimes deep
@@ -281,6 +297,49 @@ class ChurnHarness {
           }
           if (got != core_.expected[k]) mismatches.fetch_add(1);
           lookups.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    // Replicated-pipeline readers: each pass is a fresh N-replica graph
+    // (ReplicatedGraph is one-shot) over the stable core, fanned into the
+    // online engine via a non-owning alias. The merged records — produced
+    // through per-replica caches, the RSS split, and scheduler migration —
+    // must carry every core packet's invariant answer, keyed by the global
+    // stream index, while writers and swaps race the passes.
+    const auto online_alias =
+        std::shared_ptr<OnlineNuevoMatch>(std::shared_ptr<void>{}, &online);
+    for (int t = 0; t < cfg_.n_replica_readers; ++t) {
+      readers.emplace_back([&, online_alias] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          pipeline::ReplicatedGraph rg{
+              cfg_.replica_count, [&](uint32_t, uint32_t) {
+                pipeline::Graph g;
+                auto& src = g.add(
+                    std::make_unique<pipeline::TraceSource>(core_.packets),
+                    "src");
+                auto& cache = g.add(std::make_unique<pipeline::FlowCacheElement>(
+                                        cfg_.cache_capacity),
+                                    "cache");
+                auto cls_owned = std::make_unique<pipeline::ClassifierElement>();
+                cls_owned->attach(online_alias);
+                auto& cls = g.add(std::move(cls_owned), "cls");
+                auto& sink = g.add(std::make_unique<pipeline::Sink>(true), "sink");
+                g.connect(src, 0, cache);
+                g.connect(cache, 0, cls);
+                g.connect(cls, 0, sink);
+                return g;
+              }};
+          pipeline::ReplicatedRunOptions ropts;
+          ropts.threads = cfg_.replica_threads;
+          rg.run(ropts);
+          const std::vector<pipeline::Sink::Record> recs = rg.merged_records();
+          if (recs.size() != core_.packets.size()) mismatches.fetch_add(1);
+          for (const pipeline::Sink::Record& r : recs) {
+            if (r.index >= core_.expected.size() ||
+                r.rule_id != core_.expected[r.index])
+              mismatches.fetch_add(1);
+          }
+          lookups.fetch_add(recs.size(), std::memory_order_relaxed);
         }
       });
     }

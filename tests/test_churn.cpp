@@ -150,6 +150,42 @@ TEST(ChurnFlowCache, CacheFrontedReadersCoherentAcrossSwaps) {
   EXPECT_GE(res.swaps, 3u) << "cached decisions must ride through >=3 swaps";
 }
 
+// Readers that are REAL pipeline replicas (the ISSUE 7 churn gate): each
+// reader pass builds a 3-replica TraceSource → FlowCache → Classifier →
+// Sink graph fanned into the churning engine and runs it on a 2-thread
+// Click-style scheduler. Every merged record — produced through the RSS
+// split, per-replica caches, and scheduler work stealing — must carry the
+// stable core's invariant answer at its global stream index while writers
+// and one forced swap per step race the passes.
+TEST(ChurnReplicatedPipeline, ReplicaGraphReadersMatchCoreAcrossSwaps) {
+  ChurnConfig cfg;
+  cfg.seed = 93;
+  cfg.n_rules = 700;
+  cfg.n_writers = 2;
+  cfg.n_scalar_readers = 0;
+  cfg.n_batch_readers = 0;
+  cfg.n_replica_readers = 1;
+  cfg.replica_count = 3;
+  cfg.replica_threads = 2;
+  cfg.n_steps = 3;
+  cfg.swap_each_step = true;
+  cfg.auto_retrain = false;
+  cfg.retrain_threshold = 1.0;
+  cfg.min_swaps = 3;
+  ChurnHarness harness{cfg};
+
+  const ChurnResult res = harness.run();
+
+  EXPECT_EQ(res.applied_ops, res.scheduled_ops);
+  EXPECT_GT(res.concurrent_lookups, 0u)
+      << "no replicated-graph pass completed - the mode is vacuous";
+  EXPECT_EQ(res.concurrent_mismatches, 0u)
+      << "a replicated-pipeline reader racing writers/swaps saw a wrong "
+         "answer (" << res.concurrent_lookups << " merged records checked)";
+  EXPECT_EQ(res.probe_mismatches, 0u);
+  EXPECT_GE(res.swaps, 3u);
+}
+
 // The ISSUE 6 acceptance gate: the retrain failpoint armed to fail 3
 // consecutive attempts mid-churn. The engine must serve with ZERO oracle
 // mismatches through failure → backoff → degraded (3 == max_retrain_failures

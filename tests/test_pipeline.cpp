@@ -197,6 +197,74 @@ TEST(GraphParse, ErrorsAreDiagnosedWithLineNumbers) {
   }
 }
 
+// Asserts that parsing `config` fails with a diagnostic that names `line`
+// and contains `fragment`. Every parser error must carry its line number —
+// a config error in a 50-line graph is useless without one.
+static void expect_parse_error(const std::string& config, int line,
+                               const std::string& fragment) {
+  try {
+    (void)Graph::parse(config);
+    FAIL() << "expected parse error containing '" << fragment << "'";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pipeline config line " + std::to_string(line)),
+              std::string::npos)
+        << "wrong/missing line number in: " << what;
+    EXPECT_NE(what.find(fragment), std::string::npos)
+        << "missing '" << fragment << "' in: " << what;
+  }
+}
+
+TEST(GraphParse, NegativeSuiteDiagnosesEveryMalformation) {
+  // Unknown element kind in a declaration and in a chain.
+  expect_parse_error("bad :: Nope(1);", 1, "unknown element kind 'Nope'");
+  expect_parse_error("# leading comment\nNope() -> Sink();", 2,
+                     "unknown element kind 'Nope'");
+  // Reference to a name that was never declared.
+  expect_parse_error("a :: Counter();\nghost -> Sink();", 2,
+                     "unknown element 'ghost'");
+  // Malformed declarations: missing '(', unterminated argument list,
+  // missing identifier, and a declaration with a dangling tail.
+  expect_parse_error("a :: Counter;", 1, "expected '(' after kind 'Counter'");
+  expect_parse_error("a :: Counter(x", 1, "unterminated '('");
+  // The missing ';' is detected at the NEXT token, so the diagnostic
+  // points at line 2 — where the parser stopped, like a compiler would.
+  expect_parse_error("a :: Counter()\nb :: Counter();", 2,
+                     "expected ';' or '->' after declaration");
+  // Duplicate element names are caught where the SECOND declaration sits.
+  expect_parse_error("a :: Counter();\na :: Counter();", 2,
+                     "duplicate element name 'a'");
+  // Port selector abuse: out-of-range port, overlong digits (must be a
+  // diagnosed parse error, not std::out_of_range escaping the converter),
+  // unterminated selector, and a selector that ends a chain (selects a
+  // port but connects nothing).
+  expect_parse_error("a :: Counter();\na[3] -> Sink();", 2,
+                     "has no output port");
+  expect_parse_error("a :: Counter();\na[99999999999999999999] -> Sink();", 2,
+                     "out of range");
+  expect_parse_error("a :: Counter();\na[0 -> Sink();", 2,
+                     "expected ']' after port number");
+  expect_parse_error("a :: Counter();\nSink()[0];", 2, "ends the chain");
+  // Double-connecting one output port.
+  expect_parse_error("a :: Counter();\na -> Sink();\na -> Sink();", 3,
+                     "connected twice");
+  // Statements that parse to nothing.
+  expect_parse_error("a :: Counter();\na;", 2, "statement has no effect");
+  expect_parse_error("a :: Counter();\n-> Sink();", 2,
+                     "expected an identifier");
+  // A config-built cycle is rejected at initialize() (topology, not
+  // syntax, so no line number — assert the named-element message instead).
+  Graph g = Graph::parse(
+      "a :: Counter(a);\nb :: Counter(b);\na -> b;\nb -> a;");
+  try {
+    g.initialize();
+    FAIL() << "expected cycle rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos)
+        << e.what();
+  }
+}
+
 // One coherence stamp cannot cover two distinct online engines: a cache in
 // such a graph would keep serving decisions one engine's updates should
 // have invalidated. The wiring must be rejected, not silently incoherent.
