@@ -39,6 +39,8 @@ struct RunResult {
   double mpps = 0.0;
   double hit_rate = 0.0;
   uint64_t stale = 0;
+  uint64_t retained = 0;  ///< hits on entries that survived >=1 commit
+  uint64_t future = 0;    ///< hits on entries fresher than the probe's view
 };
 
 /// Build the graph, pump the trace `reps + 1` times (first pass warms the
@@ -71,8 +73,11 @@ RunResult run_pipeline(const std::shared_ptr<OnlineNuevoMatch>& online,
   RunResult out;
   double best_ns = 1e300;
   double sum_ns = 0.0;
-  uint64_t sum_pkts = 0, sum_hits = 0, sum_lookups = 0, sum_stale = 0;
-  uint64_t best_hits = 0, best_lookups = 0, best_stale = 0;
+  uint64_t sum_pkts = 0;
+  // Per-pass deltas via Stats::operator-; rates via Stats::hit_rate(), whose
+  // denominator lookups() = hits + misses + stale is the single accounting
+  // every consumer of these numbers shares.
+  pipeline::FlowCache::Stats sum{}, best{};
   for (int pass = 0; pass <= reps; ++pass) {
     src.rewind();
     const pipeline::FlowCache::Stats s0 =
@@ -83,35 +88,27 @@ RunResult run_pipeline(const std::shared_ptr<OnlineNuevoMatch>& online,
     if (pass == 0) continue;  // warm-up (model caches AND the flow cache)
     const pipeline::FlowCache::Stats s1 =
         cache != nullptr ? cache->cache().stats() : pipeline::FlowCache::Stats{};
-    const uint64_t hits = s1.hits - s0.hits;
-    const uint64_t lookups = hits + (s1.misses - s0.misses) + (s1.stale - s0.stale);
-    const uint64_t stale = s1.stale - s0.stale;
+    const pipeline::FlowCache::Stats d = s1 - s0;
     sum_ns += static_cast<double>(t1 - t0);
     sum_pkts += n;
-    sum_hits += hits;
-    sum_lookups += lookups;
-    sum_stale += stale;
+    sum.hits += d.hits;
+    sum.misses += d.misses;
+    sum.stale += d.stale;
+    sum.retained += d.retained;
+    sum.future += d.future;
     const double ns = static_cast<double>(t1 - t0) / static_cast<double>(n);
     if (ns < best_ns) {
       best_ns = ns;
-      best_hits = hits;
-      best_lookups = lookups;
-      best_stale = stale;
+      best = d;
     }
   }
-  if (mean_of_passes) {
-    out.mpps = static_cast<double>(sum_pkts) * 1e3 / sum_ns;
-    out.hit_rate = sum_lookups == 0 ? 0.0
-                                    : static_cast<double>(sum_hits) /
-                                          static_cast<double>(sum_lookups);
-    out.stale = sum_stale;
-  } else {
-    out.mpps = mpps(best_ns);
-    out.hit_rate = best_lookups == 0 ? 0.0
-                                     : static_cast<double>(best_hits) /
-                                           static_cast<double>(best_lookups);
-    out.stale = best_stale;
-  }
+  const pipeline::FlowCache::Stats& pick = mean_of_passes ? sum : best;
+  out.mpps = mean_of_passes ? static_cast<double>(sum_pkts) * 1e3 / sum_ns
+                            : mpps(best_ns);
+  out.hit_rate = pick.lookups() == 0 ? 0.0 : pick.hit_rate();
+  out.stale = pick.stale;
+  out.retained = pick.retained;
+  out.future = pick.future;
   return out;
 }
 
@@ -200,8 +197,8 @@ int main() {
   // throughout. Inserted rules carry strictly-worse priorities, so the
   // decision stream stays comparable across rows.
   std::printf("\n(b) during churn (batched writer + forced retrain swaps)\n");
-  std::printf("%-14s %10s %12s %10s %9s %8s\n", "flow cache", "Mpps",
-              "hit rate", "stale", "updates", "swaps");
+  std::printf("%-14s %10s %12s %10s %10s %9s %8s\n", "flow cache", "Mpps",
+              "hit rate", "stale", "retained", "updates", "swaps");
   for (const size_t cap : caps) {
     std::atomic<bool> stop{false};
     std::atomic<uint64_t> updates{0};
@@ -233,9 +230,10 @@ int main() {
     online->quiesce();
     const uint64_t swaps = online->generations() - gen0;
     const std::string label = cap == 0 ? "none" : std::to_string(cap);
-    std::printf("%-14s %10.2f %11.1f%% %10llu %8.2gM %8llu\n", label.c_str(),
-                r.mpps, r.hit_rate * 100,
+    std::printf("%-14s %10.2f %11.1f%% %10llu %10llu %8.2gM %8llu\n",
+                label.c_str(), r.mpps, r.hit_rate * 100,
                 static_cast<unsigned long long>(r.stale),
+                static_cast<unsigned long long>(r.retained),
                 static_cast<double>(updates.load()) / 1e6,
                 static_cast<unsigned long long>(swaps));
     json.row()
@@ -244,6 +242,9 @@ int main() {
         .set("mpps", r.mpps)
         .set("hit_rate", r.hit_rate)
         .set("stale", static_cast<size_t>(r.stale))
+        .set("bands", static_cast<size_t>(OnlineNuevoMatch::kCoherenceBands))
+        .set("retained", static_cast<size_t>(r.retained))
+        .set("future", static_cast<size_t>(r.future))
         .set("updates", static_cast<size_t>(updates.load()))
         .set("swaps", static_cast<size_t>(swaps));
   }

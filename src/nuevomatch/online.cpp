@@ -120,7 +120,7 @@ void OnlineNuevoMatch::journal_locked(Op op) {
 bool OnlineNuevoMatch::insert_locked(const Rule& r, bool& churn_dirty) {
   if (live_loc_.contains(r.id)) return false;  // ids are unique; see header
   pending_inserts_.push_back(r);
-  live_loc_.emplace(r.id, Loc::kChurn);
+  live_loc_.emplace(r.id, LiveInfo{Loc::kChurn, r.priority});
   ++migrated_;
   live_count_.fetch_add(1, std::memory_order_relaxed);
   churn_dirty = true;
@@ -128,10 +128,15 @@ bool OnlineNuevoMatch::insert_locked(const Rule& r, bool& churn_dirty) {
 }
 
 bool OnlineNuevoMatch::erase_locked(uint32_t rule_id, bool& churn_dirty,
-                                    bool& base_dirty) {
+                                    bool& base_dirty, uint32_t& bands) {
   const auto it = live_loc_.find(rule_id);
   if (it == live_loc_.end()) return false;
-  switch (it->second) {
+  // An erase of r can only change answers whose cached decision IS r (a
+  // packet not matched by r keeps its best match), so it invalidates
+  // exactly r's band — never the catch-all (a miss cannot become a hit by
+  // removing a rule).
+  bands |= 1u << coherence_band(it->second.priority);
+  switch (it->second.loc) {
     case Loc::kIset:
       // In-place atomic tombstone: visible to readers immediately, no
       // copy-on-write publication needed.
@@ -149,6 +154,22 @@ bool OnlineNuevoMatch::erase_locked(uint32_t rule_id, bool& churn_dirty,
   live_loc_.erase(it);
   live_count_.fetch_sub(1, std::memory_order_relaxed);
   return true;
+}
+
+void OnlineNuevoMatch::bump_coherence(uint32_t bands) noexcept {
+  // One global bump covers the whole commit; each affected band is marked
+  // with the post-bump value. Callers hold wmu_, so marks are monotone per
+  // band. Ordering: the fetch_add is the release fence for the commit's
+  // publications (layer store / tombstones / band map); the mark stores
+  // after it are what lets OTHER bands keep serving — a probe that reads a
+  // not-yet-stored mark serves a decision the in-flight call has not yet
+  // invalidated, which linearizes before that call's return exactly like a
+  // lock-free lookup racing erase().
+  const uint64_t v = coherence_.fetch_add(1, std::memory_order_release) + 1;
+  for (int b = 0; b <= kCoherenceCatchAll; ++b) {
+    if ((bands >> b) & 1u)
+      band_marks_[static_cast<size_t>(b)].store(v, std::memory_order_release);
+  }
 }
 
 std::shared_ptr<const Classifier> OnlineNuevoMatch::rebuild_base_locked() const {
@@ -237,10 +258,12 @@ size_t OnlineNuevoMatch::insert_batch(std::span<const Rule> rules) {
           op_seq_.fetch_add(rules.size() - next, std::memory_order_relaxed);
       size_t room = bounded ? insert_room_locked() : SIZE_MAX;
       bool churn_dirty = false;
+      int min_band = kCoherenceCatchAll;
       while (next < rules.size() && room > 0) {
         const Rule& r = rules[next++];
         if (insert_locked(r, churn_dirty)) {
           journal_locked(Op{Op::Kind::kInsert, r, r.id, seq});
+          min_band = std::min(min_band, coherence_band(r.priority));
           ++slice;
           // Each accepted insert grows the churn delta and (journal open)
           // the journal by one; duplicates consume no capacity.
@@ -250,8 +273,12 @@ size_t OnlineNuevoMatch::insert_batch(std::span<const Rule> rules) {
       }
       if (churn_dirty) publish_layer_locked(churn_dirty, /*base_dirty=*/false);
       // The commit is reader-visible; invalidate decision caches (the bump
-      // must follow the publication — coherence_stamp()'s contract).
-      if (slice > 0) coherence_.fetch_add(1, std::memory_order_release);
+      // must follow the publication — coherence_stamp()'s contract). An
+      // insert of r only beats cached decisions with WORSE priority, so it
+      // marks r's band and every band above it — plus the catch-all, since
+      // a cached miss can become a hit.
+      if (slice > 0)
+        bump_coherence((0x1FFFFu << min_band) & 0x1FFFFu);
       pressure = built_size_ > 0
                      ? static_cast<double>(migrated_) / static_cast<double>(built_size_)
                      : 0.0;
@@ -288,8 +315,9 @@ size_t OnlineNuevoMatch::erase_batch(std::span<const uint32_t> rule_ids) {
     uint64_t seq = op_seq_.fetch_add(rule_ids.size(), std::memory_order_relaxed);
     bool churn_dirty = false;
     bool base_dirty = false;
+    uint32_t bands = 0;
     for (const uint32_t id : rule_ids) {
-      if (erase_locked(id, churn_dirty, base_dirty)) {
+      if (erase_locked(id, churn_dirty, base_dirty, bands)) {
         journal_locked(Op{Op::Kind::kErase, Rule{}, id, seq});
         ++accepted;
       }
@@ -299,8 +327,9 @@ size_t OnlineNuevoMatch::erase_batch(std::span<const uint32_t> rule_ids) {
     // need a copy-on-write publication.
     if (churn_dirty || base_dirty) publish_layer_locked(churn_dirty, base_dirty);
     // Tombstone-only erases mutated the live view too, so any accepted op
-    // invalidates decision caches.
-    if (accepted > 0) coherence_.fetch_add(1, std::memory_order_release);
+    // invalidates decision caches — but only the erased rules' OWN bands
+    // (erase_locked's argument): cached decisions elsewhere provably stand.
+    if (accepted > 0) bump_coherence(bands);
     freed = churn_dirty;  // a churn erase shrank the delta
   }
   if (freed) notify_overload();
@@ -330,12 +359,38 @@ void OnlineNuevoMatch::install_generation_locked(
   pending_churn_erases_.clear();
   live_loc_.clear();
   live_loc_.reserve(fresh->nm.size());
+  int64_t prio_lo = INT64_MAX;
+  int64_t prio_hi = INT64_MIN;
   for (const IsetIndex& is : fresh->nm.isets()) {
     for (size_t i = 0; i < is.rules().size(); ++i) {
-      if (is.alive(i)) live_loc_.emplace(is.rules()[i].id, Loc::kIset);
+      if (!is.alive(i)) continue;
+      const Rule& r = is.rules()[i];
+      live_loc_.emplace(r.id, LiveInfo{Loc::kIset, r.priority});
+      prio_lo = std::min<int64_t>(prio_lo, r.priority);
+      prio_hi = std::max<int64_t>(prio_hi, r.priority);
     }
   }
-  for (const Rule& r : base_rules_) live_loc_.emplace(r.id, Loc::kBaseRemainder);
+  for (const Rule& r : base_rules_) {
+    live_loc_.emplace(r.id, LiveInfo{Loc::kBaseRemainder, r.priority});
+    prio_lo = std::min<int64_t>(prio_lo, r.priority);
+    prio_hi = std::max<int64_t>(prio_hi, r.priority);
+  }
+  // Recompute the band map over the installed rules' priority range: 16
+  // equal-width bands, clamped at both ends (priorities inserted later that
+  // fall outside the range land in band 0 / 15). Stored BEFORE this
+  // install's release bump, and every band is marked below — so an entry
+  // that survives the install was stamped after it and therefore banded
+  // under THIS map; no entry banded under the old map can ever be served
+  // against it.
+  uint64_t map = 0;
+  if (prio_lo <= prio_hi) {
+    const uint64_t span = static_cast<uint64_t>(prio_hi - prio_lo) + 1;
+    const uint64_t width =
+        (span + kCoherenceBands - 1) / static_cast<uint64_t>(kCoherenceBands);
+    map = (static_cast<uint64_t>(static_cast<uint32_t>(prio_lo)) << 32) |
+          static_cast<uint32_t>(width);
+  }
+  band_map_.store(map, std::memory_order_relaxed);
   built_size_ = fresh->nm.built_size();
   migrated_ = fresh->nm.migrated();
   live_count_.store(fresh->nm.size(), std::memory_order_relaxed);
@@ -358,9 +413,10 @@ void OnlineNuevoMatch::install_generation_locked(
   layer_owner_ = std::move(fresh_layer);
   retired_.collect(epochs_.min_active());
   // A swap preserves every answer (journals replayed), but cached decisions
-  // predate the replayed erases' tombstone relocations — invalidate anyway;
-  // conservative invalidation is always coherent.
-  coherence_.fetch_add(1, std::memory_order_release);
+  // predate the replayed erases' tombstone relocations, and the band map
+  // just moved — mark EVERY band; conservative invalidation is always
+  // coherent.
+  bump_coherence(0x1FFFFu);
 }
 
 void OnlineNuevoMatch::publish_fresh(std::shared_ptr<Generation> fresh,

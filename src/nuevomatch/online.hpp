@@ -59,6 +59,7 @@
 // prior certified (model, array) pair verbatim when the array is unchanged.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -340,24 +341,73 @@ class OnlineNuevoMatch final : public Classifier {
   void with_stable_view(const std::function<void(const NuevoMatch&)>& fn) const;
 
   // --- cache coherence ----------------------------------------------------
+  /// Priority bands for dependency-aware cache invalidation. The rule
+  /// priority range of the live generation is split into kCoherenceBands
+  /// equal-width bands (computed at install time); kCoherenceCatchAll is the
+  /// extra band that cached MISS decisions live in (a miss can only be
+  /// changed by an insert, never by an erase).
+  static constexpr int kCoherenceBands = 16;
+  static constexpr int kCoherenceCatchAll = kCoherenceBands;  // index 16
+
   /// Monotone stamp bumped (release) AFTER every completed mutation becomes
   /// reader-visible: each insert/erase commit (copy-on-write layer publish
   /// and/or in-place iSet tombstone flips) and each generation install
   /// (build/adopt/retrain swap). A decision cache in front of this engine
   /// (pipeline::FlowCache) reads the stamp BEFORE classifying a missed
-  /// packet and stores it with the cached decision; a lookup serves the
-  /// entry only while the current stamp still equals the stored one.
+  /// packet and stores it with the cached decision (plus the decision's
+  /// priority band); a lookup serves the entry only while no commit that
+  /// could have changed decisions in that band has bumped past the stored
+  /// stamp — i.e. while coherence_band_mark(band) <= stored stamp.
   ///
-  /// Why that is coherent: an acquire read returning stamp S means every
-  /// mutation whose release-bump is <= S happened-before the read, so the
-  /// classification that follows sees all of them; any later mutation bumps
-  /// past S, so the entry can never be served after that mutation's
-  /// insert/erase call has returned. The only overlap is a lookup racing
-  /// the mutating call itself, which is linearized before it — exactly the
-  /// guarantee a lock-free lookup racing erase() gives without a cache.
-  /// (DESIGN.md "Pipeline" has the full memory-ordering rationale.)
+  /// Why that is coherent, per band: an acquire read returning stamp S means
+  /// every mutation whose release-bump is <= S happened-before the read, so
+  /// the classification that follows sees all of them. A commit AFTER the
+  /// read bumps the global counter past S and marks the bands it could have
+  /// affected with the post-bump value (> S):
+  ///   * an INSERT of rule r can only change a cached decision d when r
+  ///     beats d, i.e. r.priority < d.priority — so it marks r's band and
+  ///     every WORSE band (a suffix), plus the catch-all (a miss can become
+  ///     a hit);
+  ///   * an ERASE of rule r can only change a cached decision d when d IS r
+  ///     (erasing a rule the packet didn't match leaves its best match
+  ///     intact) — so it marks exactly r's band, and never the catch-all;
+  ///   * a generation INSTALL (build/adopt/retrain swap) marks every band —
+  ///     the band map itself may move, so everything older is conservatively
+  ///     dead.
+  /// A cached decision in band b with stamp S is therefore provably current
+  /// whenever coherence_band_mark(b) <= S: every commit that could have
+  /// changed it has a mark in band b, and all such marks are <= S, so they
+  /// all happened-before the stamp read that preceded the classification.
+  /// Commits in other bands may be arbitrarily newer — they provably cannot
+  /// change this decision. The only overlap is a lookup racing the mutating
+  /// call itself, which is linearized before it — exactly the guarantee a
+  /// lock-free lookup racing erase() gives without a cache. (DESIGN.md
+  /// "Pipeline" has the full memory-ordering rationale, including why the
+  /// band-map republish at install time cannot race a band computation into
+  /// a stale serve.)
   [[nodiscard]] uint64_t coherence_stamp() const noexcept {
     return coherence_.load(std::memory_order_acquire);
+  }
+
+  /// The band a rule priority falls in under the CURRENT band map
+  /// ([lo, lo+width) -> 0, clamped at both ends). Callers caching a MISS
+  /// must use kCoherenceCatchAll instead — a miss has no priority.
+  [[nodiscard]] int coherence_band(int32_t priority) const noexcept {
+    const uint64_t m = band_map_.load(std::memory_order_relaxed);
+    const auto width = static_cast<uint32_t>(m);
+    if (width == 0) return 0;
+    const auto lo = static_cast<int32_t>(static_cast<uint32_t>(m >> 32));
+    const int64_t off = static_cast<int64_t>(priority) - lo;
+    if (off < 0) return 0;
+    const int64_t b = off / width;
+    return b >= kCoherenceBands ? kCoherenceBands - 1 : static_cast<int>(b);
+  }
+
+  /// Post-bump global counter value of the last commit that could have
+  /// changed decisions in `band` (0 <= band <= kCoherenceCatchAll). An entry
+  /// (band b, stamp S) is still current iff coherence_band_mark(b) <= S.
+  [[nodiscard]] uint64_t coherence_band_mark(int band) const noexcept {
+    return band_marks_[static_cast<size_t>(band)].load(std::memory_order_acquire);
   }
 
   // --- shard introspection -------------------------------------------------
@@ -445,6 +495,13 @@ class OnlineNuevoMatch final : public Classifier {
 
   /// Where a live rule-id currently resides (writer-side routing state).
   enum class Loc : uint8_t { kIset, kBaseRemainder, kChurn };
+  /// live_loc_ value: residence + the rule's priority, kept so erase commits
+  /// can report WHICH coherence band they invalidate (an erase only changes
+  /// answers whose cached decision IS the erased rule — same band).
+  struct LiveInfo {
+    Loc loc;
+    int32_t priority;
+  };
 
   [[nodiscard]] Shard& shard_for(uint32_t rule_id) const {
     // Fibonacci multiplicative hash: controller-assigned sequential ids
@@ -455,7 +512,13 @@ class OnlineNuevoMatch final : public Classifier {
 
   // Writer-side commit machinery; all *_locked functions require wmu_.
   bool insert_locked(const Rule& r, bool& churn_dirty);
-  bool erase_locked(uint32_t rule_id, bool& churn_dirty, bool& base_dirty);
+  /// `bands` accumulates the coherence-band bitmask this erase invalidates.
+  bool erase_locked(uint32_t rule_id, bool& churn_dirty, bool& base_dirty,
+                    uint32_t& bands);
+  /// Bump the global coherence counter once and mark every band in `bands`
+  /// (bit b = band b, bit kCoherenceCatchAll = the miss band) with the
+  /// post-bump value. Must run AFTER the commit is reader-visible.
+  void bump_coherence(uint32_t bands) noexcept;
   void publish_layer_locked(bool churn_dirty, bool base_dirty);
   void journal_locked(Op op);
   [[nodiscard]] std::shared_ptr<const Classifier> rebuild_base_locked() const;
@@ -501,6 +564,15 @@ class OnlineNuevoMatch final : public Classifier {
   mutable epoch::Domain epochs_;
   std::atomic<const Generation*> gen_pub_{nullptr};
   std::atomic<uint64_t> coherence_{1};  // see coherence_stamp()
+  /// Per-band last-invalidation marks (see coherence_band_mark()). Index
+  /// kCoherenceCatchAll is the miss band; installs mark all of them.
+  std::array<std::atomic<uint64_t>, kCoherenceBands + 1> band_marks_{};
+  /// Packed band map: (uint32)lo << 32 | (uint32)width, recomputed at each
+  /// generation install from the installed rules' priority range and stored
+  /// BEFORE the install's release bump — so a stamp read that admits
+  /// post-install entries also proves visibility of the new map, and every
+  /// pre-install entry is dead regardless of which map stamped its band.
+  std::atomic<uint64_t> band_map_{0};
   std::atomic<uint64_t> generation_count_{0};
   std::atomic<size_t> live_count_{0};
   std::atomic<size_t> last_retrain_reused_{0};
@@ -513,7 +585,7 @@ class OnlineNuevoMatch final : public Classifier {
   std::shared_ptr<Generation> gen_owner_;        // owns what gen_pub_ points at
   std::shared_ptr<const Layer> layer_owner_;     // owns what gen->layer points at
   epoch::RetireList retired_;
-  std::unordered_map<uint32_t, Loc> live_loc_;   // id → current residence
+  std::unordered_map<uint32_t, LiveInfo> live_loc_;  // id → residence+priority
   std::vector<Rule> base_rules_;                 // base-remainder rules at swap
   std::unordered_set<uint32_t> erased_base_;     // base-remainder ids erased since
   std::vector<Rule> pending_inserts_;            // this commit's churn adds

@@ -60,6 +60,12 @@ struct Burst {
   std::array<int32_t, kBurstSize> action;    ///< resolved rule action; -1 = none
   uint32_t size = 0;
   uint32_t resolved = 0;                     ///< bitmask over [0, size)
+  /// Lanes whose decision was served from a FlowCache (subset of
+  /// `resolved`). Provenance for the staleness oracle: a recording Sink
+  /// keeps the flag, so a differential over the records can pinpoint
+  /// cache-SERVED mismatches (stale decisions) as distinct from classifier
+  /// bugs. Travels through Dispatch splits like `resolved`.
+  uint32_t from_cache = 0;
   /// Cache-fill note: set by FlowCache for bursts with unresolved lanes.
   /// The element that resolves a lane inserts the decision into `fill`
   /// stamped with `fill_stamp` (read BEFORE classification — the coherence
@@ -70,6 +76,7 @@ struct Burst {
   void reset() noexcept {
     size = 0;
     resolved = 0;
+    from_cache = 0;
     fill = nullptr;
     fill_stamp = 0;
   }

@@ -1,5 +1,6 @@
 #include "pipeline/elements.hpp"
 
+#include <bit>
 #include <charconv>
 #include <cstdio>
 #include <fstream>
@@ -167,33 +168,40 @@ void FlowCacheElement::process(Burst& b) {
   // decisions the classifier computes for this burst can never be served
   // once that mutation's call returns (coherence contract, flow_cache.hpp).
   const uint64_t stamp = cache_.current_stamp();
-  bool any_miss = false;
-  for (uint32_t i = 0; i < b.size; ++i) {
-    if (b.is_resolved(i)) continue;
-    Decision d;
-    if (cache_.lookup(b.pkt[i], d)) {
-      b.result[i] = MatchResult{d.rule_id, d.priority};
-      b.action[i] = d.action;
+  const uint32_t lanes =
+      (b.size >= kBurstSize ? ~uint32_t{0} : (1u << b.size) - 1) & ~b.resolved;
+  if (lanes != 0) {
+    // One shard-grouped burst probe instead of one lock per packet; the
+    // cache re-checks the band marks per shard hold (flow_cache.hpp).
+    std::array<Decision, kBurstSize> d;
+    const uint32_t hits = cache_.lookup_burst(b.pkt.data(), b.size, lanes, d.data());
+    for (uint32_t m = hits; m != 0; m &= m - 1) {
+      const auto i = static_cast<uint32_t>(std::countr_zero(m));
+      b.result[i] = MatchResult{d[i].rule_id, d[i].priority};
+      b.action[i] = d[i].action;
       b.mark_resolved(i);
-    } else {
-      any_miss = true;
+      b.from_cache |= 1u << i;
     }
-  }
-  if (any_miss) {
-    b.fill = &cache_;
-    b.fill_stamp = stamp;
+    if ((lanes & ~hits) != 0) {
+      b.fill = &cache_;
+      b.fill_stamp = stamp;
+    }
   }
   forward(b);
 }
 
 std::string FlowCacheElement::report() const {
   const FlowCache::Stats s = cache_.stats();
-  return fmt("flow cache: %.1f%% hit rate (%llu hits, %llu misses, %llu stale, "
-             "%llu evictions; capacity %zu)",
+  return fmt("flow cache: %.1f%% hit rate (%llu hits — %llu retained past "
+             "commits, %llu fresher than probe; %llu misses, %llu stale, "
+             "%llu evictions, %llu insert drops; capacity %zu)",
              s.hit_rate() * 100.0, static_cast<unsigned long long>(s.hits),
+             static_cast<unsigned long long>(s.retained),
+             static_cast<unsigned long long>(s.future),
              static_cast<unsigned long long>(s.misses),
              static_cast<unsigned long long>(s.stale),
-             static_cast<unsigned long long>(s.evictions), cache_.capacity());
+             static_cast<unsigned long long>(s.evictions),
+             static_cast<unsigned long long>(s.insert_drops), cache_.capacity());
 }
 
 // --- ClassifierElement ------------------------------------------------------
@@ -274,13 +282,16 @@ void ClassifierElement::process(Burst& b) {
       for (size_t k = 0; k < in.size(); ++k) out[k] = scalar_->match(in[k]);
     }
   };
+  // The cache-fill obligation is met with ONE shard-grouped burst insert
+  // after the classify pass, not one locked insert per lane.
+  std::array<Decision, kBurstSize> fill_d;
+  uint32_t fill_mask = 0;
   const auto annotate = [&](uint32_t i) {
     b.action[i] = action_of(b.result[i].rule_id);
     b.mark_resolved(i);
     if (b.fill != nullptr) {
-      b.fill->insert(b.pkt[i],
-                     Decision{b.result[i].rule_id, b.result[i].priority, b.action[i]},
-                     b.fill_stamp);
+      fill_d[i] = Decision{b.result[i].rule_id, b.result[i].priority, b.action[i]};
+      fill_mask |= 1u << i;
     }
   };
 
@@ -310,6 +321,8 @@ void ClassifierElement::process(Burst& b) {
       }
     }
   }
+  if (fill_mask != 0)
+    b.fill->insert_burst(b.pkt.data(), b.size, fill_mask, fill_d.data(), b.fill_stamp);
   b.fill = nullptr;  // obligation met; downstream must not double-fill
   forward(b);
 }
@@ -381,6 +394,7 @@ void Dispatch::process(Burst& b) {
     s.result[j] = b.result[i];
     s.action[j] = b.action[i];
     if (b.is_resolved(i)) s.mark_resolved(j);
+    if ((b.from_cache >> i) & 1u) s.from_cache |= 1u << j;
     ++counts_[port];
   }
   for (size_t port = 0; port < split_.size(); ++port)
@@ -422,7 +436,8 @@ void Sink::process(Burst& b) {
   if (record_) {
     for (uint32_t i = 0; i < b.size; ++i) {
       records_.push_back(Record{b.index[i], b.result[i].rule_id,
-                                b.result[i].priority, b.action[i]});
+                                b.result[i].priority, b.action[i],
+                                ((b.from_cache >> i) & 1u) != 0});
     }
   }
 }

@@ -206,6 +206,9 @@ class Sink final : public Element {
     int32_t rule_id;
     int32_t priority;
     int32_t action;
+    /// Decision was served from a FlowCache (Burst::from_cache) — the
+    /// provenance bit the stale-served oracle keys on.
+    bool cached = false;
   };
 
   explicit Sink(bool record = false);

@@ -23,48 +23,56 @@ uint64_t FlowCache::current_stamp() const noexcept {
   return stamp_src_ != nullptr ? stamp_src_->coherence_stamp() : 0;
 }
 
-bool FlowCache::lookup(const Packet& p, Decision& out) {
-  const uint64_t h = hash(p);
-  Shard& sh = *shards_[h % shards_.size()];
-  const size_t set = (h / shards_.size()) & (sets_per_shard_ - 1);
-  // One stamp read covers the whole probe: entries newer than this read are
-  // rejected too (their stamp differs), which only costs a recomputation.
-  const uint64_t now = current_stamp();
-  std::lock_guard lk{sh.mu};
+uint8_t FlowCache::band_of(const Decision& d) const noexcept {
+  if (stamp_src_ == nullptr) return 0;
+  // A miss has no priority; it lives in the catch-all band, which inserts
+  // mark (a miss can become a hit) and erases never do (it cannot stop
+  // being a miss by removing a rule).
+  if (d.rule_id == MatchResult::kNoMatch)
+    return static_cast<uint8_t>(OnlineNuevoMatch::kCoherenceCatchAll);
+  return static_cast<uint8_t>(stamp_src_->coherence_band(d.priority));
+}
+
+uint64_t FlowCache::band_mark(uint8_t band) const noexcept {
+  // No stamp source: marks are pinned to 0, so every entry is permanently
+  // clean — the frozen-rule-set mode.
+  return stamp_src_ != nullptr ? stamp_src_->coherence_band_mark(band) : 0;
+}
+
+bool FlowCache::probe_locked(Shard& sh, size_t set, const Packet& p,
+                             uint64_t now, Decision& out) {
   Entry* base = sh.entries.data() + set * kWays;
   for (size_t w = 0; w < kWays; ++w) {
     Entry& e = base[w];
     if (e.stamp == kEmpty || e.key != p.field) continue;
-    if (e.stamp < now) {
-      // Stamps are monotone, so an older stamp means the classifier
-      // definitively mutated since this decision was computed: the entry
-      // is dead, whatever the mutation was. Retire it so the way frees up.
+    if (band_mark(e.band) > e.stamp) {
+      // A commit that could have changed decisions in this entry's band
+      // landed after the entry was stamped: the entry is definitively dead,
+      // whatever the commit was. Retire it so the way frees up.
       e.stamp = kEmpty;
       ++sh.stale;
       return false;
     }
-    if (e.stamp > now) {
-      // OUR stamp read is the stale one (a concurrent reader refilled this
-      // flow after a commit we haven't observed). The entry may well be
-      // valid, but we cannot prove it against an old stamp — miss, and
-      // leave the fresher entry for readers with a current view.
-      ++sh.misses;
-      return false;
-    }
+    // The band marks prove the decision current — including when the entry
+    // is FRESHER than our own stamp view (a concurrent reader refilled the
+    // flow after a commit we haven't observed; pre-band code miscounted
+    // that as a miss) and when it is OLDER (the entry survived commits in
+    // other bands — the dependency-aware retention this cache exists for).
     out = e.d;
     ++sh.hits;
+    if (e.stamp < now) {
+      ++sh.retained;
+    } else if (e.stamp > now) {
+      ++sh.future;
+    }
     return true;
   }
   ++sh.misses;
   return false;
 }
 
-void FlowCache::insert(const Packet& p, const Decision& d, uint64_t stamp) {
-  if (stamp == kEmpty) return;  // reserved sentinel; unreachable in practice
-  const uint64_t h = hash(p);
-  Shard& sh = *shards_[h % shards_.size()];
-  const size_t set = (h / shards_.size()) & (sets_per_shard_ - 1);
-  std::lock_guard lk{sh.mu};
+void FlowCache::fill_locked(Shard& sh, size_t set, const Packet& p,
+                            const Decision& d, uint64_t stamp, uint8_t band) {
   Entry* base = sh.entries.data() + set * kWays;
   Entry* victim = nullptr;
   for (size_t w = 0; w < kWays; ++w) {
@@ -73,8 +81,11 @@ void FlowCache::insert(const Packet& p, const Decision& d, uint64_t stamp) {
       // The flow is already cached. Never replace a fresher-stamped entry
       // with an older-stamped one: a reader whose burst-level stamp read
       // predates a concurrent refill would otherwise downgrade a valid
-      // entry into one every current-view lookup retires as stale.
-      if (e.stamp > stamp) return;
+      // entry into one a same-band commit already invalidated.
+      if (e.stamp > stamp) {
+        ++sh.insert_drops;
+        return;
+      }
       victim = &e;  // re-stamp the existing entry for this flow
       break;
     }
@@ -88,7 +99,112 @@ void FlowCache::insert(const Packet& p, const Decision& d, uint64_t stamp) {
   victim->key = p.field;
   victim->d = d;
   victim->stamp = stamp;
+  victim->band = band;
   ++sh.inserts;
+}
+
+bool FlowCache::lookup(const Packet& p, Decision& out) {
+  const uint64_t h = hash(p);
+  Shard& sh = *shards_[h % shards_.size()];
+  const size_t set = (h / shards_.size()) & (sets_per_shard_ - 1);
+  // The stamp view is only hit-accounting context (retained/future); the
+  // serve/retire verdict comes from the per-band marks inside the lock.
+  const uint64_t now = current_stamp();
+  std::lock_guard lk{sh.mu};
+  return probe_locked(sh, set, p, now, out);
+}
+
+void FlowCache::insert(const Packet& p, const Decision& d, uint64_t stamp) {
+  if (stamp == kEmpty) return;  // reserved sentinel; unreachable in practice
+  const uint64_t h = hash(p);
+  Shard& sh = *shards_[h % shards_.size()];
+  const size_t set = (h / shards_.size()) & (sets_per_shard_ - 1);
+  const uint8_t band = band_of(d);
+  std::lock_guard lk{sh.mu};
+  fill_locked(sh, set, p, d, stamp, band);
+}
+
+uint32_t FlowCache::lookup_burst(const Packet* pkts, uint32_t n,
+                                 uint32_t active, Decision* out) {
+  if (n > kBurstLanes) n = kBurstLanes;
+  const uint32_t lanes = n == kBurstLanes ? active : active & ((1u << n) - 1);
+  uint32_t hit_mask = 0;
+  std::array<uint32_t, kBurstLanes> set_of;
+  // One pass buckets the lanes into per-shard masks (direct-indexed while
+  // the shard count fits the `touched` bitmap — every real instance; huge
+  // shard counts fall back to per-lane locking). Then each touched shard's
+  // lock is taken ONCE and the scalar probe body runs for its lanes. The
+  // band marks (and the stamp view for hit accounting) are read fresh per
+  // shard hold — NOT hoisted over the burst — so a commit landing mid-burst
+  // invalidates the lanes of every not-yet-probed shard exactly as
+  // per-packet probing would.
+  if (shards_.size() <= kMaxGroupedShards) {
+    std::array<uint32_t, kMaxGroupedShards> shard_mask{};
+    uint64_t touched = 0;
+    for (uint32_t m = lanes; m != 0; m &= m - 1) {
+      const auto i = static_cast<uint32_t>(std::countr_zero(m));
+      const uint64_t h = hash(pkts[i]);
+      const auto s = static_cast<uint32_t>(h % shards_.size());
+      set_of[i] =
+          static_cast<uint32_t>((h / shards_.size()) & (sets_per_shard_ - 1));
+      shard_mask[s] |= 1u << i;
+      touched |= uint64_t{1} << s;
+    }
+    for (; touched != 0; touched &= touched - 1) {
+      const auto s = static_cast<uint32_t>(std::countr_zero(touched));
+      Shard& sh = *shards_[s];
+      const uint64_t now = current_stamp();
+      std::lock_guard lk{sh.mu};
+      for (uint32_t m = shard_mask[s]; m != 0; m &= m - 1) {
+        const auto i = static_cast<uint32_t>(std::countr_zero(m));
+        if (probe_locked(sh, set_of[i], pkts[i], now, out[i]))
+          hit_mask |= 1u << i;
+      }
+    }
+    return hit_mask;
+  }
+  for (uint32_t m = lanes; m != 0; m &= m - 1) {
+    const auto i = static_cast<uint32_t>(std::countr_zero(m));
+    if (lookup(pkts[i], out[i])) hit_mask |= 1u << i;
+  }
+  return hit_mask;
+}
+
+void FlowCache::insert_burst(const Packet* pkts, uint32_t n, uint32_t mask,
+                             const Decision* ds, uint64_t stamp) {
+  if (stamp == kEmpty) return;
+  if (n > kBurstLanes) n = kBurstLanes;
+  const uint32_t lanes = n == kBurstLanes ? mask : mask & ((1u << n) - 1);
+  if (shards_.size() > kMaxGroupedShards) {
+    for (uint32_t m = lanes; m != 0; m &= m - 1) {
+      const auto i = static_cast<uint32_t>(std::countr_zero(m));
+      insert(pkts[i], ds[i], stamp);
+    }
+    return;
+  }
+  std::array<uint32_t, kBurstLanes> set_of;
+  std::array<uint8_t, kBurstLanes> band;
+  std::array<uint32_t, kMaxGroupedShards> shard_mask{};
+  uint64_t touched = 0;
+  for (uint32_t m = lanes; m != 0; m &= m - 1) {
+    const auto i = static_cast<uint32_t>(std::countr_zero(m));
+    const uint64_t h = hash(pkts[i]);
+    const auto s = static_cast<uint32_t>(h % shards_.size());
+    set_of[i] =
+        static_cast<uint32_t>((h / shards_.size()) & (sets_per_shard_ - 1));
+    band[i] = band_of(ds[i]);
+    shard_mask[s] |= 1u << i;
+    touched |= uint64_t{1} << s;
+  }
+  for (; touched != 0; touched &= touched - 1) {
+    const auto s = static_cast<uint32_t>(std::countr_zero(touched));
+    Shard& sh = *shards_[s];
+    std::lock_guard lk{sh.mu};
+    for (uint32_t m = shard_mask[s]; m != 0; m &= m - 1) {
+      const auto i = static_cast<uint32_t>(std::countr_zero(m));
+      fill_locked(sh, set_of[i], pkts[i], ds[i], stamp, band[i]);
+    }
+  }
 }
 
 void FlowCache::clear() {
@@ -108,6 +224,9 @@ FlowCache::Stats FlowCache::stats() const {
     s.stale += sh->stale;
     s.inserts += sh->inserts;
     s.evictions += sh->evictions;
+    s.retained += sh->retained;
+    s.future += sh->future;
+    s.insert_drops += sh->insert_drops;
   }
   return s;
 }

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -68,6 +69,9 @@ struct ChurnConfig {
   /// hits serve cached decisions, misses classify-and-fill, every served
   /// answer is still checked against the stable core while writers and
   /// swaps race — the cache must never let a commit leak a stale decision.
+  /// Readers ALTERNATE scalar probes with shard-grouped burst probes
+  /// (lookup_burst/insert_burst), so the per-shard band-mark re-check races
+  /// commits landing mid-burst too.
   int n_cache_readers = 0;
   size_t cache_capacity = 4096;
   /// Readers that are REAL pipeline replicas: each reader thread repeatedly
@@ -281,22 +285,57 @@ class ChurnHarness {
     for (int t = 0; t < cfg_.n_cache_readers; ++t) {
       readers.emplace_back([&, t] {
         size_t i = static_cast<size_t>(t) * 29;
+        uint64_t turn = static_cast<uint64_t>(t);
         while (!stop.load(std::memory_order_relaxed)) {
-          const size_t k = i++ % core_.packets.size();
-          const Packet& p = core_.packets[k];
-          pipeline::Decision d;
-          int32_t got;
-          if (shared_cache.lookup(p, d)) {
-            got = d.rule_id;
-          } else {
-            const uint64_t stamp = shared_cache.current_stamp();
-            const MatchResult r = online.match(p);
-            got = r.rule_id;
-            shared_cache.insert(p, pipeline::Decision{r.rule_id, r.priority, -1},
-                                stamp);
+          if (turn++ % 2 == 0) {
+            // Scalar probe.
+            const size_t k = i++ % core_.packets.size();
+            const Packet& p = core_.packets[k];
+            pipeline::Decision d;
+            int32_t got;
+            if (shared_cache.lookup(p, d)) {
+              got = d.rule_id;
+            } else {
+              const uint64_t stamp = shared_cache.current_stamp();
+              const MatchResult r = online.match(p);
+              got = r.rule_id;
+              shared_cache.insert(p, pipeline::Decision{r.rule_id, r.priority, -1},
+                                  stamp);
+            }
+            if (got != core_.expected[k]) mismatches.fetch_add(1);
+            lookups.fetch_add(1, std::memory_order_relaxed);
+            continue;
           }
-          if (got != core_.expected[k]) mismatches.fetch_add(1);
-          lookups.fetch_add(1, std::memory_order_relaxed);
+          // Shard-grouped burst probe over a contiguous core window (the
+          // pipeline's FlowCacheElement fast path): one stamp read fronts
+          // the whole burst's fills, while the serve/retire verdicts come
+          // from the band marks re-read per shard hold.
+          const size_t k = i % core_.packets.size();
+          const auto n = static_cast<uint32_t>(std::min(
+              pipeline::FlowCache::kBurstLanes, core_.packets.size() - k));
+          i += n;
+          const Packet* ps = core_.packets.data() + k;
+          std::array<pipeline::Decision, pipeline::FlowCache::kBurstLanes> out;
+          const uint64_t stamp = shared_cache.current_stamp();
+          const uint32_t hits = shared_cache.lookup_burst(ps, n, ~uint32_t{0},
+                                                          out.data());
+          std::array<pipeline::Decision, pipeline::FlowCache::kBurstLanes> fill;
+          uint32_t fill_mask = 0;
+          for (uint32_t j = 0; j < n; ++j) {
+            int32_t got;
+            if ((hits >> j) & 1u) {
+              got = out[j].rule_id;
+            } else {
+              const MatchResult r = online.match(ps[j]);
+              got = r.rule_id;
+              fill[j] = pipeline::Decision{r.rule_id, r.priority, -1};
+              fill_mask |= 1u << j;
+            }
+            if (got != core_.expected[k + j]) mismatches.fetch_add(1);
+          }
+          if (fill_mask != 0)
+            shared_cache.insert_burst(ps, n, fill_mask, fill.data(), stamp);
+          lookups.fetch_add(n, std::memory_order_relaxed);
         }
       });
     }
@@ -570,6 +609,37 @@ class ChurnHarness {
         ++res.cache_probes;
         if (got != oracle.match(p).rule_id) ++res.cache_mismatches;
       }
+    }
+    // Pass 2, bursted: the SAME probes again through lookup_burst /
+    // insert_burst — the shard-grouped path the pipeline elements use. The
+    // scalar passes above left the cache warm, so this pass is nearly all
+    // hits; any decision the per-shard band-mark check lets through that the
+    // scalar probe path would have retired diverges from the oracle here.
+    for (size_t off = 0; off < probes.size();
+         off += pipeline::FlowCache::kBurstLanes) {
+      const auto n = static_cast<uint32_t>(
+          std::min(pipeline::FlowCache::kBurstLanes, probes.size() - off));
+      const Packet* ps = probes.data() + off;
+      std::array<pipeline::Decision, pipeline::FlowCache::kBurstLanes> out;
+      const uint64_t stamp = cache.current_stamp();
+      const uint32_t hits = cache.lookup_burst(ps, n, ~uint32_t{0}, out.data());
+      std::array<pipeline::Decision, pipeline::FlowCache::kBurstLanes> fill;
+      uint32_t fill_mask = 0;
+      for (uint32_t j = 0; j < n; ++j) {
+        int32_t got;
+        if ((hits >> j) & 1u) {
+          got = out[j].rule_id;
+          ++res.cache_served;
+        } else {
+          const MatchResult r = online.match(ps[j]);
+          got = r.rule_id;
+          fill[j] = pipeline::Decision{r.rule_id, r.priority, -1};
+          fill_mask |= 1u << j;
+        }
+        ++res.cache_probes;
+        if (got != oracle.match(ps[j]).rule_id) ++res.cache_mismatches;
+      }
+      if (fill_mask != 0) cache.insert_burst(ps, n, fill_mask, fill.data(), stamp);
     }
   }
 
