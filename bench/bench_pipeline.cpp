@@ -24,6 +24,7 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 #include "nuevomatch/online.hpp"
 #include "pipeline/elements.hpp"
@@ -150,6 +151,79 @@ double run_replicated(const std::shared_ptr<OnlineNuevoMatch>& online,
   return mpps(best_ns);
 }
 
+/// (d) fault recovery: the same replicated graph, supervised with
+/// SupervisorPolicy::kQuarantine, with a replica crash injected mid-stream
+/// through the pipeline.task.fire failpoint. Reports throughput over the
+/// whole run (crash + recovery included) and the supervisor's measured
+/// recovery latency (quiesce -> re-steer -> drain -> rejoin, from
+/// PipelineHealth::recovery_ns). `crash_fire == 0` runs the same supervised
+/// configuration with no failpoint armed — the baseline that prices the
+/// supervision machinery itself (pump-closure pause checks, watchdog beats).
+struct FaultResult {
+  double mpps = 0.0;
+  double recovery_us = 0.0;  ///< mean over measured passes
+  uint64_t quarantines = 0;
+  uint64_t rejoins = 0;
+  uint64_t drained = 0;
+};
+
+FaultResult run_fault_recovery(const std::shared_ptr<OnlineNuevoMatch>& online,
+                               const std::vector<Packet>& trace,
+                               size_t cache_capacity, size_t threads,
+                               uint64_t crash_fire, int reps) {
+  FaultResult out;
+  double sum_ns = 0.0;
+  double sum_recovery_ns = 0.0;
+  uint64_t sum_pkts = 0;
+  int measured = 0;
+  for (int pass = 0; pass <= reps; ++pass) {
+    // The nth counter is consumed by the crash, so each pass re-arms it.
+    if (crash_fire > 0)
+      failpoint::arm(failpoint::kPipelineTaskFire,
+                     failpoint::Trigger::nth(crash_fire));
+    pipeline::ReplicatedGraph rg{
+        static_cast<uint32_t>(threads), [&](uint32_t, uint32_t) {
+          pipeline::Graph g;
+          auto& src = g.add(std::make_unique<pipeline::TraceSource>(trace), "src");
+          auto& cache = g.add(
+              std::make_unique<pipeline::FlowCacheElement>(cache_capacity),
+              "cache");
+          auto cls_owned = std::make_unique<pipeline::ClassifierElement>();
+          cls_owned->attach(online);
+          auto& cls = g.add(std::move(cls_owned), "cls");
+          auto& sink = g.add(std::make_unique<pipeline::Sink>(), "sink");
+          g.connect(src, 0, cache);
+          g.connect(cache, 0, cls);
+          g.connect(cls, 0, sink);
+          return g;
+        }};
+    pipeline::ReplicatedRunOptions ropts;
+    ropts.threads = threads;
+    ropts.policy = pipeline::SupervisorPolicy::kQuarantine;
+    const uint64_t t0 = now_ns();
+    const uint64_t n = rg.run(ropts);
+    const uint64_t t1 = now_ns();
+    failpoint::disarm(failpoint::kPipelineTaskFire);
+    if (pass == 0) continue;  // model-cache warm-up
+    ++measured;
+    sum_ns += static_cast<double>(t1 - t0);
+    sum_pkts += n;
+    const pipeline::PipelineHealth ph = rg.health();
+    sum_recovery_ns += static_cast<double>(ph.recovery_ns);
+    for (const pipeline::ReplicaHealth& rh : ph.replicas) {
+      out.quarantines += rh.quarantines;
+      out.rejoins += rh.rejoins;
+      out.drained += rh.drained_entries;
+    }
+  }
+  // Mean, not best-of: best-of a crash run would pick the pass where the
+  // crash landed latest (least re-classified residue) and undersell the
+  // recovery cost the section exists to price.
+  out.mpps = sum_ns > 0.0 ? static_cast<double>(sum_pkts) * 1e3 / sum_ns : 0.0;
+  out.recovery_us = measured > 0 ? sum_recovery_ns / measured / 1e3 : 0.0;
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -272,6 +346,38 @@ int main() {
         .set("hw_cores", static_cast<size_t>(hw_cores))
         .set("mpps", m)
         .set("scale_vs_1", scale);
+  }
+
+  // (d) fault recovery -------------------------------------------------------
+  // Two replicas, two scheduler threads, quarantine supervision. "clean" is
+  // the supervised run with no fault armed (prices the supervision overhead
+  // against section (c)'s unsupervised 2-thread row); "crash" injects one
+  // replica death mid-stream via pipeline.task.fire and measures whole-run
+  // throughput WITH the quarantine -> re-steer -> drain -> rejoin ladder
+  // inside the timed window, plus the supervisor's own recovery-latency
+  // measurement. The crash lands at the 3rd scheduled fire, i.e. after the
+  // pipeline is flowing but with most of the trace still ahead — worst case
+  // for the re-steered survivors.
+  std::printf("\n(d) fault recovery (2 replicas, quarantine + rejoin, "
+              "cache 65536)\n");
+  std::printf("%-10s %10s %14s %13s %9s %9s\n", "mode", "Mpps", "recovery us",
+              "quarantines", "rejoins", "drained");
+  for (const uint64_t crash_fire : {uint64_t{0}, uint64_t{3}}) {
+    const FaultResult f =
+        run_fault_recovery(online, trace, 65536, 2, crash_fire, s.reps);
+    const char* mode = crash_fire == 0 ? "clean" : "crash";
+    std::printf("%-10s %10.2f %14.1f %13llu %9llu %9llu\n", mode, f.mpps,
+                f.recovery_us, static_cast<unsigned long long>(f.quarantines),
+                static_cast<unsigned long long>(f.rejoins),
+                static_cast<unsigned long long>(f.drained));
+    json.row()
+        .set("section", "fault")
+        .set("mode", std::string{mode})
+        .set("mpps", f.mpps)
+        .set("recovery_us", f.recovery_us)
+        .set("quarantines", static_cast<size_t>(f.quarantines))
+        .set("rejoins", static_cast<size_t>(f.rejoins))
+        .set("drained", static_cast<size_t>(f.drained));
   }
 
   if (json.write("BENCH_pipeline.json"))

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "classbench/parser.hpp"
+#include "common/failpoint.hpp"
 #include "nuevomatch/nuevomatch.hpp"
 #include "pipeline/elements.hpp"
 #include "pipeline/graph.hpp"
@@ -173,10 +174,22 @@ int main(int argc, char** argv) {
   if (n_threads > 1) {
     std::printf("\nreplicated run: %zu replicas on %zu scheduler threads\n",
                 n_threads, n_threads);
+    // A pipeline.* failpoint armed via NM_FAILPOINTS turns this run into a
+    // fault drill: supervise with quarantine/rejoin instead of fail-stop,
+    // so the injected crash exercises the recovery ladder and the
+    // differential below proves it lossless. CI smoke runs exactly this.
+    bool fault_drill = false;
+    for (const std::string& p : failpoint::armed_points())
+      fault_drill |= p.rfind("pipeline.", 0) == 0;
     pipeline::ReplicatedGraph rg = pipeline::ReplicatedGraph::parse(
         config, static_cast<uint32_t>(n_threads));
     pipeline::ReplicatedRunOptions ropts;
     ropts.threads = n_threads;
+    if (fault_drill) {
+      ropts.policy = pipeline::SupervisorPolicy::kQuarantine;
+      std::printf("fault drill: pipeline failpoint armed — supervising with "
+                  "quarantine + rejoin\n");
+    }
     const uint64_t rpumped = rg.run(ropts);
     const std::vector<pipeline::Sink::Record> merged = rg.merged_records();
 
@@ -205,7 +218,32 @@ int main(int argc, char** argv) {
                 "records (%llu packets)\n",
                 static_cast<unsigned long long>(diverged), merged.size(),
                 static_cast<unsigned long long>(rpumped));
-    ok = ok && diverged == 0 && rpumped == pumped;
+
+    // Supervision report: what the run's fault domains actually absorbed.
+    // Stale-served here = a cache-served merged record whose decision
+    // diverges from the oracle — the recovery drill must drain the dead
+    // replica's cache, so this stays 0 through quarantine and rejoin.
+    const pipeline::PipelineHealth ph = rg.health();
+    uint64_t rstale = 0;
+    for (const auto& r : merged) {
+      if (r.cached && oracle.match((*packets)[r.index]).rule_id != r.rule_id)
+        ++rstale;
+    }
+    for (size_t i = 0; i < ph.replicas.size(); ++i) {
+      const pipeline::ReplicaHealth& rh = ph.replicas[i];
+      if (rh.quarantines == 0) continue;
+      std::printf("replica %zu quarantined (drained %llu cache entries, "
+                  "recovery %llu us)%s, %llu stale-served\n",
+                  i, static_cast<unsigned long long>(rh.drained_entries),
+                  static_cast<unsigned long long>(ph.recovery_ns / 1000),
+                  rh.state == pipeline::ReplicaHealth::State::kRejoined
+                      ? ", rejoined"
+                      : " and stayed down",
+                  static_cast<unsigned long long>(rstale));
+    }
+    if (fault_drill) std::printf("runtime health:\n%s", ph.to_string().c_str());
+
+    ok = ok && diverged == 0 && rpumped == pumped && rstale == 0;
   }
 
   std::printf("%s\n", ok ? "PASS" : "FAIL");

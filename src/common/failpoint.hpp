@@ -119,5 +119,15 @@ inline constexpr std::string_view kOnlineBuild = "online.build";
 inline constexpr std::string_view kEpochGrow = "epoch.grow";
 inline constexpr std::string_view kSerializeLoad = "serialize.load";
 inline constexpr std::string_view kPcapParse = "pcap.parse";
+// Pipeline runtime seams (DESIGN.md "Failure model" — pipeline supervision).
+// kPipelineTaskFire is evaluated by the SCHEDULER before every scheduled
+// task fire, so an injected crash lands BETWEEN bursts — the lossless fault
+// domain the quarantine/rejoin drill relies on. kPipelinePush fires inside
+// element forwarding (mid-burst: at most one in-flight burst is lost).
+inline constexpr std::string_view kPipelinePush = "pipeline.push";
+inline constexpr std::string_view kPipelineCacheInsert = "pipeline.cache.insert";
+inline constexpr std::string_view kPipelineTaskFire = "pipeline.task.fire";
+inline constexpr std::string_view kPipelineAdopt = "pipeline.replica.adopt";
+inline constexpr std::string_view kPipelineRejoin = "pipeline.replica.rejoin";
 
 }  // namespace nuevomatch::failpoint

@@ -30,14 +30,18 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "common/types.hpp"
 #include "pipeline/flow_cache.hpp"
 
@@ -123,10 +127,17 @@ class Element {
 
  protected:
   /// Push a burst out of `port`; an unconnected port drops (by design — a
-  /// Dispatch leg nobody wired is a drop leg).
+  /// Dispatch leg nobody wired is a drop leg). The pipeline.push failpoint
+  /// sits on this seam: an injected throw abandons the in-flight burst
+  /// mid-graph — the mid-fire fault the supervision layer must contain
+  /// (losing at most this one burst), as opposed to the lossless
+  /// between-fire seam (pipeline.task.fire).
   void forward(Burst& b, size_t port = 0) {
-    if (b.size > 0 && port < outs_.size() && outs_[port] != nullptr)
+    if (b.size > 0 && port < outs_.size() && outs_[port] != nullptr) {
+      if (failpoint::should_fire(failpoint::kPipelinePush))
+        throw std::runtime_error("injected: pipeline.push");
       outs_[port]->process(b);
+    }
   }
 
  private:
@@ -154,6 +165,91 @@ class Element {
   return static_cast<uint32_t>(h >> 32);
 }
 
+/// Piecewise-position replica steering: the quarantine/rejoin extension of
+/// the plain modulo split. The stream is divided into EPOCHS — half-open
+/// position ranges, each with a live-replica bitmask — and a packet at
+/// position p is owned by exactly one replica: its natural rss_hash slot if
+/// that replica is live in p's epoch, else a deterministic re-hash onto the
+/// live set (the dead slice spreads across survivors). Because ownership is
+/// a pure function of (hash, position), every source evaluates the SAME
+/// table and the split stays a partition — no packet is lost or duplicated
+/// across a re-steer — and Burst::index remains the order-independent merge
+/// key the replica-vs-scalar differential joins on.
+///
+/// Mutation contract: epochs are appended with nondecreasing `from`, only
+/// while every source is quiesced at a position < `from` (ReplicatedGraph
+/// pauses all replica tasks, waits out in-flight pumps, and picks the
+/// cutover ahead of every source's published position). Readers therefore
+/// never race a mutation; the pause/resume atomics publish the new epochs.
+class ReplicaSteering {
+ public:
+  static constexpr size_t kMaxEpochs = 16;
+
+  explicit ReplicaSteering(uint32_t n_replicas)
+      : n_(n_replicas == 0 ? 1 : n_replicas) {
+    if (n_ > 32)
+      throw std::runtime_error("ReplicaSteering: more than 32 replicas");
+    epochs_[0] = Epoch{0, full_mask()};
+  }
+
+  [[nodiscard]] uint32_t full_mask() const noexcept {
+    return n_ >= 32 ? ~0u : (1u << n_) - 1u;
+  }
+
+  /// Append an epoch: packets at position >= `from` are steered by
+  /// `live_mask`. `from` must be >= the previous epoch's start (callers
+  /// clamp) and ahead of every quiesced source.
+  void append(uint64_t from, uint32_t live_mask) {
+    if (count_ == kMaxEpochs)
+      throw std::runtime_error("ReplicaSteering: epoch table full");
+    if (from < epochs_[count_ - 1].from)
+      throw std::runtime_error("ReplicaSteering: epochs must be ordered");
+    epochs_[count_++] = Epoch{from, live_mask & full_mask()};
+  }
+
+  /// The replica that owns the packet with `hash` at stream position `pos`.
+  [[nodiscard]] uint32_t owner_of(uint32_t hash, uint64_t pos) const noexcept {
+    uint32_t mask = epochs_[0].mask;
+    for (size_t i = count_; i-- > 0;) {
+      if (epochs_[i].from <= pos) {
+        mask = epochs_[i].mask;
+        break;
+      }
+    }
+    const uint32_t nat = hash % n_;
+    if ((mask >> nat) & 1u) return nat;
+    const auto live = static_cast<uint32_t>(std::popcount(mask));
+    if (live == 0) return nat;  // nobody live — ownership is moot
+    // Re-steer with an independent slice of the hash so one dead replica's
+    // load spreads over all survivors instead of aliasing one neighbor.
+    uint32_t k = (hash / n_) % live;
+    for (uint32_t r = 0; r < 32; ++r) {
+      if (!((mask >> r) & 1u)) continue;
+      if (k-- == 0) return r;
+    }
+    return nat;  // unreachable: popcount(mask) > k
+  }
+
+  [[nodiscard]] bool accepts(uint32_t replica, uint32_t hash,
+                             uint64_t pos) const noexcept {
+    return owner_of(hash, pos) == replica;
+  }
+
+  [[nodiscard]] size_t epochs() const noexcept { return count_; }
+  [[nodiscard]] uint64_t last_from() const noexcept {
+    return epochs_[count_ - 1].from;
+  }
+
+ private:
+  struct Epoch {
+    uint64_t from = 0;   ///< applies to positions >= from
+    uint32_t mask = 0;   ///< live-replica bitmask
+  };
+  std::array<Epoch, kMaxEpochs> epochs_{};
+  size_t count_ = 1;
+  uint32_t n_;
+};
+
 /// A packet source: pumped by Graph::run() instead of receiving bursts.
 class SourceElement : public Element {
  public:
@@ -174,15 +270,38 @@ class SourceElement : public Element {
   }
   [[nodiscard]] uint32_t n_replicas() const noexcept { return n_replicas_; }
 
+  /// Supervised runs swap the fixed modulo split for a shared piecewise
+  /// steering table (quarantine re-steer / rejoin). Not owned; must outlive
+  /// the run. Null restores the plain split.
+  void set_steering(const ReplicaSteering* s) noexcept { steering_ = s; }
+
+  /// Stream position published by the last completed pump (every consumed
+  /// packet, filtered or not). The replication supervisor reads this while
+  /// sources are quiesced to pick a re-steer cutover ahead of everyone.
+  [[nodiscard]] uint64_t stream_pos() const noexcept {
+    return published_pos_.load(std::memory_order_relaxed);
+  }
+
  protected:
-  /// Does the replica filter accept this packet? (Always true unfiltered.)
-  [[nodiscard]] bool accepts(const Packet& p) const noexcept {
+  /// Does the replica filter accept the packet at stream position `pos`?
+  /// (Always true unfiltered.)
+  [[nodiscard]] bool accepts(const Packet& p, uint64_t pos) const noexcept {
+    if (steering_ != nullptr)
+      return steering_->accepts(replica_, rss_hash(p), pos);
     return n_replicas_ <= 1 || rss_hash(p) % n_replicas_ == replica_;
+  }
+
+  /// Publish the consumed position (once per pump is enough — the reader
+  /// quiesces pumps before trusting it).
+  void publish_pos(uint64_t pos) noexcept {
+    published_pos_.store(pos, std::memory_order_relaxed);
   }
 
  private:
   uint32_t replica_ = 0;
   uint32_t n_replicas_ = 1;
+  const ReplicaSteering* steering_ = nullptr;
+  std::atomic<uint64_t> published_pos_{0};
 };
 
 /// Factory signature for the config language: args are the raw

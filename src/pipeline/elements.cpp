@@ -74,7 +74,7 @@ bool PcapSource::pump(Burst& b) {
     // not: Burst::index is the GLOBAL capture position, so decisions from
     // different replicas merge 1:1 against a scalar run of the same file.
     const uint64_t pos = stream_pos_++;
-    if (!accepts(*p)) {
+    if (!accepts(*p, pos)) {
       ++filtered_;
       continue;
     }
@@ -86,6 +86,7 @@ bool PcapSource::pump(Burst& b) {
     b.action[i] = -1;
     ++packets_;
   }
+  publish_pos(stream_pos_);
   return b.size > 0;
 }
 
@@ -116,7 +117,7 @@ TraceSource::TraceSource(const std::string& rules_path, size_t n_packets,
 bool TraceSource::pump(Burst& b) {
   while (b.size < kBurstSize && next_ < packets_.size()) {
     const uint64_t pos = next_++;
-    if (!accepts(packets_[pos])) continue;  // index stays global — see PcapSource
+    if (!accepts(packets_[pos], pos)) continue;  // index stays global — see PcapSource
     const uint32_t i = b.size++;
     b.pkt[i] = packets_[pos];
     b.ts_ns[i] = pos * 1'000;
@@ -124,6 +125,7 @@ bool TraceSource::pump(Burst& b) {
     b.result[i] = MatchResult{};
     b.action[i] = -1;
   }
+  publish_pos(next_);
   return b.size > 0;
 }
 

@@ -1,7 +1,9 @@
 #include "pipeline/flow_cache.hpp"
 
 #include <bit>
+#include <stdexcept>
 
+#include "common/failpoint.hpp"
 #include "nuevomatch/online.hpp"
 
 namespace nuevomatch::pipeline {
@@ -115,6 +117,8 @@ bool FlowCache::lookup(const Packet& p, Decision& out) {
 }
 
 void FlowCache::insert(const Packet& p, const Decision& d, uint64_t stamp) {
+  if (failpoint::should_fire(failpoint::kPipelineCacheInsert))
+    throw std::runtime_error("injected: pipeline.cache.insert");
   if (stamp == kEmpty) return;  // reserved sentinel; unreachable in practice
   const uint64_t h = hash(p);
   Shard& sh = *shards_[h % shards_.size()];
@@ -172,6 +176,8 @@ uint32_t FlowCache::lookup_burst(const Packet* pkts, uint32_t n,
 
 void FlowCache::insert_burst(const Packet* pkts, uint32_t n, uint32_t mask,
                              const Decision* ds, uint64_t stamp) {
+  if (mask != 0 && failpoint::should_fire(failpoint::kPipelineCacheInsert))
+    throw std::runtime_error("injected: pipeline.cache.insert");
   if (stamp == kEmpty) return;
   if (n > kBurstLanes) n = kBurstLanes;
   const uint32_t lanes = n == kBurstLanes ? mask : mask & ((1u << n) - 1);

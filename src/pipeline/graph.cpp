@@ -112,10 +112,13 @@ uint64_t Graph::run(const std::function<void(uint64_t)>& tick) {
       b.reset();
       if (!src.pump(b)) break;
       packets += b.size;
+      ++health_.steps;
+      health_.packets += b.size;
       if (b.size > 0) src.forward(b);
       if (tick) tick(packets);
     }
   }
+  health_.eos = true;
   finish_run();
   return packets;
 }
@@ -138,9 +141,12 @@ bool Graph::step(uint64_t* pumped) {
   step_burst_.reset();
   if (!step_src_->pump(step_burst_)) {
     step_eos_ = true;
+    health_.eos = true;
     return false;
   }
   if (pumped != nullptr) *pumped += step_burst_.size;
+  ++health_.steps;
+  health_.packets += step_burst_.size;
   if (step_burst_.size > 0) step_src_->forward(step_burst_);
   return true;
 }
@@ -156,6 +162,7 @@ void Graph::finish_run() {
       if (first_error == nullptr) first_error = std::current_exception();
     }
   }
+  health_.finished = true;
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 

@@ -24,8 +24,10 @@
 //     scalar run of the same input — the differential-test contract.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,6 +51,56 @@ struct ReplicatedRunOptions {
   /// replicas. May fire concurrently from several scheduler threads —
   /// the hook must be thread-safe (differential tests serialize inside).
   std::function<void(uint64_t)> tick;
+
+  // --- supervision (DESIGN.md "Failure model") ---------------------------
+  /// Policy applied to every replica task (and the retrain daemon).
+  /// kEscalate — the default — preserves the PR 7 fail-stop semantics
+  /// bit-for-bit: one crash stops the world and rethrows out of run().
+  /// kQuarantine arms the full recovery ladder: crash → quiesce sources →
+  /// re-steer the dead slice to survivors → drain the replica's cache →
+  /// respawn (re-adopt the shared engine) → rejoin. kRestart retries the
+  /// task in place first (seeded backoff), quarantining after max_restarts.
+  SupervisorPolicy policy = SupervisorPolicy::kEscalate;
+  uint32_t max_restarts = 3;
+  /// Width, in stream positions, of the re-steer window opened at a
+  /// quarantine: [C, C+resteer_window) of the dead replica's RSS slice is
+  /// served by survivors (C = a cutover ahead of every source's quiesced
+  /// position), after which the rejoined replica owns its slice again.
+  uint64_t resteer_window = 4 * kBurstSize;
+  /// Respawn + reinstate a quarantined replica after draining it. When
+  /// false the replica stays down: its undelivered slice outside the
+  /// re-steer window is never served (a lossy degraded mode the
+  /// differential surfaces deliberately); health records the quarantine.
+  bool rejoin = true;
+};
+
+/// Per-replica supervision state (PipelineHealth).
+struct ReplicaHealth {
+  enum class State : uint8_t { kLive, kQuarantined, kRejoined };
+  State state = State::kLive;
+  uint32_t quarantines = 0;      ///< times this replica was quarantined
+  uint32_t rejoins = 0;          ///< successful respawn+reinstate cycles
+  uint64_t drained_entries = 0;  ///< cache inserts discarded by drains
+  uint64_t steps = 0;            ///< bursts stepped (GraphHealth)
+};
+
+/// The replicated dataplane's full supervision report: the scheduler's
+/// per-task RuntimeHealth plus the replica layer above it. Complete after
+/// run() returns (the runtime part is snapshotted then); the replica-layer
+/// counters are live during the run as well.
+struct PipelineHealth {
+  static constexpr uint32_t kNoTrainer = ~0u;
+
+  RuntimeHealth runtime;
+  std::vector<ReplicaHealth> replicas;
+  uint32_t trainer = 0;            ///< replica hosting training duties
+  uint32_t trainer_failovers = 0;  ///< times the trainer migrated
+  uint32_t rejoin_failures = 0;    ///< rejoins aborted (failpoint/adopt)
+  uint64_t steer_epochs = 1;       ///< steering-table epochs installed
+  uint64_t recovery_ns = 0;        ///< wall time inside quarantine handling
+
+  /// Human-readable multi-line report (pipeline_router prints this).
+  [[nodiscard]] std::string to_string() const;
 };
 
 class ReplicatedGraph {
@@ -101,13 +153,39 @@ class ReplicatedGraph {
   /// Per-replica reports concatenated, replica-tagged.
   [[nodiscard]] std::string report() const;
 
+  /// Supervision report (scheduler runtime + replica layer). The runtime
+  /// part is snapshotted when run() returns; replica-layer counters are
+  /// maintained live by the quarantine path.
+  [[nodiscard]] PipelineHealth health() const;
+
  private:
   explicit ReplicatedGraph(std::vector<Graph> graphs);
   void install_filters();
+  /// The on_quarantine hook body for a replica task: quiesce → re-steer →
+  /// drain → (maybe) rejoin → trainer failover. Runs on the catching
+  /// thread, synchronously, between that task's fires.
+  void quarantine_replica(uint32_t idx, Task& t, Scheduler& sched,
+                          const ReplicatedRunOptions& opts);
+  /// Respawn step of a rejoin: re-couple the replica's cache stamp source
+  /// and verify it still feeds the ONE shared engine. Throws on mismatch
+  /// (and on the pipeline.replica.adopt failpoint).
+  void readopt(uint32_t idx);
 
   std::vector<Graph> graphs_;
   SchedulerStats stats_;
   bool ran_ = false;
+
+  // Supervision state (unused — and cost-free — under kEscalate).
+  std::unique_ptr<ReplicaSteering> steering_;
+  std::atomic<bool> paused_{false};    ///< quiesce gate for replica pumps
+  std::atomic<uint32_t> pumping_{0};   ///< pumps currently in flight
+  std::atomic<uint32_t> trainer_{0};   ///< replica hosting training duties
+  mutable std::mutex health_mu_;
+  std::vector<ReplicaHealth> rhealth_;       // guarded by health_mu_
+  uint32_t trainer_failovers_ = 0;           // guarded by health_mu_
+  uint32_t rejoin_failures_ = 0;             // guarded by health_mu_
+  uint64_t recovery_ns_ = 0;                 // guarded by health_mu_
+  RuntimeHealth runtime_health_;             // guarded by health_mu_
 };
 
 }  // namespace nuevomatch::pipeline

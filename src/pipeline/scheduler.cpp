@@ -1,7 +1,10 @@
 #include "pipeline/scheduler.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
+
+#include "common/failpoint.hpp"
 
 namespace nuevomatch::pipeline {
 
@@ -10,9 +13,23 @@ namespace {
 // elsewhere. One scheduler runs at a time per OS thread, so a plain
 // thread_local is enough even when schedulers nest across threads.
 thread_local int tl_thread_id = -1;
+// The task the current OS thread is firing right now (null between fires).
+thread_local Task* tl_task = nullptr;
+
+// what() of the exception currently being handled (supervision telemetry).
+std::string current_error_text() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-std exception";
+  }
+}
 }  // namespace
 
 int Scheduler::current_thread() noexcept { return tl_thread_id; }
+Task* Scheduler::current_task() noexcept { return tl_task; }
 
 Scheduler::Scheduler(size_t n_threads, Options opt) : opt_(opt) {
   if (n_threads == 0) n_threads = 1;
@@ -57,9 +74,153 @@ Task* Scheduler::try_steal(uint32_t thief) {
 void Scheduler::record_error() noexcept {
   {
     const std::lock_guard<std::mutex> lk(err_mu_);
-    if (first_error_ == nullptr) first_error_ = std::current_exception();
+    if (first_error_ == nullptr)
+      first_error_ = std::current_exception();
+    else
+      // Only the first exception can be rethrown from run(), but dropping
+      // the rest SILENTLY made a multi-task failure indistinguishable from
+      // a single one. Count what we suppress; RuntimeHealth surfaces it
+      // (and the per-task last_error keeps each message).
+      ++suppressed_errors_;
   }
   request_stop();
+}
+
+Scheduler::FailureAction Scheduler::supervise_failure(Task& t) {
+  const std::string msg = current_error_text();
+  {
+    const std::lock_guard<std::mutex> lk(sup_mu_);
+    t.last_error_ = msg;
+  }
+
+  if (t.opt_.policy == SupervisorPolicy::kEscalate) {
+    record_error();
+    return FailureAction::kFinish;
+  }
+
+  if (t.opt_.policy == SupervisorPolicy::kRestart) {
+    const uint32_t k = ++t.fail_streak_;
+    if (k <= t.opt_.max_restarts) {
+      t.restarts_.fetch_add(1, std::memory_order_relaxed);
+      {
+        const std::lock_guard<std::mutex> lk(sup_mu_);
+        ++restarts_total_;
+      }
+      // PR 6's engine backoff shape, reused verbatim: delay doubles per
+      // consecutive failure (clamped), then jitters deterministically to
+      // [d/2, d] so co-failing tasks desynchronize reproducibly.
+      const int shift = static_cast<int>(std::min<uint32_t>(k - 1, 20));
+      uint64_t d = std::min<uint64_t>(
+          static_cast<uint64_t>(t.opt_.backoff_initial_ms) << shift,
+          t.opt_.backoff_max_ms);
+      if (d > 0) d = d / 2 + t.backoff_rng_.below(d / 2 + 1);
+      t.backoff_until_ =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(d);
+      t.phase_.store(static_cast<uint8_t>(TaskPhase::kBackoff),
+                     std::memory_order_release);
+      return FailureAction::kRequeue;
+    }
+    // Restart budget exhausted — fall through to quarantine.
+  }
+
+  t.quarantines_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lk(sup_mu_);
+    ++quarantines_total_;
+    t.phase_.store(static_cast<uint8_t>(TaskPhase::kQuarantined),
+                   std::memory_order_release);
+  }
+  if (on_quarantine_) {
+    try {
+      on_quarantine_(t);
+    } catch (...) {
+      record_error();  // a broken supervisor is fatal
+    }
+  }
+  {
+    // Release liveness only if the hook did not reinstate the task: a
+    // synchronous drain-and-rejoin never lets live_ dip, so the scheduler
+    // cannot race to exit under the supervisor's feet.
+    const std::lock_guard<std::mutex> lk(sup_mu_);
+    if (t.phase() == TaskPhase::kQuarantined && t.counted_live_) {
+      t.counted_live_ = false;
+      live_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+  return FailureAction::kDetach;
+}
+
+bool Scheduler::reinstate(Task& t) {
+  {
+    const std::lock_guard<std::mutex> lk(sup_mu_);
+    if (t.phase() != TaskPhase::kQuarantined) return false;
+    t.phase_.store(static_cast<uint8_t>(TaskPhase::kRunnable),
+                   std::memory_order_release);
+    // The task is detached (no holder): safe to reset holder-thread state
+    // here; the queue push below hands it to its next holder with the
+    // usual mutex ordering.
+    t.fail_streak_ = 0;
+    t.backoff_until_ = {};
+    if (!t.opt_.daemon && !t.counted_live_) {
+      t.counted_live_ = true;
+      live_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  ThreadState& home = *states_[t.opt_.home];
+  const std::lock_guard<std::mutex> lk(home.mu);
+  home.queue.push_back(&t);
+  return true;
+}
+
+RuntimeHealth Scheduler::health() const {
+  RuntimeHealth h;
+  h.tasks.reserve(tasks_.size());
+  {
+    const std::lock_guard<std::mutex> lk(sup_mu_);
+    h.restarts = restarts_total_;
+    h.quarantines = quarantines_total_;
+    for (const auto& t : tasks_) {
+      TaskHealth th;
+      th.label = t->opt_.label;
+      th.phase = t->phase();
+      th.daemon = t->opt_.daemon;
+      th.fires = t->fires();
+      th.worked = t->worked();
+      th.restarts = t->restarts();
+      th.quarantines = t->quarantines();
+      th.budget_overruns = t->budget_overruns();
+      th.stalled = t->stalled();
+      th.last_error = t->last_error_;
+      h.tasks.push_back(std::move(th));
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lk(err_mu_);
+    h.suppressed_errors = suppressed_errors_;
+  }
+  return h;
+}
+
+void Scheduler::watchdog_sample(
+    Task& t, TaskState st, std::chrono::steady_clock::time_point fire_start) {
+  if (t.opt_.fire_budget_ns > 0) {
+    const auto el = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - fire_start)
+                        .count();
+    if (el > 0 && static_cast<uint64_t>(el) > t.opt_.fire_budget_ns)
+      t.budget_overruns_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Stall detection only judges fires that CLAIM progress: a task idling
+  // (e.g. a daemon waiting for work) is waiting, not stuck.
+  if (t.opt_.stall_fires > 0 && st == TaskState::kWorked) {
+    const uint64_t hb = t.heartbeat_.load(std::memory_order_relaxed);
+    if (hb != t.hb_seen_) {
+      t.hb_seen_ = hb;
+      t.fires_since_hb_ = 0;
+    } else if (++t.fires_since_hb_ >= t.opt_.stall_fires) {
+      t.stalled_.store(true, std::memory_order_relaxed);
+    }
+  }
 }
 
 void Scheduler::thread_loop(uint32_t tid) {
@@ -88,28 +249,76 @@ void Scheduler::thread_loop(uint32_t tid) {
     // quantum: its fires are serialized, and the queue mutex hand-off
     // orders them across threads.
     t->last_thread_ = tid;
+    // Backoff gate (kRestart): a task waiting out its restart delay is
+    // requeued untouched; its fire stays suppressed until the deadline.
+    if (t->phase() == TaskPhase::kBackoff) {
+      if (std::chrono::steady_clock::now() < t->backoff_until_) {
+        {
+          const std::lock_guard<std::mutex> lk(me.mu);
+          me.queue.push_back(t);
+        }
+        if (++me.consec_idle >= 8) {
+          me.consec_idle = 0;
+          std::this_thread::yield();
+        }
+        continue;
+      }
+      t->phase_.store(static_cast<uint8_t>(TaskPhase::kRunnable),
+                      std::memory_order_release);
+    }
     TaskState st = TaskState::kIdle;
+    FailureAction act = FailureAction::kFinish;
+    bool failed = false;
     uint32_t left = opt_.quantum;
     do {
+      const bool timed = t->opt_.fire_budget_ns > 0;
+      const auto fire_start = timed ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
       try {
+        tl_task = t;
+        if (failpoint::should_fire(failpoint::kPipelineTaskFire))
+          throw std::runtime_error("injected: pipeline.task.fire");
         st = t->fire_();
+        tl_task = nullptr;
+        t->fail_streak_ = 0;  // a completed fire clears the restart ladder
       } catch (...) {
-        record_error();
-        st = TaskState::kDone;  // a throwing task never fires again
+        tl_task = nullptr;
+        failed = true;
+        act = supervise_failure(*t);
+        // Escalation keeps the original shape: a throwing task never fires
+        // again. Restart/quarantine leave the loop through `failed`.
+        st = act == FailureAction::kFinish ? TaskState::kDone : TaskState::kIdle;
       }
       t->fires_.fetch_add(1, std::memory_order_relaxed);
       ++me.fires;
-      if (st == TaskState::kWorked) {
-        t->worked_.fetch_add(1, std::memory_order_relaxed);
-        ++me.worked;
-        me.consec_idle = 0;
-      } else if (st == TaskState::kIdle) {
-        ++me.idle_fires;
+      if (!failed) {
+        watchdog_sample(*t, st, fire_start);
+        if (st == TaskState::kWorked) {
+          t->worked_.fetch_add(1, std::memory_order_relaxed);
+          ++me.worked;
+          me.consec_idle = 0;
+        } else if (st == TaskState::kIdle) {
+          ++me.idle_fires;
+        }
       }
-    } while (st == TaskState::kWorked && --left > 0);
+    } while (!failed && st == TaskState::kWorked && --left > 0);
+    if (failed && act == FailureAction::kDetach) {
+      // Quarantined: not requeued. supervise_failure already settled the
+      // liveness accounting (and ran the on_quarantine hook, which may
+      // have reinstate()d the task onto a queue).
+      continue;
+    }
     if (st == TaskState::kDone) {
       t->done_.store(true, std::memory_order_release);
-      if (!t->opt_.daemon) live_.fetch_sub(1, std::memory_order_acq_rel);
+      t->phase_.store(static_cast<uint8_t>(TaskPhase::kDone),
+                      std::memory_order_release);
+      if (!t->opt_.daemon) {
+        const std::lock_guard<std::mutex> lk(sup_mu_);
+        if (t->counted_live_) {
+          t->counted_live_ = false;
+          live_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      }
     } else {
       {
         const std::lock_guard<std::mutex> lk(me.mu);
@@ -132,7 +341,10 @@ void Scheduler::run() {
 
   size_t live = 0;
   for (const auto& t : tasks_) {
-    if (!t->opt_.daemon) ++live;
+    if (!t->opt_.daemon) {
+      ++live;
+      t->counted_live_ = true;
+    }
   }
   live_.store(live, std::memory_order_release);
   for (const auto& t : tasks_) {
@@ -164,16 +376,28 @@ void Scheduler::run() {
   // homed there would get ZERO fires and a pending maintenance action
   // (e.g. a retrain kick) would be silently skipped. Skipped after
   // request_stop() or a task error: a stopped scheduler starts no new work.
+  // A throwing drain fire always records (never restarts/quarantines — the
+  // scheduler is already past the point of re-running anything), so two
+  // daemons failing here surface as first_error_ + a suppressed count.
   if (!stop_.load(std::memory_order_acquire)) {
     tl_thread_id = 0;
     ThreadState& t0 = *states_[0];
     for (const auto& t : tasks_) {
-      if (!t->opt_.daemon || t->done()) continue;
+      if (!t->opt_.daemon || t->done() ||
+          t->phase() == TaskPhase::kQuarantined)
+        continue;
       t->last_thread_ = 0;
       TaskState st = TaskState::kIdle;
       try {
+        tl_task = t.get();
         st = t->fire_();
+        tl_task = nullptr;
       } catch (...) {
+        tl_task = nullptr;
+        {
+          const std::lock_guard<std::mutex> lk(sup_mu_);
+          t->last_error_ = current_error_text();
+        }
         record_error();
         st = TaskState::kDone;
       }
@@ -186,6 +410,8 @@ void Scheduler::run() {
         ++t0.idle_fires;
       } else {
         t->done_.store(true, std::memory_order_release);
+        t->phase_.store(static_cast<uint8_t>(TaskPhase::kDone),
+                        std::memory_order_release);
       }
     }
   }

@@ -28,6 +28,21 @@
 //     exactly once more while the scheduler drains (unless stopped by
 //     request_stop() or an error), so a short or lopsided run can never
 //     skip a pending maintenance action entirely.
+//   * Supervision (DESIGN.md "Failure model"): every task carries a
+//     SupervisorPolicy deciding what a THROWING fire does. kEscalate is
+//     the original fail-stop behavior — record the error, stop the world,
+//     rethrow out of run(). kRestart re-arms the task after a seeded
+//     exponential backoff (the engine's PR 6 backoff shape: delay =
+//     min(initial·2^(k-1), max), jittered to [d/2, d]); a task that
+//     exhausts max_restarts falls through to quarantine. kQuarantine
+//     detaches the task — siblings keep firing — and invokes the
+//     on_quarantine hook synchronously on the catching thread, which may
+//     drain/respawn state and reinstate() the task. A cooperative watchdog
+//     samples each task BETWEEN fires (no signals, no preemption): fires
+//     exceeding fire_budget_ns are counted as budget overruns, and a task
+//     that keeps claiming kWorked without advancing its heartbeat for
+//     stall_fires consecutive fires is flagged stalled. All of it surfaces
+//     in RuntimeHealth.
 //
 // The flow-affinity argument (why per-flow packet order survives all of
 // this) is in DESIGN.md: a flow hashes to exactly one replica, a replica
@@ -35,6 +50,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -43,6 +59,8 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
+
 namespace nuevomatch::pipeline {
 
 /// What one fire of a task accomplished.
@@ -50,6 +68,22 @@ enum class TaskState : uint8_t {
   kWorked,  ///< made progress; may be fired again immediately
   kIdle,    ///< nothing to do right now; reschedule and try later
   kDone,    ///< permanently finished; remove from the scheduler
+};
+
+/// What the scheduler does with a task whose fire threw.
+enum class SupervisorPolicy : uint8_t {
+  kEscalate,    ///< stop the world, rethrow out of run() (the default)
+  kRestart,     ///< re-arm after seeded exponential backoff; quarantine
+                ///< once max_restarts consecutive failures are exhausted
+  kQuarantine,  ///< detach the task; siblings keep firing; reinstate()able
+};
+
+/// Where a task currently is in its supervision lifecycle.
+enum class TaskPhase : uint8_t {
+  kRunnable,     ///< queued or firing
+  kBackoff,      ///< waiting out a restart delay (kRestart)
+  kQuarantined,  ///< detached after a failure; reinstate() re-enters it
+  kDone,         ///< reported kDone (or was finished by escalation)
 };
 
 class Scheduler;
@@ -66,6 +100,25 @@ class Task {
     bool migratable = true;   ///< may be stolen by an idle thread
     bool daemon = false;      ///< does not keep the scheduler alive
     std::string label;        ///< for stats / debugging
+    /// Supervision: what a throwing fire does (see SupervisorPolicy).
+    SupervisorPolicy policy = SupervisorPolicy::kEscalate;
+    /// kRestart: consecutive failures tolerated before quarantining. The
+    /// streak resets on any fire that returns (success clears the ladder,
+    /// like the engine's retrain recovery).
+    uint32_t max_restarts = 3;
+    /// kRestart backoff shape — identical to OnlineConfig's retrain
+    /// backoff: delay = min(backoff_initial_ms·2^(k-1), backoff_max_ms),
+    /// jittered deterministically to [d/2, d] from backoff_seed.
+    uint32_t backoff_initial_ms = 10;
+    uint32_t backoff_max_ms = 2000;
+    uint64_t backoff_seed = 0x5CEDu;
+    /// Watchdog: a fire taking longer than this is counted as a budget
+    /// overrun (sampled AFTER the fire returns — cooperative, no
+    /// preemption). 0 disables the timer entirely (no clock reads).
+    uint64_t fire_budget_ns = 0;
+    /// Watchdog: flag the task stalled after this many consecutive
+    /// kWorked fires without a heartbeat advance (beat()). 0 disables.
+    uint32_t stall_fires = 0;
   };
 
   [[nodiscard]] const std::string& label() const noexcept { return opt_.label; }
@@ -84,9 +137,33 @@ class Task {
     return migrations_.load(std::memory_order_relaxed);
   }
 
+  // --- supervision surface ------------------------------------------------
+  [[nodiscard]] TaskPhase phase() const noexcept {
+    return static_cast<TaskPhase>(phase_.load(std::memory_order_acquire));
+  }
+  /// Restart-with-backoff re-arms / times the task entered quarantine.
+  [[nodiscard]] uint32_t restarts() const noexcept {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint32_t quarantines() const noexcept {
+    return quarantines_.load(std::memory_order_relaxed);
+  }
+  /// Progress heartbeat for the stall watchdog: the fire body calls beat()
+  /// (e.g. via Scheduler::current_task()) whenever it makes REAL progress.
+  void beat() noexcept { heartbeat_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] bool stalled() const noexcept {
+    return stalled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t budget_overruns() const noexcept {
+    return budget_overruns_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Scheduler;
-  Task(Fire fire, Options opt) : fire_(std::move(fire)), opt_(std::move(opt)) {}
+  Task(Fire fire, Options opt)
+      : fire_(std::move(fire)),
+        opt_(std::move(opt)),
+        backoff_rng_(opt_.backoff_seed) {}
 
   Fire fire_;
   Options opt_;
@@ -95,6 +172,25 @@ class Task {
   std::atomic<uint64_t> migrations_{0};
   std::atomic<bool> done_{false};
   uint32_t last_thread_ = 0;  // written only by the thread holding the task
+
+  // Supervision state. Atomics are the cross-thread surface (health
+  // readers); the plain members below them are touched only by the thread
+  // holding the task (ordered by the queue-mutex handoffs, like
+  // last_thread_) or, for a quarantined task, by the reinstate()r before
+  // the queue push that hands the task to its next holder.
+  std::atomic<uint8_t> phase_{static_cast<uint8_t>(TaskPhase::kRunnable)};
+  std::atomic<uint32_t> restarts_{0};
+  std::atomic<uint32_t> quarantines_{0};
+  std::atomic<uint64_t> heartbeat_{0};
+  std::atomic<uint64_t> budget_overruns_{0};
+  std::atomic<bool> stalled_{false};
+  uint32_t fail_streak_ = 0;
+  std::chrono::steady_clock::time_point backoff_until_{};
+  uint64_t hb_seen_ = 0;
+  uint32_t fires_since_hb_ = 0;
+  Rng backoff_rng_;
+  bool counted_live_ = false;  // guarded by Scheduler::sup_mu_
+  std::string last_error_;     // guarded by Scheduler::sup_mu_
 };
 
 /// Post-run scheduler telemetry (aggregated after every worker joins).
@@ -104,6 +200,31 @@ struct SchedulerStats {
   uint64_t idle_fires = 0;  ///< fires that reported kIdle
   uint64_t steals = 0;      ///< successful cross-thread steals
   std::vector<uint64_t> fires_per_thread;
+};
+
+/// One task's supervision snapshot (Scheduler::health()).
+struct TaskHealth {
+  std::string label;
+  TaskPhase phase = TaskPhase::kRunnable;
+  bool daemon = false;
+  uint64_t fires = 0;
+  uint64_t worked = 0;
+  uint32_t restarts = 0;
+  uint32_t quarantines = 0;
+  uint64_t budget_overruns = 0;
+  bool stalled = false;
+  std::string last_error;  ///< what() of the task's most recent failure
+};
+
+/// Runtime supervision report (safe to take during or after run()).
+struct RuntimeHealth {
+  std::vector<TaskHealth> tasks;
+  uint32_t restarts = 0;     ///< restart re-arms across all tasks
+  uint32_t quarantines = 0;  ///< quarantine entries across all tasks
+  /// Errors DROPPED because first_error_ was already recorded — without
+  /// this counter a multi-task failure looks like a single failure (the
+  /// scheduler previously discarded every later exception silently).
+  uint64_t suppressed_errors = 0;
 };
 
 class Scheduler {
@@ -143,6 +264,31 @@ class Scheduler {
   /// Scheduler thread index of the calling thread, or -1 outside a fire.
   /// Lets tests (and affinity-aware tasks) observe where they run.
   [[nodiscard]] static int current_thread() noexcept;
+  /// The task the calling thread is currently firing, or null outside a
+  /// fire. Lets fire bodies reach their own Task (heartbeat) without a
+  /// capture cycle at add() time.
+  [[nodiscard]] static Task* current_task() noexcept;
+
+  /// Invoked synchronously, on the catching thread, right after a task is
+  /// quarantined (policy kQuarantine, or kRestart exhausted) and BEFORE the
+  /// task's liveness is released — so a hook that reinstate()s the task
+  /// keeps the scheduler seamlessly alive. Runs outside all queue locks.
+  /// A THROWING hook escalates (a broken supervisor is fatal). Set before
+  /// run().
+  void set_on_quarantine(std::function<void(Task&)> hook) {
+    on_quarantine_ = std::move(hook);
+  }
+
+  /// Re-enter a quarantined task on its home queue (its fail streak is
+  /// cleared; its graph/closure state is whatever the owner rebuilt).
+  /// Callable during run() from any thread — typically from the
+  /// on_quarantine hook or a supervisor daemon task. Returns false if the
+  /// task is not currently quarantined.
+  bool reinstate(Task& t);
+
+  /// Supervision snapshot: per-task state plus the suppressed-error count.
+  /// Safe from any thread, during or after run().
+  [[nodiscard]] RuntimeHealth health() const;
 
  private:
   struct ThreadState {
@@ -156,18 +302,36 @@ class Scheduler {
     uint32_t consec_idle = 0;
   };
 
+  /// What thread_loop does with a task after supervise_failure().
+  enum class FailureAction : uint8_t {
+    kFinish,   ///< escalated: mark done, release liveness (original path)
+    kRequeue,  ///< restarting: requeue; backoff gate holds it until due
+    kDetach,   ///< quarantined: drop from the queues (reinstate() re-enters)
+  };
+
   void thread_loop(uint32_t tid);
   [[nodiscard]] Task* pop_local(ThreadState& ts);
   [[nodiscard]] Task* try_steal(uint32_t thief);
   void record_error() noexcept;
+  /// Called from inside a catch block around fire_(); applies the task's
+  /// SupervisorPolicy to the in-flight exception.
+  [[nodiscard]] FailureAction supervise_failure(Task& t);
+  /// Between-fire watchdog sample (budget + heartbeat stall).
+  void watchdog_sample(Task& t, TaskState st,
+                       std::chrono::steady_clock::time_point fire_start);
 
   Options opt_;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::unique_ptr<ThreadState>> states_;
   std::atomic<size_t> live_{0};  ///< non-daemon tasks not yet done
   std::atomic<bool> stop_{false};
-  std::mutex err_mu_;
-  std::exception_ptr first_error_;  // guarded by err_mu_
+  mutable std::mutex err_mu_;
+  std::exception_ptr first_error_;      // guarded by err_mu_
+  uint64_t suppressed_errors_ = 0;      // guarded by err_mu_ (satellite fix)
+  mutable std::mutex sup_mu_;           // supervision transitions + last_error
+  uint32_t restarts_total_ = 0;         // guarded by sup_mu_
+  uint32_t quarantines_total_ = 0;      // guarded by sup_mu_
+  std::function<void(Task&)> on_quarantine_;
   SchedulerStats stats_;
   bool ran_ = false;
 };

@@ -84,6 +84,17 @@ struct ChurnConfig {
   int n_replica_readers = 0;
   uint32_t replica_count = 2;   ///< replicas per replicated-graph pass
   size_t replica_threads = 2;   ///< scheduler threads per pass
+  /// Replica-crash drill (the ISSUE 9 acceptance gate): every replicated
+  /// pass runs under SupervisorPolicy::kQuarantine with the
+  /// pipeline.task.fire failpoint armed to kill one replica task at a
+  /// seeded fire index mid-pass. The quarantine → re-steer → drain →
+  /// rejoin ladder must serve every core packet's invariant answer anyway
+  /// — the existing zero-mismatch check stays in force, and the harness
+  /// additionally tallies quarantines/rejoins so a drill where the crash
+  /// never landed is detectable as vacuous. Meaningful with exactly ONE
+  /// replica reader (the failpoint registry is process-global; a second
+  /// reader's arming would reset the first's trigger counters).
+  bool replica_crash = false;
 
   int n_steps = 5;
   int inserts_per_writer_step = 40;
@@ -167,6 +178,9 @@ struct ChurnConfig {
     c.n_replica_readers = 1;
     c.replica_count = static_cast<uint32_t>(rng.between(2, 4));
     c.replica_threads = rng.between(1, 2);
+    // A third of the replicated draws also run the replica-crash drill —
+    // quarantine/rejoin racing writers and swaps, still zero-mismatch.
+    c.replica_crash = rng.chance(0.34);
   }
   c.cache_probes = rng.chance(0.5);
   c.swap_each_step = rng.chance(0.3);
@@ -190,6 +204,11 @@ struct ChurnResult {
   uint64_t scheduled_ops = 0;         ///< ops the schedule generated
   uint64_t applied_ops = 0;           ///< ops the classifier accepted
   uint64_t swaps = 0;                 ///< generations published after build
+
+  // Replica-crash drill tallies (populated when replica_crash is set).
+  uint64_t replica_passes = 0;        ///< replicated-graph passes completed
+  uint64_t replica_quarantines = 0;   ///< replica tasks quarantined mid-pass
+  uint64_t replica_rejoins = 0;       ///< ...of which respawned and rejoined
 
   // Fault-drill observations (populated when fault_retrain_failures > 0).
   uint64_t fault_failures_seen = 0;  ///< max consecutive failures health() showed
@@ -347,9 +366,21 @@ class ChurnHarness {
     // stream index, while writers and swaps race the passes.
     const auto online_alias =
         std::shared_ptr<OnlineNuevoMatch>(std::shared_ptr<void>{}, &online);
+    std::atomic<uint64_t> replica_passes{0};
+    std::atomic<uint64_t> replica_quarantines{0};
+    std::atomic<uint64_t> replica_rejoins{0};
     for (int t = 0; t < cfg_.n_replica_readers; ++t) {
-      readers.emplace_back([&, online_alias] {
+      readers.emplace_back([&, online_alias, t] {
+        // Crash drill: each pass arms a seeded one-shot kill of whatever
+        // task reaches the Nth scheduled fire — the between-bursts seam,
+        // so recovery must be lossless and the zero-mismatch check below
+        // applies unchanged through quarantine → re-steer → rejoin.
+        Rng crash_rng{cfg_.seed ^ 0xC4A5Dull ^ (static_cast<uint64_t>(t) << 32)};
         while (!stop.load(std::memory_order_relaxed)) {
+          if (cfg_.replica_crash) {
+            failpoint::arm(failpoint::kPipelineTaskFire,
+                           failpoint::Trigger::nth(1 + crash_rng.below(24)));
+          }
           pipeline::ReplicatedGraph rg{
               cfg_.replica_count, [&](uint32_t, uint32_t) {
                 pipeline::Graph g;
@@ -370,7 +401,19 @@ class ChurnHarness {
               }};
           pipeline::ReplicatedRunOptions ropts;
           ropts.threads = cfg_.replica_threads;
+          if (cfg_.replica_crash)
+            ropts.policy = pipeline::SupervisorPolicy::kQuarantine;
           rg.run(ropts);
+          if (cfg_.replica_crash) {
+            failpoint::disarm(failpoint::kPipelineTaskFire);
+            const pipeline::PipelineHealth h = rg.health();
+            for (const pipeline::ReplicaHealth& r : h.replicas) {
+              replica_quarantines.fetch_add(r.quarantines,
+                                            std::memory_order_relaxed);
+              replica_rejoins.fetch_add(r.rejoins, std::memory_order_relaxed);
+            }
+            replica_passes.fetch_add(1, std::memory_order_relaxed);
+          }
           const std::vector<pipeline::Sink::Record> recs = rg.merged_records();
           if (recs.size() != core_.packets.size()) mismatches.fetch_add(1);
           for (const pipeline::Sink::Record& r : recs) {
@@ -490,10 +533,14 @@ class ChurnHarness {
     }
     stop.store(true);
     for (auto& th : readers) th.join();
+    if (cfg_.replica_crash) failpoint::disarm(failpoint::kPipelineTaskFire);
     online.quiesce();
 
     res.concurrent_lookups = lookups.load();
     res.concurrent_mismatches = mismatches.load();
+    res.replica_passes = replica_passes.load();
+    res.replica_quarantines = replica_quarantines.load();
+    res.replica_rejoins = replica_rejoins.load();
     res.applied_ops = applied.load();
     res.swaps = online.generations() - gen0;
     res.final_health = online.health();

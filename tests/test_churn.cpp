@@ -186,6 +186,54 @@ TEST(ChurnReplicatedPipeline, ReplicaGraphReadersMatchCoreAcrossSwaps) {
   EXPECT_GE(res.swaps, 3u);
 }
 
+// The ISSUE 9 acceptance gate: a failpoint kills a replica task mid-churn
+// — between bursts, the lossless fault domain — in every replicated pass,
+// while writers and one forced swap per step race the recovery ladder
+// (quarantine → quiesce → re-steer → drain → respawn → rejoin). The merged
+// differential must STILL carry every core packet's invariant answer with
+// zero mismatches: no lost slice, no double-served position, no stale
+// decision surviving the drained cache. The tallies prove the drill was
+// not vacuous — crashes actually landed and the replicas actually rejoined.
+// Runs under the TSAN CI leg.
+TEST(ChurnReplicatedPipeline, ReplicaCrashMidChurnRecoversWithZeroMismatches) {
+  ChurnConfig cfg;
+  cfg.seed = 97;
+  cfg.n_rules = 700;
+  cfg.n_writers = 2;
+  cfg.n_scalar_readers = 0;
+  cfg.n_batch_readers = 0;
+  cfg.n_replica_readers = 1;
+  cfg.replica_count = 3;
+  cfg.replica_threads = 2;
+  cfg.replica_crash = true;
+  cfg.n_steps = 3;
+  cfg.swap_each_step = true;
+  cfg.auto_retrain = false;
+  cfg.retrain_threshold = 1.0;
+  cfg.min_swaps = 3;
+  ChurnHarness harness{cfg};
+
+  const ChurnResult res = harness.run();
+
+  EXPECT_EQ(res.applied_ops, res.scheduled_ops);
+  EXPECT_GT(res.replica_passes, 0u)
+      << "no replicated-graph pass completed - the drill is vacuous";
+  EXPECT_GE(res.replica_quarantines, 1u)
+      << "the injected crash never landed on a replica task";
+  EXPECT_GE(res.replica_rejoins, 1u)
+      << "no quarantined replica ever respawned and rejoined";
+  EXPECT_EQ(res.replica_rejoins, res.replica_quarantines)
+      << "a rejoin failed (nothing was armed to fail it)";
+  EXPECT_EQ(res.concurrent_mismatches, 0u)
+      << "the recovery ladder served a wrong or stale answer, or lost/"
+         "duplicated part of the dead replica's slice ("
+      << res.concurrent_lookups << " merged records checked, "
+      << res.replica_quarantines << " quarantines across "
+      << res.replica_passes << " passes)";
+  EXPECT_EQ(res.probe_mismatches, 0u);
+  EXPECT_GE(res.swaps, 3u);
+}
+
 // The ISSUE 6 acceptance gate: the retrain failpoint armed to fail 3
 // consecutive attempts mid-churn. The engine must serve with ZERO oracle
 // mismatches through failure → backoff → degraded (3 == max_retrain_failures
