@@ -237,6 +237,16 @@ FlowCache::Stats FlowCache::stats() const {
   return s;
 }
 
+size_t FlowCache::size() const {
+  size_t live = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard lk{sh->mu};
+    for (const Entry& e : sh->entries)
+      if (e.stamp != kEmpty) ++live;
+  }
+  return live;
+}
+
 size_t FlowCache::capacity() const noexcept {
   return shards_.size() * sets_per_shard_ * kWays;
 }

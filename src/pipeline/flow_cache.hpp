@@ -145,6 +145,10 @@ class FlowCache {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Live (non-empty) entries currently resident, summed across shards.
+  /// Takes each shard's lock once; a point-in-time occupancy, not a rate.
+  [[nodiscard]] size_t size() const;
+
   [[nodiscard]] size_t capacity() const noexcept;
   [[nodiscard]] size_t shards() const noexcept { return shards_.size(); }
 

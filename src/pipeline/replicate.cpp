@@ -159,6 +159,13 @@ void ReplicatedGraph::quarantine_replica(uint32_t idx, Task& t,
                                          Scheduler& sched,
                                          const ReplicatedRunOptions& opts) {
   const auto start = std::chrono::steady_clock::now();
+  // 0. Serialize: a second replica crashing while this ladder runs blocks
+  //    here until the first recovery is COMPLETE (pause cleared). The
+  //    blocked thread is a catcher, not a pump — its crashed task already
+  //    left the pumping_ bracket — so holding it cannot deadlock the
+  //    quiesce below, and every ladder runs against a settled steering
+  //    table, trainer assignment, and health record.
+  const std::lock_guard<std::mutex> rec(recovery_mu_);
   // 1. Quiesce: no source may advance while we pick the re-steer cutover.
   //    The catching thread sits BETWEEN fires of the crashed task, so only
   //    sibling replicas can be mid-pump; they run to burst completion and
@@ -217,7 +224,9 @@ void ReplicatedGraph::quarantine_replica(uint32_t idx, Task& t,
   uint64_t drained = 0;
   for (const auto& e : graphs_[idx].elements()) {
     if (auto* fc = dynamic_cast<FlowCacheElement*>(e.get()); fc != nullptr) {
-      drained += fc->cache().stats().inserts;
+      // Occupancy at drain time — NOT cumulative inserts, which would
+      // overstate the drop (and double-count across repeated quarantines).
+      drained += fc->cache().size();
       fc->cache().clear();
     }
   }

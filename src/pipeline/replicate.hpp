@@ -80,7 +80,7 @@ struct ReplicaHealth {
   State state = State::kLive;
   uint32_t quarantines = 0;      ///< times this replica was quarantined
   uint32_t rejoins = 0;          ///< successful respawn+reinstate cycles
-  uint64_t drained_entries = 0;  ///< cache inserts discarded by drains
+  uint64_t drained_entries = 0;  ///< live cache entries dropped by drains
   uint64_t steps = 0;            ///< bursts stepped (GraphHealth)
 };
 
@@ -177,6 +177,14 @@ class ReplicatedGraph {
 
   // Supervision state (unused — and cost-free — under kEscalate).
   std::unique_ptr<ReplicaSteering> steering_;
+  /// Serializes whole recovery ladders: two replicas crashing near-
+  /// simultaneously (failpoint count > 1, or a kRestart exhaustion landing
+  /// during another crash) each run the on_quarantine hook on their own
+  /// catching thread. The ladder mutates single-writer state (the steering
+  /// table, the trainer assignment) and relies on the paused_/pumping_
+  /// quiesce holding until IT clears the pause — so the second quarantine
+  /// must wait out the first entirely, not interleave with it.
+  std::mutex recovery_mu_;
   std::atomic<bool> paused_{false};    ///< quiesce gate for replica pumps
   std::atomic<uint32_t> pumping_{0};   ///< pumps currently in flight
   std::atomic<uint32_t> trainer_{0};   ///< replica hosting training duties

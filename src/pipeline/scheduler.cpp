@@ -161,6 +161,12 @@ bool Scheduler::reinstate(Task& t) {
     // usual mutex ordering.
     t.fail_streak_ = 0;
     t.backoff_until_ = {};
+    // Watchdog state resets with the restart ladder: the owner rebuilt the
+    // task's state, so a pre-quarantine STALLED flag (or a half-counted
+    // heartbeat window) must not outlive the rejoin in RuntimeHealth.
+    t.stalled_.store(false, std::memory_order_relaxed);
+    t.hb_seen_ = t.heartbeat_.load(std::memory_order_relaxed);
+    t.fires_since_hb_ = 0;
     if (!t.opt_.daemon && !t.counted_live_) {
       t.counted_live_ = true;
       live_.fetch_add(1, std::memory_order_acq_rel);
@@ -252,20 +258,41 @@ void Scheduler::thread_loop(uint32_t tid) {
     // Backoff gate (kRestart): a task waiting out its restart delay is
     // requeued untouched; its fire stays suppressed until the deadline.
     if (t->phase() == TaskPhase::kBackoff) {
-      if (std::chrono::steady_clock::now() < t->backoff_until_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now < t->backoff_until_) {
+        size_t qsize;
         {
           const std::lock_guard<std::mutex> lk(me.mu);
           me.queue.push_back(t);
+          qsize = me.queue.size();
         }
-        if (++me.consec_idle >= 8) {
-          me.consec_idle = 0;
-          std::this_thread::yield();
+        if (me.earliest_backoff == std::chrono::steady_clock::time_point{} ||
+            t->backoff_until_ < me.earliest_backoff)
+          me.earliest_backoff = t->backoff_until_;
+        // Once a whole queue's worth of consecutive pops were backing-off
+        // tasks, nothing runnable is left here: SLEEP toward the earliest
+        // deadline instead of hot-requeueing (a fault storm would otherwise
+        // burn this core for up to backoff_max_ms). The sleep is bounded so
+        // a steal target, a reinstate() push, or request_stop() is noticed
+        // within ~1 ms rather than after the full delay.
+        if (++me.consec_backoff >= qsize) {
+          me.consec_backoff = 0;
+          const auto until =
+              std::min(me.earliest_backoff,
+                       now + std::chrono::milliseconds(1));
+          // Rebuild the deadline from fresh pops next cycle — a deadline
+          // that already passed (its task was stolen and fired elsewhere)
+          // must not pin `until` in the past and turn the sleep into a spin.
+          me.earliest_backoff = {};
+          if (until > now) std::this_thread::sleep_until(until);
         }
         continue;
       }
       t->phase_.store(static_cast<uint8_t>(TaskPhase::kRunnable),
                       std::memory_order_release);
     }
+    me.consec_backoff = 0;
+    me.earliest_backoff = {};
     TaskState st = TaskState::kIdle;
     FailureAction act = FailureAction::kFinish;
     bool failed = false;

@@ -300,6 +300,12 @@ class Scheduler {
     uint64_t idle_fires = 0;
     uint64_t steals = 0;
     uint32_t consec_idle = 0;
+    /// Consecutive pops that were not-yet-due backoff tasks, and the
+    /// earliest of their deadlines — once consec_backoff covers the whole
+    /// queue, nothing here is runnable and the thread sleeps (bounded)
+    /// toward that deadline instead of hot-requeueing.
+    uint32_t consec_backoff = 0;
+    std::chrono::steady_clock::time_point earliest_backoff{};
   };
 
   /// What thread_loop does with a task after supervise_failure().

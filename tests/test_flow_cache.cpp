@@ -288,6 +288,30 @@ TEST(FlowCacheStats, LookupsDenominatorAndIntervalDelta) {
   EXPECT_DOUBLE_EQ(delta.hit_rate(), 1.0);
 }
 
+// size() is point-in-time occupancy — what a quarantine drain actually
+// drops — NOT the cumulative insert count (re-stamping a cached flow grows
+// inserts but not occupancy; clear() zeroes occupancy but not inserts).
+TEST(FlowCacheStats, SizeIsOccupancyNotCumulativeInserts) {
+  FlowCache cache{64, 2};
+  EXPECT_EQ(cache.size(), 0u);
+  for (uint32_t i = 0; i < 8; ++i) {
+    Packet p;
+    p.field = {i, i + 1, i + 2, i + 3, i + 4};
+    cache.insert(p, Decision{static_cast<int32_t>(i), 0, 0}, 0);
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  for (uint32_t i = 0; i < 8; ++i) {
+    Packet p;
+    p.field = {i, i + 1, i + 2, i + 3, i + 4};
+    cache.insert(p, Decision{static_cast<int32_t>(i), 0, 0}, 1);
+  }
+  EXPECT_EQ(cache.size(), 8u) << "a re-stamp must not grow occupancy";
+  EXPECT_EQ(cache.stats().inserts, 16u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().inserts, 16u) << "clear drops entries, not stats";
+}
+
 // --- shard-grouped burst probes ---------------------------------------------
 
 TEST(FlowCacheBurst, BurstProbeGroupsByShardAndHonorsBands) {

@@ -277,6 +277,38 @@ TEST(SupervisorWatchdog, FlagsStalledTaskAndCountsBudgetOverruns) {
   EXPECT_FALSE(task_health(h, "honest").stalled);
 }
 
+// reinstate() resets the watchdog with the restart ladder: a task flagged
+// stalled BEFORE its quarantine must come back clean — its state was
+// rebuilt, so a sticky STALLED flag in RuntimeHealth would be a lie.
+TEST(SupervisorWatchdog, ReinstateClearsWatchdogState) {
+  Scheduler sched(1);
+  Task::Options topt;
+  topt.label = "recoverer";
+  topt.policy = SupervisorPolicy::kQuarantine;
+  topt.stall_fires = 4;
+  uint64_t fires = 0;
+  Task& t = sched.add(
+      [&]() -> TaskState {
+        ++fires;
+        if (fires <= 6) return TaskState::kWorked;  // no beat(): stalls at 4
+        if (fires == 7) throw std::runtime_error("die stalled");
+        Scheduler::current_task()->beat();  // healthy after the rejoin
+        return fires >= 12 ? TaskState::kDone : TaskState::kWorked;
+      },
+      std::move(topt));
+  bool stalled_at_quarantine = false;
+  sched.set_on_quarantine([&](Task& tk) {
+    stalled_at_quarantine = tk.stalled();
+    EXPECT_TRUE(sched.reinstate(tk));
+  });
+  sched.run();
+
+  EXPECT_TRUE(stalled_at_quarantine) << "the stall never registered";
+  EXPECT_TRUE(t.done());
+  EXPECT_FALSE(t.stalled()) << "reinstate left the pre-quarantine flag set";
+  EXPECT_FALSE(task_health(sched.health(), "recoverer").stalled);
+}
+
 // --- the replicated recovery ladder -----------------------------------------
 
 namespace {
@@ -365,6 +397,39 @@ TEST(ReplicatedRecovery, ReplicaCrashAtFireSeamLosesNothing) {
   EXPECT_EQ(h.trainer, 1u);
   EXPECT_EQ(h.trainer_failovers, 1u);
   EXPECT_FALSE(h.to_string().empty());
+}
+
+// Two crashes landing near-simultaneously on DIFFERENT scheduler threads:
+// each catching thread runs the full recovery ladder, and the ladders must
+// serialize (recovery_mu_) — concurrent steering appends, trainer
+// failovers, or a premature un-pause would corrupt the re-steer. Under the
+// TSAN leg this is the regression test for that race. first:2 fires on the
+// first two scheduled fires, whichever threads get there first.
+TEST(ReplicatedRecovery, ConcurrentReplicaCrashesSerializeAndLoseNothing) {
+  const ReplicatedFixture fx(54, 4'000);
+  ReplicatedGraph rg = fx.make_graph(3);
+  const failpoint::Scoped crash(failpoint::kPipelineTaskFire,
+                                failpoint::Trigger::first(2));
+  ReplicatedRunOptions opts;
+  opts.threads = 3;  // the two crashes race on separate catching threads
+  opts.policy = SupervisorPolicy::kQuarantine;
+  const uint64_t total = rg.run(opts);
+
+  EXPECT_EQ(total, fx.trace.size());
+  fx.check_records(rg.merged_records(), /*complete=*/true);
+
+  const PipelineHealth h = rg.health();
+  EXPECT_EQ(h.runtime.quarantines, 2u);
+  uint32_t quarantines = 0, rejoins = 0;
+  for (const ReplicaHealth& r : h.replicas) {
+    quarantines += r.quarantines;
+    rejoins += r.rejoins;
+    EXPECT_NE(r.state, ReplicaHealth::State::kQuarantined)
+        << "a crashed replica never rejoined";
+  }
+  EXPECT_EQ(quarantines, 2u);
+  EXPECT_EQ(rejoins, 2u);
+  EXPECT_EQ(h.rejoin_failures, 0u);
 }
 
 // Crash mid-burst instead (pipeline.push, inside element forwarding): the
