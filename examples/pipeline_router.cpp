@@ -22,6 +22,14 @@
 // one shared engine) and run on a Click-style task scheduler — the merged
 // replica decisions must be packet-for-packet identical to the scalar run:
 //
+// With --metrics the run also emits a final telemetry snapshot (registry
+// counters/histograms joined with engine health + flow-cache stats):
+//   --metrics         Prometheus text to stdout at exit
+//   --metrics=FILE    dump to FILE at exit (JSON if FILE ends in .json)
+//   --metrics=PORT    splice a MetricsExporter element into the pipeline and
+//                     serve live scrapes on 127.0.0.1:PORT while running
+//                     (snapshot still printed to stdout at exit)
+//
 //   $ ./example_pipeline_router trace.pcap acl.rules [cache_capacity] [threads]
 #include <algorithm>
 #include <cstdio>
@@ -37,32 +45,67 @@
 #include "pipeline/elements.hpp"
 #include "pipeline/graph.hpp"
 #include "pipeline/replicate.hpp"
+#include "pipeline/telemetry.hpp"
 #include "trace/pcap.hpp"
 #include "tuplemerge/tuplemerge.hpp"
 
 using namespace nuevomatch;
 
+namespace {
+
+bool all_digits(const std::string& s) {
+  return !s.empty() &&
+         std::all_of(s.begin(), s.end(), [](char c) { return c >= '0' && c <= '9'; });
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 3 || argc > 5) {
+  // Flag scan first; positionals keep their historical order.
+  bool metrics = false;
+  std::string metrics_arg;  // "" = stdout; digits = port; else = file path
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--metrics") {
+      metrics = true;
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      metrics = true;
+      metrics_arg = a.substr(10);
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.size() < 2 || pos.size() > 4) {
     std::fprintf(stderr,
-                 "usage: %s <trace.pcap> <acl.rules> [cache_capacity] [threads]\n",
+                 "usage: %s <trace.pcap> <acl.rules> [cache_capacity] [threads]"
+                 " [--metrics[=file|port]]\n",
                  argv[0]);
     return 2;
   }
-  const std::string pcap_path = argv[1];
-  const std::string rules_path = argv[2];
-  const size_t cache_cap = argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 8192;
-  const size_t n_threads = argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  const std::string pcap_path = pos[0];
+  const std::string rules_path = pos[1];
+  const size_t cache_cap =
+      pos.size() >= 3 ? std::strtoull(pos[2], nullptr, 10) : 8192;
+  const size_t n_threads = pos.size() == 4 ? std::strtoull(pos[3], nullptr, 10) : 1;
+  const bool metrics_port = metrics && all_digits(metrics_arg);
 
   // --- assemble the graph from config text --------------------------------
+  // --metrics=PORT splices a MetricsExporter into the chain: it forwards
+  // bursts untouched and answers live loopback scrapes from its inline poll.
+  const std::string met_decl =
+      metrics_port ? "met   :: MetricsExporter(port=" + metrics_arg + ");\n" : "";
+  const std::string chain = metrics_port ? "src -> met -> cache -> cls -> disp;\n"
+                                         : "src -> cache -> cls -> disp;\n";
   const std::string config =
       "src   :: PcapSource(" + pcap_path + ");\n"
       "cache :: FlowCache(" + std::to_string(cache_cap) + ");\n"
-      "cls   :: Classifier(" + rules_path + ", manual);\n"
+      "cls   :: Classifier(" + rules_path + ", manual);\n" +
+      met_decl +
       "disp  :: Dispatch(permit, deny);\n"
       "permit_sink :: Sink(record);\n"
-      "deny_sink   :: Sink(record);\n"
-      "src -> cache -> cls -> disp;\n"
+      "deny_sink   :: Sink(record);\n" +
+      chain +
       "disp[0] -> Counter(permit) -> permit_sink;\n"
       "disp[1] -> deny_sink;\n";
   std::printf("pipeline config:\n%s\n", config.c_str());
@@ -244,6 +287,32 @@ int main(int argc, char** argv) {
     if (fault_drill) std::printf("runtime health:\n%s", ph.to_string().c_str());
 
     ok = ok && diverged == 0 && rpumped == pumped && rstale == 0;
+  }
+
+  // --- final telemetry snapshot -------------------------------------------
+  // Joins the process-wide registry (hot-path event counters + latency
+  // histograms) with the engine's health surface and the scalar run's
+  // flow-cache stats. CI greps this output for nm_flowcache_hits_total.
+  if (metrics) {
+    const EngineHealth eh = online->health();
+    telemetry::Snapshot snap = telemetry::capture(&eh);
+    if (auto* fc = graph.find_kind<pipeline::FlowCacheElement>()) {
+      snap.cache = fc->cache().stats();
+      snap.cache_entries = fc->cache().size();
+      snap.cache_capacity = fc->cache().capacity();
+    }
+    const bool to_file = !metrics_arg.empty() && !metrics_port;
+    if (to_file) {
+      const bool json = metrics_arg.size() > 5 &&
+                        metrics_arg.rfind(".json") == metrics_arg.size() - 5;
+      std::ofstream out{metrics_arg};
+      out << (json ? snap.to_json() : snap.to_prometheus());
+      std::printf("\ntelemetry snapshot written to %s (%s)\n",
+                  metrics_arg.c_str(), json ? "json" : "prometheus");
+    } else {
+      std::printf("\n--- telemetry snapshot (prometheus) ---\n%s",
+                  snap.to_prometheus().c_str());
+    }
   }
 
   std::printf("%s\n", ok ? "PASS" : "FAIL");

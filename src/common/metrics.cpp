@@ -1,0 +1,327 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace nuevomatch::telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  // %.17g round-trips doubles but litters exposition with noise digits;
+  // metric values are counts and ns, %g at default precision is exact for
+  // anything a scrape cares about.
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot percentiles
+// ---------------------------------------------------------------------------
+
+double HistogramSnapshot::value_at(uint64_t i) const noexcept {
+  uint64_t before = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    const uint64_t k = count[b];
+    if (k == 0) continue;
+    if (i < before + k) {
+      const uint64_t j = i - before;
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      // Sample j of k sits at quantile (j + 0.5) / k of the bucket span.
+      return lo + (hi - lo) * ((static_cast<double>(j) + 0.5) /
+                               static_cast<double>(k));
+    }
+    before += k;
+  }
+  // i past the last sample: clamp to the top of the highest occupied bucket.
+  for (size_t b = kBuckets; b-- > 0;)
+    if (count[b] != 0) return static_cast<double>(bucket_hi(b));
+  return 0.0;
+}
+
+double HistogramSnapshot::percentile(double p) const noexcept {
+  const uint64_t n = total();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Same rank convention as nuevomatch::percentile (common/stats.cpp):
+  // fractional rank over N-1 intervals, linear blend of the two neighbours.
+  const double rank = (p / 100.0) * static_cast<double>(n - 1);
+  const auto lo = static_cast<uint64_t>(rank);
+  const uint64_t hi = std::min<uint64_t>(lo + 1, n - 1);
+  const double frac = rank - static_cast<double>(lo);
+  const double vlo = value_at(lo);
+  if (frac == 0.0 || hi == lo) return vlo;
+  return vlo + (value_at(hi) - vlo) * frac;
+}
+
+// ---------------------------------------------------------------------------
+// Exposition helpers
+// ---------------------------------------------------------------------------
+
+void prometheus_counter(std::string& out, std::string_view name,
+                        std::string_view help, uint64_t value,
+                        std::string_view labels) {
+  if (!help.empty()) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += '\n';
+  }
+  out += "# TYPE ";
+  out += name;
+  out += " counter\n";
+  out += name;
+  out += labels;
+  out += ' ';
+  append_u64(out, value);
+  out += '\n';
+}
+
+void prometheus_gauge(std::string& out, std::string_view name,
+                      std::string_view help, double value,
+                      std::string_view labels) {
+  if (!help.empty()) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += '\n';
+  }
+  out += "# TYPE ";
+  out += name;
+  out += " gauge\n";
+  out += name;
+  out += labels;
+  out += ' ';
+  append_double(out, value);
+  out += '\n';
+}
+
+void prometheus_histogram(std::string& out, std::string_view name,
+                          std::string_view help, const HistogramSnapshot& h) {
+  if (!help.empty()) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += '\n';
+  }
+  out += "# TYPE ";
+  out += name;
+  out += " histogram\n";
+  // Cumulative `le` buckets. Only emit occupied boundaries (plus +Inf) to
+  // keep 64-bucket histograms from dominating the exposition.
+  uint64_t cum = 0;
+  for (size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    if (h.count[b] == 0) continue;
+    cum += h.count[b];
+    out += name;
+    out += "_bucket{le=\"";
+    if (b >= HistogramSnapshot::kBuckets - 1) {
+      out += "+Inf";
+    } else {
+      append_u64(out, HistogramSnapshot::bucket_hi(b));
+    }
+    out += "\"} ";
+    append_u64(out, cum);
+    out += '\n';
+  }
+  out += name;
+  out += "_bucket{le=\"+Inf\"} ";
+  append_u64(out, cum);
+  out += '\n';
+  out += name;
+  out += "_sum ";
+  append_u64(out, h.sum_ns);
+  out += '\n';
+  out += name;
+  out += "_count ";
+  append_u64(out, cum);
+  out += '\n';
+}
+
+void json_escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RegistrySnapshot
+// ---------------------------------------------------------------------------
+
+const MetricValue* RegistrySnapshot::find(std::string_view name) const noexcept {
+  for (const MetricValue& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+std::string RegistrySnapshot::to_prometheus() const {
+  std::string out;
+  out.reserve(metrics.size() * 96);
+  for (const MetricValue& m : metrics) {
+    switch (m.type) {
+      case MetricType::kCounter:
+        prometheus_counter(out, m.name, m.help, m.counter);
+        break;
+      case MetricType::kGauge:
+        prometheus_gauge(out, m.name, m.help, static_cast<double>(m.gauge));
+        break;
+      case MetricType::kHistogram:
+        prometheus_histogram(out, m.name, m.help, m.hist);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string RegistrySnapshot::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const MetricValue& m : metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    json_escape(out, m.name);
+    out += "\":";
+    switch (m.type) {
+      case MetricType::kCounter:
+        append_u64(out, m.counter);
+        break;
+      case MetricType::kGauge:
+        append_u64(out, static_cast<uint64_t>(std::max<int64_t>(m.gauge, 0)));
+        break;
+      case MetricType::kHistogram: {
+        out += "{\"count\":";
+        append_u64(out, m.hist.total());
+        out += ",\"sum_ns\":";
+        append_u64(out, m.hist.sum_ns);
+        out += ",\"p50_ns\":";
+        append_double(out, m.hist.p50());
+        out += ",\"p99_ns\":";
+        append_double(out, m.hist.p99());
+        out += ",\"p999_ns\":";
+        append_double(out, m.hist.p999());
+        out += '}';
+        break;
+      }
+    }
+  }
+  out += '}';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry::Entry& Registry::entry(std::string_view name, std::string_view help,
+                                 MetricType t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.type != t)
+      throw std::runtime_error("metric '" + std::string(name) +
+                               "' already registered as " +
+                               type_name(it->second.type));
+    if (it->second.help.empty() && !help.empty())
+      it->second.help = std::string(help);
+    return it->second;
+  }
+  Entry e;
+  e.type = t;
+  e.help = std::string(help);
+  switch (t) {
+    case MetricType::kCounter: e.c = std::make_unique<Counter>(); break;
+    case MetricType::kGauge: e.g = std::make_unique<Gauge>(); break;
+    case MetricType::kHistogram: e.h = std::make_unique<Histogram>(); break;
+  }
+  return metrics_.emplace(std::string(name), std::move(e)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  return *entry(name, help, MetricType::kCounter).c;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  return *entry(name, help, MetricType::kGauge).g;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help) {
+  return *entry(name, help, MetricType::kHistogram).h;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  RegistrySnapshot out;
+  std::lock_guard<std::mutex> lk(mu_);
+  out.metrics.reserve(metrics_.size());
+  for (const auto& [name, e] : metrics_) {
+    MetricValue v;
+    v.name = name;
+    v.help = e.help;
+    v.type = e.type;
+    switch (e.type) {
+      case MetricType::kCounter: v.counter = e.c->value(); break;
+      case MetricType::kGauge: v.gauge = e.g->value(); break;
+      case MetricType::kHistogram: v.hist = e.h->snapshot(); break;
+    }
+    out.metrics.push_back(std::move(v));
+  }
+  return out;  // std::map iteration order == sorted by name
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumentation sites cache references in
+  // function-local statics and may fire during static destruction.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+}  // namespace nuevomatch::telemetry

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/failpoint.hpp"
+#include "common/metrics.hpp"
 
 namespace nuevomatch {
 
@@ -157,6 +158,12 @@ bool OnlineNuevoMatch::erase_locked(uint32_t rule_id, bool& churn_dirty,
 }
 
 void OnlineNuevoMatch::bump_coherence(uint32_t bands) noexcept {
+  if (NM_METRICS_ENABLED) {
+    static telemetry::Counter& m = telemetry::registry().counter(
+        "nm_engine_coherence_bumps_total",
+        "cache-invalidation stamp bumps (commits + swaps)");
+    m.add(1);
+  }
   // One global bump covers the whole commit; each affected band is marked
   // with the post-bump value. Callers hold wmu_, so marks are monotone per
   // band. Ordering: the fetch_add is the release fence for the commit's
@@ -231,10 +238,17 @@ void OnlineNuevoMatch::publish_layer_locked(bool churn_dirty, bool base_dirty) {
       layer_owner_->churn != nullptr ? layer_owner_->churn->rules.size() : 0,
       std::memory_order_relaxed);
   retired_.collect(epochs_.min_active());
+  if (NM_METRICS_ENABLED) {
+    static telemetry::Gauge& g = telemetry::registry().gauge(
+        "nm_epoch_retired_depth",
+        "epoch-domain retire-list depth after collection");
+    g.set(static_cast<int64_t>(retired_.size()));
+  }
 }
 
 size_t OnlineNuevoMatch::insert_batch(std::span<const Rule> rules) {
   if (rules.empty()) return 0;
+  const uint64_t m_t0 = NM_METRICS_ENABLED ? telemetry::now_ns() : 0;
   const bool bounded = cfg_.max_churn_rules > 0 || cfg_.max_journal_ops > 0;
   const bool block = cfg_.overload_policy == OverloadPolicy::kBlock;
   const auto deadline =
@@ -299,11 +313,24 @@ size_t OnlineNuevoMatch::insert_batch(std::span<const Rule> rules) {
     std::unique_lock lk{ov_mu_};
     ov_cv_.wait_until(lk, deadline, [&] { return approx_room(); });
   }
+  if (NM_METRICS_ENABLED && accepted > 0) {
+    static telemetry::Counter& mc = telemetry::registry().counter(
+        "nm_engine_commits_total", "batch commits accepted (insert + erase)");
+    static telemetry::Counter& mo = telemetry::registry().counter(
+        "nm_engine_commit_ops_total", "individual ops accepted by commits");
+    static telemetry::Histogram& mh = telemetry::registry().histogram(
+        "nm_engine_commit_ns",
+        "commit latency, call to publication (incl. overload waits)");
+    mc.add(1);
+    mo.add(accepted);
+    mh.record(telemetry::now_ns() - m_t0);
+  }
   return accepted;
 }
 
 size_t OnlineNuevoMatch::erase_batch(std::span<const uint32_t> rule_ids) {
   if (rule_ids.empty()) return 0;
+  const uint64_t m_t0 = NM_METRICS_ENABLED ? telemetry::now_ns() : 0;
   // Erases never consume overload capacity — they shrink state, so capping
   // them could wedge the one operation that relieves pressure.
   size_t accepted = 0;
@@ -333,6 +360,18 @@ size_t OnlineNuevoMatch::erase_batch(std::span<const uint32_t> rule_ids) {
     freed = churn_dirty;  // a churn erase shrank the delta
   }
   if (freed) notify_overload();
+  if (NM_METRICS_ENABLED && accepted > 0) {
+    static telemetry::Counter& mc = telemetry::registry().counter(
+        "nm_engine_commits_total", "batch commits accepted (insert + erase)");
+    static telemetry::Counter& mo = telemetry::registry().counter(
+        "nm_engine_commit_ops_total", "individual ops accepted by commits");
+    static telemetry::Histogram& mh = telemetry::registry().histogram(
+        "nm_engine_commit_ns",
+        "commit latency, call to publication (incl. overload waits)");
+    mc.add(1);
+    mo.add(accepted);
+    mh.record(telemetry::now_ns() - m_t0);
+  }
   return accepted;
 }
 
@@ -412,6 +451,12 @@ void OnlineNuevoMatch::install_generation_locked(
   gen_owner_ = std::move(fresh);
   layer_owner_ = std::move(fresh_layer);
   retired_.collect(epochs_.min_active());
+  if (NM_METRICS_ENABLED) {
+    static telemetry::Gauge& g = telemetry::registry().gauge(
+        "nm_epoch_retired_depth",
+        "epoch-domain retire-list depth after collection");
+    g.set(static_cast<int64_t>(retired_.size()));
+  }
   // A swap preserves every answer (journals replayed), but cached decisions
   // predate the replayed erases' tombstone relocations, and the band map
   // just moved — mark EVERY band; conservative invalidation is always
@@ -636,8 +681,18 @@ void OnlineNuevoMatch::worker_loop() {
     // failed cycle was warranted when triggered; its journal was dropped,
     // so current pressure alone under-reports the debt).
     CycleOutcome outcome = CycleOutcome::kCancelled;
-    if (forced || retry || absorption() >= cfg_.retrain_threshold)
+    if (forced || retry || absorption() >= cfg_.retrain_threshold) {
+      const uint64_t m_t0 = NM_METRICS_ENABLED ? telemetry::now_ns() : 0;
       outcome = retrain_cycle();
+      if (NM_METRICS_ENABLED && outcome == CycleOutcome::kSwapped) {
+        static telemetry::Counter& mc = telemetry::registry().counter(
+            "nm_engine_retrains_total", "successful retrain swaps");
+        static telemetry::Histogram& mh = telemetry::registry().histogram(
+            "nm_engine_retrain_ns", "retrain cycle duration (swapped only)");
+        mc.add(1);
+        mh.record(telemetry::now_ns() - m_t0);
+      }
+    }
     {
       std::lock_guard lk{wk_mu_};
       retrain_running_ = false;

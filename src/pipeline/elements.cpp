@@ -7,7 +7,9 @@
 #include <stdexcept>
 
 #include "classbench/parser.hpp"
+#include "common/metrics.hpp"
 #include "pipeline/graph.hpp"
+#include "pipeline/metrics_exporter.hpp"
 #include "tuplemerge/tuplemerge.hpp"
 
 namespace nuevomatch::pipeline {
@@ -67,7 +69,7 @@ bool PcapSource::pump(Burst& b) {
     }
     const auto p = parse_frame(rec.frame, reader_->link_type());
     if (!p.has_value()) {
-      ++skipped_;
+      skipped_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     // The stream position advances for every parseable frame, filter or
@@ -75,7 +77,7 @@ bool PcapSource::pump(Burst& b) {
     // different replicas merge 1:1 against a scalar run of the same file.
     const uint64_t pos = stream_pos_++;
     if (!accepts(*p, pos)) {
-      ++filtered_;
+      filtered_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     const uint32_t i = b.size++;
@@ -84,7 +86,7 @@ bool PcapSource::pump(Burst& b) {
     b.index[i] = pos;
     b.result[i] = MatchResult{};
     b.action[i] = -1;
-    ++packets_;
+    packets_.fetch_add(1, std::memory_order_relaxed);
   }
   publish_pos(stream_pos_);
   return b.size > 0;
@@ -93,11 +95,11 @@ bool PcapSource::pump(Burst& b) {
 std::string PcapSource::report() const {
   std::string line =
       fmt("pcap source: %llu packets, %llu frames skipped (not IPv4)",
-          static_cast<unsigned long long>(packets_),
-          static_cast<unsigned long long>(skipped_));
+          static_cast<unsigned long long>(packets()),
+          static_cast<unsigned long long>(skipped()));
   if (n_replicas() > 1)
     line += fmt(", %llu filtered to other replicas",
-                static_cast<unsigned long long>(filtered_));
+                static_cast<unsigned long long>(filtered()));
   return line;
 }
 
@@ -297,9 +299,18 @@ void ClassifierElement::process(Burst& b) {
     }
   };
 
+  const auto count = [this](uint32_t n) {
+    bursts_.fetch_add(1, std::memory_order_relaxed);
+    classified_.fetch_add(n, std::memory_order_relaxed);
+    if (NM_METRICS_ENABLED) {
+      ++m_acc_bursts_;
+      m_acc_pkts_ += n;
+      if (m_acc_bursts_ >= 64) flush_metrics_acc();
+    }
+  };
+
   if (b.size > 0 && b.resolved == 0) {
-    ++bursts_;
-    classified_ += b.size;
+    count(b.size);
     classify({b.pkt.data(), b.size}, {b.result.data(), b.size});
     for (uint32_t i = 0; i < b.size; ++i) annotate(i);
   } else {
@@ -314,8 +325,7 @@ void ClassifierElement::process(Burst& b) {
       ++n;
     }
     if (n > 0) {
-      ++bursts_;
-      classified_ += n;
+      count(n);
       classify({pkts.data(), n}, {res.data(), n});
       for (uint32_t k = 0; k < n; ++k) {
         b.result[lane[k]] = res[k];
@@ -329,10 +339,25 @@ void ClassifierElement::process(Burst& b) {
   forward(b);
 }
 
+void ClassifierElement::flush_metrics_acc() {
+  if (m_acc_bursts_ == 0 && m_acc_pkts_ == 0) return;
+  static telemetry::Counter& mb = telemetry::registry().counter(
+      "nm_classifier_bursts_total", "bursts classified by the slow path");
+  static telemetry::Counter& mp = telemetry::registry().counter(
+      "nm_classifier_packets_total", "packets classified by the slow path");
+  mb.add(m_acc_bursts_);
+  mp.add(m_acc_pkts_);
+  m_acc_bursts_ = 0;
+  m_acc_pkts_ = 0;
+}
+
+void ClassifierElement::finish() { flush_metrics_acc(); }
+
 std::string ClassifierElement::report() const {
   std::string line = fmt("classified %llu packets in %llu bursts",
-                         static_cast<unsigned long long>(classified_),
-                         static_cast<unsigned long long>(bursts_));
+                         static_cast<unsigned long long>(classified()),
+                         static_cast<unsigned long long>(
+                             bursts_.load(std::memory_order_relaxed)));
   if (online_ != nullptr) {
     line += fmt(" (online engine: %llu generations, %llu updates%s)",
                 static_cast<unsigned long long>(online_->generations()),
@@ -370,7 +395,7 @@ Dispatch::Dispatch(std::vector<std::string> port_names)
     : names_(std::move(port_names)) {
   if (names_.empty())
     throw std::runtime_error("Dispatch needs at least one output port name");
-  counts_.assign(names_.size(), 0);
+  counts_ = std::vector<std::atomic<uint64_t>>(names_.size());
   split_.resize(names_.size());
 }
 
@@ -397,7 +422,7 @@ void Dispatch::process(Burst& b) {
     s.action[j] = b.action[i];
     if (b.is_resolved(i)) s.mark_resolved(j);
     if ((b.from_cache >> i) & 1u) s.from_cache |= 1u << j;
-    ++counts_[port];
+    counts_[port].fetch_add(1, std::memory_order_relaxed);
   }
   for (size_t port = 0; port < split_.size(); ++port)
     forward(split_[port], port);
@@ -407,7 +432,7 @@ std::string Dispatch::report() const {
   std::string line = "dispatch:";
   for (size_t i = 0; i < names_.size(); ++i) {
     line += fmt(" %s=%llu", names_[i].c_str(),
-                static_cast<unsigned long long>(counts_[i]));
+                static_cast<unsigned long long>(port_packets(i)));
   }
   return line;
 }
@@ -417,16 +442,16 @@ std::string Dispatch::report() const {
 Counter::Counter(std::string label) : label_(std::move(label)) {}
 
 void Counter::process(Burst& b) {
-  packets_ += b.size;
-  ++bursts_;
+  packets_.fetch_add(b.size, std::memory_order_relaxed);
+  bursts_.fetch_add(1, std::memory_order_relaxed);
   forward(b);
 }
 
 std::string Counter::report() const {
   return fmt("counter%s%s%s: %llu packets / %llu bursts",
              label_.empty() ? "" : " (", label_.c_str(),
-             label_.empty() ? "" : ")", static_cast<unsigned long long>(packets_),
-             static_cast<unsigned long long>(bursts_));
+             label_.empty() ? "" : ")", static_cast<unsigned long long>(packets()),
+             static_cast<unsigned long long>(bursts()));
 }
 
 // --- Sink -------------------------------------------------------------------
@@ -434,7 +459,7 @@ std::string Counter::report() const {
 Sink::Sink(bool record) : record_(record) {}
 
 void Sink::process(Burst& b) {
-  packets_ += b.size;
+  packets_.fetch_add(b.size, std::memory_order_relaxed);
   if (record_) {
     for (uint32_t i = 0; i < b.size; ++i) {
       records_.push_back(Record{b.index[i], b.result[i].rule_id,
@@ -445,7 +470,7 @@ void Sink::process(Burst& b) {
 }
 
 std::string Sink::report() const {
-  return fmt("sink: %llu packets%s", static_cast<unsigned long long>(packets_),
+  return fmt("sink: %llu packets%s", static_cast<unsigned long long>(packets()),
              record_ ? " (recorded)" : "");
 }
 
@@ -578,6 +603,25 @@ std::unique_ptr<Element> make_pcap_sink(const std::vector<std::string>& a) {
   return std::make_unique<PcapSink>(a[0]);
 }
 
+std::unique_ptr<Element> make_metrics_exporter(
+    const std::vector<std::string>& a) {
+  MetricsExporter::Options o;
+  for (const std::string& arg : a) {
+    if (arg.rfind("port=", 0) == 0) {
+      o.port = static_cast<int>(to_size(arg.substr(5), "metrics port"));
+    } else if (arg.rfind("file=", 0) == 0) {
+      o.file = arg.substr(5);
+    } else if (arg.rfind("interval_ms=", 0) == 0) {
+      o.interval_ms = to_size(arg.substr(12), "metrics interval");
+    } else if (arg == "json") {
+      o.json = true;
+    } else {
+      usage("MetricsExporter([port=N][, file=PATH][, interval_ms=MS][, json])");
+    }
+  }
+  return std::make_unique<MetricsExporter>(std::move(o));
+}
+
 }  // namespace
 
 void register_builtin_elements() {
@@ -590,6 +634,7 @@ void register_builtin_elements() {
     register_element("Counter", make_counter);
     register_element("Sink", make_sink);
     register_element("PcapSink", make_pcap_sink);
+    register_element("MetricsExporter", make_metrics_exporter);
     return true;
   }();
   (void)once;

@@ -28,6 +28,7 @@
 // (ClassifierElement::attach) before Graph::initialize() runs.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -54,17 +55,26 @@ class PcapSource final : public SourceElement {
   [[nodiscard]] bool pump(Burst& b) override;
   [[nodiscard]] std::string report() const override;
   /// Frames that could not be projected onto a five-tuple (non-IPv4 ...).
-  [[nodiscard]] uint64_t skipped() const noexcept { return skipped_; }
+  [[nodiscard]] uint64_t skipped() const noexcept {
+    return skipped_.load(std::memory_order_relaxed);
+  }
   /// Packets EMITTED by this source (excludes replica-filtered ones).
-  [[nodiscard]] uint64_t packets() const noexcept { return packets_; }
+  [[nodiscard]] uint64_t packets() const noexcept {
+    return packets_.load(std::memory_order_relaxed);
+  }
   /// Parseable frames belonging to other replicas (0 unfiltered).
-  [[nodiscard]] uint64_t filtered() const noexcept { return filtered_; }
+  [[nodiscard]] uint64_t filtered() const noexcept {
+    return filtered_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::unique_ptr<PcapReader> reader_;
-  uint64_t packets_ = 0;
-  uint64_t skipped_ = 0;
-  uint64_t filtered_ = 0;
+  // Relaxed atomics, not plain u64: pumped by one task thread but read
+  // cross-thread (reports, telemetry scrapes, replica supervision) while
+  // the run is live. Single-writer, so relaxed increments stay exact.
+  std::atomic<uint64_t> packets_{0};
+  std::atomic<uint64_t> skipped_{0};
+  std::atomic<uint64_t> filtered_{0};
   uint64_t stream_pos_ = 0;  ///< global capture position (index annotation)
 };
 
@@ -102,6 +112,7 @@ class FlowCacheElement final : public Element {
   void initialize(Graph& g) override;
   [[nodiscard]] std::string report() const override;
   [[nodiscard]] FlowCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const FlowCache& cache() const noexcept { return cache_; }
 
  private:
   FlowCache cache_;
@@ -125,6 +136,7 @@ class ClassifierElement final : public Element {
   [[nodiscard]] std::string_view kind() const override { return "Classifier"; }
   void process(Burst& b) override;
   void initialize(Graph& g) override;
+  void finish() override;
   [[nodiscard]] std::string report() const override;
 
   /// Attach a shared online engine (tests/benches; several elements may
@@ -151,7 +163,9 @@ class ClassifierElement final : public Element {
   /// port) unless refreshed — the map is read-only while the graph runs.
   void set_actions(std::span<const Rule> rules);
 
-  [[nodiscard]] uint64_t classified() const noexcept { return classified_; }
+  [[nodiscard]] uint64_t classified() const noexcept {
+    return classified_.load(std::memory_order_relaxed);
+  }
 
  private:
   [[nodiscard]] int32_t action_of(int32_t rule_id) const;
@@ -161,8 +175,15 @@ class ClassifierElement final : public Element {
   std::unique_ptr<BatchParallelEngine> parallel_;
   bool want_parallel_ = false;
   std::unordered_map<uint32_t, int32_t> actions_;
-  uint64_t classified_ = 0;
-  uint64_t bursts_ = 0;
+  // Relaxed atomics: incremented by the replica's worker thread, read by
+  // reports/telemetry while firing (was a torn read as plain u64).
+  std::atomic<uint64_t> classified_{0};
+  std::atomic<uint64_t> bursts_{0};
+  // Registry-add batch (worker-thread private): flushed every 64 classified
+  // bursts and in finish(), so a live scrape lags by at most one batch.
+  void flush_metrics_acc();
+  uint64_t m_acc_bursts_ = 0;
+  uint64_t m_acc_pkts_ = 0;
 };
 
 class Dispatch final : public Element {
@@ -173,12 +194,14 @@ class Dispatch final : public Element {
   void process(Burst& b) override;
   [[nodiscard]] std::string report() const override;
   [[nodiscard]] uint64_t port_packets(size_t port) const {
-    return counts_.at(port);
+    return counts_.at(port).load(std::memory_order_relaxed);
   }
 
  private:
   std::vector<std::string> names_;
-  std::vector<uint64_t> counts_;
+  /// Sized once in the constructor, never resized (vector<atomic> must not
+  /// reallocate); relaxed increments, cross-thread reads.
+  std::vector<std::atomic<uint64_t>> counts_;
   std::vector<Burst> split_;  // reused per-port staging (DAG => no reentry)
 };
 
@@ -188,13 +211,19 @@ class Counter final : public Element {
   [[nodiscard]] std::string_view kind() const override { return "Counter"; }
   void process(Burst& b) override;
   [[nodiscard]] std::string report() const override;
-  [[nodiscard]] uint64_t packets() const noexcept { return packets_; }
-  [[nodiscard]] uint64_t bursts() const noexcept { return bursts_; }
+  [[nodiscard]] uint64_t packets() const noexcept {
+    return packets_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t bursts() const noexcept {
+    return bursts_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string label_;
-  uint64_t packets_ = 0;
-  uint64_t bursts_ = 0;
+  // Read cross-thread while replicas fire (ReplicatedGraph's merged tick
+  // totals, telemetry): relaxed atomics, single writer each.
+  std::atomic<uint64_t> packets_{0};
+  std::atomic<uint64_t> bursts_{0};
 };
 
 // --- terminals --------------------------------------------------------------
@@ -215,15 +244,19 @@ class Sink final : public Element {
   [[nodiscard]] std::string_view kind() const override { return "Sink"; }
   void process(Burst& b) override;
   [[nodiscard]] std::string report() const override;
-  [[nodiscard]] uint64_t packets() const noexcept { return packets_; }
+  [[nodiscard]] uint64_t packets() const noexcept {
+    return packets_.load(std::memory_order_relaxed);
+  }
   /// Recorded decisions in arrival order (empty unless `record`).
+  /// NOT safe to read while the graph runs (unsynchronized vector) —
+  /// differential tests read it post-join only.
   [[nodiscard]] const std::vector<Record>& records() const noexcept {
     return records_;
   }
 
  private:
   bool record_;
-  uint64_t packets_ = 0;
+  std::atomic<uint64_t> packets_{0};
   std::vector<Record> records_;
 };
 

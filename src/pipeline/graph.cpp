@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "common/metrics.hpp"
+
 namespace nuevomatch::pipeline {
 
 // --- registry ---------------------------------------------------------------
@@ -105,18 +107,55 @@ uint64_t Graph::run(const std::function<void(uint64_t)>& tick) {
   initialize();
   uint64_t packets = 0;
   Burst b;
+  // Resolve the registry series once per run, not per burst: the enabled
+  // gate is re-checked inside the loop (it can flip at runtime) but the
+  // name lookup / init-guard never repeats on the pump path.
+  telemetry::Counter* mb = nullptr;
+  telemetry::Counter* mp = nullptr;
+  telemetry::Histogram* mh = nullptr;
+  if (NM_METRICS_ENABLED) {
+    mb = &telemetry::registry().counter("nm_pipeline_bursts_total",
+                                        "bursts pumped through any graph");
+    mp = &telemetry::registry().counter("nm_pipeline_packets_total",
+                                        "packets pumped through any graph");
+    mh = &telemetry::registry().histogram(
+        "nm_pipeline_burst_ns",
+        "end-to-end burst latency, pump to sink (sampled 1-in-32)");
+  }
+  // Batch the per-burst counts locally and flush every 64 bursts: a
+  // registry add is a TLS-shard fetch_add (~10ns), too dear to pay twice
+  // per burst on the pump path. A live scrape lags by at most one batch.
+  uint64_t acc_bursts = 0;
+  uint64_t acc_packets = 0;
   for (const auto& e : elems_) {
     if (!e->is_source()) continue;
     auto& src = static_cast<SourceElement&>(*e);
     for (;;) {
       b.reset();
+      const bool counted = mb != nullptr && NM_METRICS_ENABLED;
+      const bool lat_sampled = counted && NM_SAMPLE_EVERY(32);
+      const uint64_t t0 = lat_sampled ? telemetry::now_ns() : 0;
       if (!src.pump(b)) break;
       packets += b.size;
       ++health_.steps;
       health_.packets += b.size;
       if (b.size > 0) src.forward(b);
+      if (counted) {
+        ++acc_bursts;
+        acc_packets += b.size;
+        if (acc_bursts == 64) {
+          mb->add(acc_bursts);
+          mp->add(acc_packets);
+          acc_bursts = acc_packets = 0;
+        }
+        if (lat_sampled) mh->record(telemetry::now_ns() - t0);
+      }
       if (tick) tick(packets);
     }
+  }
+  if (mb != nullptr && acc_bursts > 0) {
+    mb->add(acc_bursts);
+    mp->add(acc_packets);
   }
   health_.eos = true;
   finish_run();
@@ -139,6 +178,8 @@ bool Graph::step(uint64_t* pumped) {
   }
   if (step_eos_) return false;
   step_burst_.reset();
+  const bool lat_sampled = NM_METRICS_ENABLED && NM_SAMPLE_EVERY(32);
+  const uint64_t t0 = lat_sampled ? telemetry::now_ns() : 0;
   if (!step_src_->pump(step_burst_)) {
     step_eos_ = true;
     health_.eos = true;
@@ -148,10 +189,36 @@ bool Graph::step(uint64_t* pumped) {
   ++health_.steps;
   health_.packets += step_burst_.size;
   if (step_burst_.size > 0) step_src_->forward(step_burst_);
+  if (NM_METRICS_ENABLED) {
+    // Same local-batching rationale as run(); the accumulators are members
+    // because step() state lives across calls. Flushed in finish_run().
+    ++m_acc_bursts_;
+    m_acc_packets_ += step_burst_.size;
+    if (m_acc_bursts_ >= 64) flush_metrics_acc();
+    if (lat_sampled) {
+      static telemetry::Histogram& h = telemetry::registry().histogram(
+          "nm_pipeline_burst_ns",
+          "end-to-end burst latency, pump to sink (sampled 1-in-32)");
+      h.record(telemetry::now_ns() - t0);
+    }
+  }
   return true;
 }
 
+void Graph::flush_metrics_acc() {
+  if (m_acc_bursts_ == 0 && m_acc_packets_ == 0) return;
+  static telemetry::Counter& mb = telemetry::registry().counter(
+      "nm_pipeline_bursts_total", "bursts pumped through any graph");
+  static telemetry::Counter& mp = telemetry::registry().counter(
+      "nm_pipeline_packets_total", "packets pumped through any graph");
+  mb.add(m_acc_bursts_);
+  mp.add(m_acc_packets_);
+  m_acc_bursts_ = 0;
+  m_acc_packets_ = 0;
+}
+
 void Graph::finish_run() {
+  flush_metrics_acc();
   // Every element gets its finish() (writers flushed, files closed) even
   // when an earlier one throws — the first error is re-thrown afterwards.
   std::exception_ptr first_error;

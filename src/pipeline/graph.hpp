@@ -116,6 +116,12 @@ class Graph {
   bool step_eos_ = false;
   Burst step_burst_;
   GraphHealth health_;
+  // Telemetry accumulators for the step() path: registry counters cost a
+  // TLS-shard fetch_add, so bursts/packets batch locally and flush every
+  // 64 bursts (and in finish_run()) — a live scrape lags by at most that.
+  void flush_metrics_acc();
+  uint64_t m_acc_bursts_ = 0;
+  uint64_t m_acc_packets_ = 0;
 };
 
 }  // namespace nuevomatch::pipeline

@@ -1,0 +1,240 @@
+#include "pipeline/metrics_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "pipeline/elements.hpp"
+#include "pipeline/graph.hpp"
+
+namespace nuevomatch::pipeline {
+
+namespace {
+
+/// Serve one accepted connection: best-effort request read (we only care
+/// whether the path asks for JSON), full response write, close.
+void serve_client(int fd, const telemetry::Snapshot& snap) {
+  // A stuck client must not wedge the daemon task: short I/O timeouts.
+  timeval tv{};
+  tv.tv_usec = 200 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  char req[1024];
+  const ssize_t n = ::recv(fd, req, sizeof(req) - 1, 0);
+  bool want_json = false;
+  if (n > 0) {
+    req[n] = '\0';
+    want_json = std::strstr(req, "json") != nullptr;
+  }
+
+  const std::string body = want_json ? snap.to_json() : snap.to_prometheus();
+  std::string resp = "HTTP/1.0 200 OK\r\nContent-Type: ";
+  resp += want_json ? "application/json" : "text/plain; version=0.0.4";
+  resp += "\r\nContent-Length: " + std::to_string(body.size()) +
+          "\r\nConnection: close\r\n\r\n";
+  resp += body;
+
+  size_t off = 0;
+  while (off < resp.size()) {
+    const ssize_t w = ::send(fd, resp.data() + off, resp.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (w <= 0) break;
+    off += static_cast<size_t>(w);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(Options opt) : opt_(std::move(opt)) {}
+
+MetricsExporter::~MetricsExporter() {
+  std::lock_guard<std::mutex> lk(poll_mu_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MetricsExporter::initialize(Graph& g) {
+  classifier_ = g.find_kind<ClassifierElement>();
+  caches_.clear();
+  for (const auto& e : g.elements())
+    if (auto* fc = dynamic_cast<FlowCacheElement*>(e.get()))
+      caches_.push_back(fc);
+}
+
+void MetricsExporter::set_pipeline_health_source(
+    std::function<PipelineHealth()> fn) {
+  std::lock_guard<std::mutex> lk(source_mu_);
+  pipeline_health_ = std::move(fn);
+}
+
+telemetry::Snapshot MetricsExporter::snapshot() const {
+  telemetry::Snapshot s;
+  s.registry = telemetry::registry().snapshot();
+  if (classifier_ != nullptr && classifier_->online() != nullptr)
+    s.engine = classifier_->online()->health();
+  if (!caches_.empty()) {
+    FlowCache::Stats sum{};
+    uint64_t entries = 0, capacity = 0;
+    for (const FlowCacheElement* fc : caches_) {
+      const FlowCache::Stats st = fc->cache().stats();
+      sum.hits += st.hits;
+      sum.misses += st.misses;
+      sum.stale += st.stale;
+      sum.inserts += st.inserts;
+      sum.evictions += st.evictions;
+      sum.retained += st.retained;
+      sum.future += st.future;
+      sum.insert_drops += st.insert_drops;
+      entries += fc->cache().size();
+      capacity += fc->cache().capacity();
+    }
+    s.cache = sum;
+    s.cache_entries = entries;
+    s.cache_capacity = capacity;
+  }
+  std::function<PipelineHealth()> src;
+  {
+    std::lock_guard<std::mutex> lk(source_mu_);
+    src = pipeline_health_;
+  }
+  if (src) s.pipeline = src();
+  return s;
+}
+
+int MetricsExporter::ensure_listener() {
+  std::lock_guard<std::mutex> lk(poll_mu_);
+  if (listen_fd_ >= 0) return bound_port_.load(std::memory_order_acquire);
+  if (opt_.port < 0 || bind_failed_.load(std::memory_order_acquire)) return -1;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    bind_error_ = std::strerror(errno);
+    bind_failed_.store(true, std::memory_order_release);
+    return -1;
+  }
+  // No SO_REUSEADDR on purpose: in replicated graphs N sibling exporters
+  // race for one port and exactly one must win (first-binder-wins; the
+  // losers see EADDRINUSE and disable themselves).
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(opt_.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    bind_error_ = std::strerror(errno);
+    bind_failed_.store(true, std::memory_order_release);
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    bind_error_ = std::strerror(errno);
+    bind_failed_.store(true, std::memory_order_release);
+    ::close(fd);
+    return -1;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);  // nonblocking accept only
+  listen_fd_ = fd;
+  bound_port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  return bound_port_.load(std::memory_order_acquire);
+}
+
+void MetricsExporter::serve_pending_scrapes_locked(bool& did_work) {
+  if (listen_fd_ < 0) return;
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) break;  // EAGAIN/EWOULDBLOCK: drained
+    serve_client(client, snapshot());
+    scrapes_.fetch_add(1, std::memory_order_relaxed);
+    did_work = true;
+  }
+}
+
+void MetricsExporter::dump_file_locked(bool force, bool& did_work) {
+  if (opt_.file.empty()) return;
+  const uint64_t now = telemetry::now_ns();
+  const uint64_t interval_ns = opt_.interval_ms * 1'000'000ULL;
+  if (!force && last_dump_ns_ != 0 && now - last_dump_ns_ < interval_ns)
+    return;
+  last_dump_ns_ = now;
+
+  const telemetry::Snapshot s = snapshot();
+  const std::string tmp = opt_.file + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    out << (opt_.json ? s.to_json() : s.to_prometheus());
+  }
+  std::rename(tmp.c_str(), opt_.file.c_str());
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  did_work = true;
+}
+
+bool MetricsExporter::poll() {
+  if (opt_.port >= 0 && bound_port_.load(std::memory_order_acquire) < 0 &&
+      !bind_failed_.load(std::memory_order_acquire))
+    ensure_listener();
+  std::unique_lock<std::mutex> lk(poll_mu_, std::try_to_lock);
+  if (!lk.owns_lock()) return false;  // a sibling caller is already serving
+  bool did_work = false;
+  serve_pending_scrapes_locked(did_work);
+  dump_file_locked(/*force=*/false, did_work);
+  return did_work;
+}
+
+void MetricsExporter::process(Burst& b) {
+  // Pass-through element; in scalar (no-scheduler) graphs it also paces an
+  // inline poll so file dumps and scrapes happen without a daemon task.
+  if ((++bursts_seen_ & 63u) == 0) poll();
+  forward(b);
+}
+
+void MetricsExporter::finish() {
+  std::lock_guard<std::mutex> lk(poll_mu_);
+  bool did_work = false;
+  dump_file_locked(/*force=*/true, did_work);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+std::string MetricsExporter::report() const {
+  char buf[160];
+  std::string listener;
+  {
+    std::lock_guard<std::mutex> lk(poll_mu_);
+    if (bind_failed_.load(std::memory_order_acquire))
+      listener = "listener disabled (" + bind_error_ +
+                 "; a sibling replica likely owns the port)";
+    else if (listen_fd_ >= 0)
+      listener = "listening on 127.0.0.1:" +
+                 std::to_string(bound_port_.load(std::memory_order_acquire));
+    else if (opt_.port >= 0)
+      listener = "listener pending bind";
+    else
+      listener = "no listener";
+  }
+  std::snprintf(buf, sizeof(buf), "%s, scrapes %llu, file dumps %llu",
+                listener.c_str(),
+                static_cast<unsigned long long>(scrapes()),
+                static_cast<unsigned long long>(dumps()));
+  return buf;
+}
+
+}  // namespace nuevomatch::pipeline

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/failpoint.hpp"
+#include "pipeline/metrics_exporter.hpp"
 
 namespace nuevomatch::pipeline {
 
@@ -361,6 +362,31 @@ uint64_t ReplicatedGraph::run(const ReplicatedRunOptions& opts) {
           },
           std::move(topt));
     }
+  }
+
+  // Telemetry daemon: every replica parsed from one config text gets its
+  // own MetricsExporter clone; each is wired to this pipeline's live health
+  // and polled by ONE daemon task (the exporters themselves serialize via
+  // try-lock, and only one wins the listener port — first-binder-wins).
+  std::vector<MetricsExporter*> exporters;
+  for (Graph& g : graphs_)
+    for (const auto& e : g.elements())
+      if (auto* me = dynamic_cast<MetricsExporter*>(e.get()))
+        exporters.push_back(me);
+  for (MetricsExporter* me : exporters)
+    me->set_pipeline_health_source([this] { return health(); });
+  if (!exporters.empty()) {
+    Task::Options topt;
+    topt.daemon = true;
+    topt.label = "metrics-exporter";
+    topt.policy = opts.policy;
+    sched.add(
+        [exporters]() -> TaskState {
+          bool worked = false;
+          for (MetricsExporter* me : exporters) worked |= me->poll();
+          return worked ? TaskState::kWorked : TaskState::kIdle;
+        },
+        std::move(topt));
   }
 
   if (supervised) {

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/failpoint.hpp"
+#include "common/metrics.hpp"
 
 namespace nuevomatch::pipeline {
 
@@ -106,6 +107,11 @@ Scheduler::FailureAction Scheduler::supervise_failure(Task& t) {
         const std::lock_guard<std::mutex> lk(sup_mu_);
         ++restarts_total_;
       }
+      if (NM_METRICS_ENABLED) {
+        static telemetry::Counter& m = telemetry::registry().counter(
+            "nm_sched_restarts_total", "task restart re-arms");
+        m.add(1);
+      }
       // PR 6's engine backoff shape, reused verbatim: delay doubles per
       // consecutive failure (clamped), then jitters deterministically to
       // [d/2, d] so co-failing tasks desynchronize reproducibly.
@@ -129,6 +135,11 @@ Scheduler::FailureAction Scheduler::supervise_failure(Task& t) {
     ++quarantines_total_;
     t.phase_.store(static_cast<uint8_t>(TaskPhase::kQuarantined),
                    std::memory_order_release);
+  }
+  if (NM_METRICS_ENABLED) {
+    static telemetry::Counter& m = telemetry::registry().counter(
+        "nm_sched_quarantines_total", "task quarantine entries");
+    m.add(1);
   }
   if (on_quarantine_) {
     try {
@@ -298,7 +309,11 @@ void Scheduler::thread_loop(uint32_t tid) {
     bool failed = false;
     uint32_t left = opt_.quantum;
     do {
-      const bool timed = t->opt_.fire_budget_ns > 0;
+      // 1-in-64 sampled fire-latency stamps piggy-back on the watchdog's
+      // fire_start clock read: a sampled fire pays one extra now() at the
+      // end, every other fire pays nothing beyond the budget check.
+      const bool sampled = NM_METRICS_ENABLED && NM_SAMPLE_EVERY(64);
+      const bool timed = t->opt_.fire_budget_ns > 0 || sampled;
       const auto fire_start = timed ? std::chrono::steady_clock::now()
                                     : std::chrono::steady_clock::time_point{};
       try {
@@ -319,6 +334,14 @@ void Scheduler::thread_loop(uint32_t tid) {
       t->fires_.fetch_add(1, std::memory_order_relaxed);
       ++me.fires;
       if (!failed) {
+        if (sampled) {
+          static telemetry::Histogram& h = telemetry::registry().histogram(
+              "nm_sched_fire_ns", "task fire latency (sampled 1-in-64)");
+          h.record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - fire_start)
+                  .count()));
+        }
         watchdog_sample(*t, st, fire_start);
         if (st == TaskState::kWorked) {
           t->worked_.fetch_add(1, std::memory_order_relaxed);
@@ -452,6 +475,22 @@ void Scheduler::run() {
     stats_.idle_fires += s->idle_fires;
     stats_.steals += s->steals;
     stats_.fires_per_thread.push_back(s->fires);
+  }
+  // Registry totals in one bulk add per run — the per-fire hot path keeps
+  // its thread-private counters and pays nothing for these.
+  if (NM_METRICS_ENABLED) {
+    static telemetry::Counter& mf = telemetry::registry().counter(
+        "nm_sched_fires_total", "task fires across all scheduler runs");
+    static telemetry::Counter& mw = telemetry::registry().counter(
+        "nm_sched_worked_total", "fires that reported kWorked");
+    static telemetry::Counter& mi = telemetry::registry().counter(
+        "nm_sched_idle_fires_total", "fires that reported kIdle");
+    static telemetry::Counter& ms = telemetry::registry().counter(
+        "nm_sched_steals_total", "cross-thread task steals");
+    mf.add(stats_.fires);
+    mw.add(stats_.worked);
+    mi.add(stats_.idle_fires);
+    ms.add(stats_.steals);
   }
 
   std::exception_ptr err;

@@ -1,0 +1,58 @@
+// telemetry::Snapshot — the join between the generic metric registry
+// (common/metrics.hpp) and the four structured health surfaces the dataplane
+// already exposes: EngineHealth (nuevomatch/online.hpp), RuntimeHealth
+// (pipeline/scheduler.hpp), PipelineHealth (pipeline/replicate.hpp) and
+// FlowCache::Stats (pipeline/flow_cache.hpp).
+//
+// Division of labour (and why there are no duplicate series): the registry
+// holds EVENT metrics — things that happen on hot paths and must be counted
+// where they happen (fires, bursts, commits, latency samples). The health
+// structs hold STATE — snapshots already maintained, mutex-guarded, by their
+// owners. Snapshot renders both into one exposition: registry metrics
+// verbatim, health fields as derived nm_* series. No subsystem reports the
+// same fact through both channels.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/metrics.hpp"
+#include "nuevomatch/online.hpp"
+#include "pipeline/flow_cache.hpp"
+#include "pipeline/replicate.hpp"
+#include "pipeline/scheduler.hpp"
+
+namespace nuevomatch::telemetry {
+
+/// One coherent view of the whole dataplane, exportable as Prometheus text
+/// exposition or JSON. Every section is optional except the registry: a
+/// scalar pipeline has no PipelineHealth, an engine-less graph no
+/// EngineHealth — absent sections are simply omitted from the output.
+struct Snapshot {
+  RegistrySnapshot registry;
+
+  std::optional<EngineHealth> engine;
+  std::optional<pipeline::RuntimeHealth> runtime;
+  /// Replica supervision layer (implies a runtime section of its own —
+  /// when both `pipeline` and `runtime` are set, `pipeline->runtime` wins).
+  std::optional<pipeline::PipelineHealth> pipeline;
+  /// Summed across every FlowCache feeding this snapshot.
+  std::optional<pipeline::FlowCache::Stats> cache;
+  uint64_t cache_entries = 0;   ///< live entries (point-in-time occupancy)
+  uint64_t cache_capacity = 0;  ///< summed configured capacity
+
+  [[nodiscard]] std::string to_prometheus() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Collect the process-wide registry plus whichever surfaces are provided.
+/// (Convenience for call sites that have the structs in hand; members can
+/// equally be filled field by field.)
+[[nodiscard]] Snapshot capture(
+    const EngineHealth* engine = nullptr,
+    const pipeline::RuntimeHealth* runtime = nullptr,
+    const pipeline::PipelineHealth* pipeline = nullptr,
+    const pipeline::FlowCache::Stats* cache = nullptr);
+
+}  // namespace nuevomatch::telemetry

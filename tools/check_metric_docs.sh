@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Every nm_* metric series the code emits must appear (backticked) in the
+# DESIGN.md "Telemetry" metric table. CI runs this in the docs job; it exits
+# nonzero listing any undocumented names.
+#
+# Extraction rule: any "nm_..." string literal in src/ or examples/ is
+# considered a metric name. Test-only names (tests/ uses nm_test_* markers)
+# are exempt — tests exercise the registry, they don't define the dataplane's
+# metric surface.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+names=$(grep -rhoE '"nm_[a-z0-9_]+"' src/ examples/ | tr -d '"' | sort -u)
+
+missing=0
+for n in $names; do
+  if ! grep -q "\`$n\`" DESIGN.md; then
+    echo "undocumented metric: $n (add it to the DESIGN.md telemetry table)"
+    missing=1
+  fi
+done
+
+if [ "$missing" -ne 0 ]; then
+  exit 1
+fi
+echo "all $(echo "$names" | wc -l) nm_* metric names are documented in DESIGN.md"
